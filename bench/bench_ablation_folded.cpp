@@ -1,0 +1,131 @@
+// Ablation study over the design choices DESIGN.md section 6 calls out,
+// on the folded MobileNetV1 deployment (Stratix 10 SX):
+//
+//   1. cached writes / fused activation (private accumulator vs global
+//      scratchpad) -- the II 5 -> 1 transition;
+//   2. stride pinning for symbolic kernels (Listing 5.11) -- LSU
+//      coalescing for parameterized kernels;
+//   3. tiling dimension choice at equal DSP budget (W2 vs C1 vs C2);
+//   4. -fp-relaxed / -fpc float flags (SS4.10) -- area cost of strict FP;
+//   5. parameterization itself (per-layer kernels vs grouped symbolic).
+#include "bench_util.hpp"
+
+using namespace clflow;
+
+int main() {
+  bench::Banner("Folded-execution ablations (MobileNetV1, S10SX)",
+                "DESIGN.md section 6 / paper Ch. 4 choices");
+
+  Rng rng(bench::kBenchSeed);
+  graph::Graph net = nets::BuildMobileNetV1(rng);
+  Tensor image = nets::SyntheticImagenetImage(rng);
+  const auto& board = fpga::Stratix10SX();
+
+  auto report = [&](const char* label, core::Deployment& d) {
+    if (!d.ok()) {
+      std::printf("%-44s does not synthesize: %s\n", label,
+                  d.bitstream().status_detail.c_str());
+      return 0.0;
+    }
+    const double fps = d.EstimateFps(image);
+    std::printf("%-44s %8.2f FPS   fmax %3.0f MHz  logic %2.0f%%  DSP %4lld\n",
+                label, fps, d.bitstream().fmax_mhz,
+                d.bitstream().totals.alut_frac * 100,
+                static_cast<long long>(d.bitstream().totals.dsps));
+    return fps;
+  };
+
+  // Reference: the full Table 6.7 configuration.
+  auto full = bench::DeployFolded(net, core::FoldedMobileNet("s10sx"), board);
+  const double full_fps = report("full optimization (7/16/4, pinned)", full);
+
+  // 1. No cached writes / fusion: the naive per-layer baseline.
+  {
+    auto d = bench::DeployFolded(net, core::FoldedBase(), board);
+    const double fps = report("no fusion/write caches (naive, II=5)", d);
+    if (fps > 0) {
+      std::printf("    -> fused+cached accumulators are worth %.0fx\n",
+                  full_fps / fps);
+    }
+  }
+
+  // 2. Symbolic kernels without stride pinning.
+  {
+    auto recipe = core::FoldedMobileNet("s10sx");
+    recipe.pin_strides = false;
+    auto d = bench::DeployFolded(net, recipe, board);
+    const double fps = report("symbolic kernels, strides NOT pinned", d);
+    if (fps > 0) {
+      std::printf("    -> Listing 5.11 stride pinning is worth %.1fx\n",
+                  full_fps / fps);
+    }
+  }
+
+  // 3. Tiling dimension choice at a fixed 448-DSP budget for 1x1 convs.
+  {
+    std::printf("\ntiling-dimension choice at 448 MACs/cycle:\n");
+    struct Cfg {
+      const char* label;
+      core::ConvTiling t;
+    };
+    for (const auto& cfg : std::initializer_list<Cfg>{
+             {"  balanced   W2/C2/C1 = 7/8/8", {.c1 = 8, .w2 = 7, .c2 = 8}},
+             {"  C1-heavy   W2/C2/C1 = 7/4/16", {.c1 = 16, .w2 = 7, .c2 = 4}},
+             {"  C2-heavy   W2/C2/C1 = 7/16/4", {.c1 = 4, .w2 = 7, .c2 = 16}},
+             {"  no W2 tile W2/C2/C1 = 1/16/28", {.c1 = 28, .w2 = 1, .c2 = 16}}}) {
+      try {
+        auto d = bench::DeployFolded(net, core::FoldedWithTiling(cfg.t),
+                                     board);
+        report(cfg.label, d);
+      } catch (const std::exception&) {
+        std::printf("%-44s rejected: tiling does not divide every layer\n",
+                    cfg.label);
+      }
+    }
+  }
+
+  // 4. Strict IEEE float (no -fp-relaxed/-fpc).
+  {
+    auto recipe = core::FoldedMobileNet("s10sx");
+    recipe.aoc.fp_relaxed = false;
+    recipe.aoc.fpc = false;
+    auto d = bench::DeployFolded(net, recipe, board);
+    report("strict IEEE FP (no -fp-relaxed/-fpc)", d);
+    if (d.ok() && full.ok()) {
+      std::printf("    -> float flags save %.0f%% logic\n",
+                  100.0 * (1.0 - full.bitstream().totals.alut_frac /
+                                     d.bitstream().totals.alut_frac));
+    }
+  }
+
+  // 5. Hybrid execution (SS6.5/SS8.1): pipeline the classifier tail.
+  {
+    auto recipe = core::FoldedMobileNet("s10sx");
+    recipe.pipeline_tail = true;
+    auto d = bench::DeployFolded(net, recipe, board);
+    const double fps = report("hybrid: folded body + pipelined tail", d);
+    if (fps > 0 && full_fps > 0) {
+      std::printf("    -> tail channels/autorun change FPS by %+.1f%%\n",
+                  100.0 * (fps / full_fps - 1.0));
+    }
+  }
+
+  // 6. Same schedules, but constant-shape kernels per layer (no grouping).
+  {
+    auto recipe = core::FoldedMobileNet("s10sx");
+    recipe.parameterized = false;
+    auto d = bench::DeployFolded(net, recipe, board);
+    report("optimized schedules, per-layer kernels", d);
+    if (d.ok()) {
+      std::printf("    -> %zu kernels instead of %zu; the A10 variant:\n",
+                  d.kernels().size(), full.kernels().size());
+      auto recipe_a10 = core::FoldedMobileNet("a10");
+      recipe_a10.parameterized = false;
+      auto a10 = bench::DeployFolded(net, recipe_a10, fpga::Arria10());
+      std::printf("       per-layer on A10: %s\n",
+                  a10.ok() ? "fits (unexpected)"
+                           : a10.bitstream().status_detail.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces Appendix A: FPGA buffer transfer speeds -- effective
+// host-to-device and device-to-host bandwidth as a function of buffer
+// size for each platform.
+//
+// Shape to reproduce: effective bandwidth climbs with buffer size toward
+// the PCIe limit (latency amortizes); the S10MX's writes are dramatically
+// slower than every other path (its experimental BSP), which is why its
+// LeNet/MobileNet deployments trail despite a faster clock.
+#include "bench_util.hpp"
+
+using namespace clflow;
+
+int main() {
+  bench::Banner("Host<->device buffer transfer speeds", "Appendix A");
+
+  Table t({"Buffer size", "Board", "H2D time", "H2D GB/s", "D2H time",
+           "D2H GB/s"});
+  for (std::int64_t bytes : {4 << 10, 64 << 10, 1 << 20, 16 << 20,
+                             256 << 20}) {
+    for (const auto& board : fpga::EvaluationBoards()) {
+      const SimTime h2d = fpga::TransferTime(board, bytes, true);
+      const SimTime d2h = fpga::TransferTime(board, bytes, false);
+      const auto gbps = [bytes](SimTime tt) {
+        return static_cast<double>(bytes) / tt.seconds() / 1e9;
+      };
+      std::string size_label =
+          bytes >= (1 << 20) ? std::to_string(bytes >> 20) + " MB"
+                             : std::to_string(bytes >> 10) + " KB";
+      t.AddRow({size_label, board.name, Table::Num(h2d.us(), 1) + " us",
+                Table::Num(gbps(h2d), 2), Table::Num(d2h.us(), 1) + " us",
+                Table::Num(gbps(d2h), 2)});
+    }
+  }
+  t.Print();
+  std::printf("\nnetwork-relevant sizes: a LeNet image is 3 KB, an ImageNet "
+              "image 588 KB, MobileNet parameters 16.8 MB.\n");
+  return 0;
+}

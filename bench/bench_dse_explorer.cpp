@@ -1,0 +1,52 @@
+// Design-space exploration bench (the paper's SS4.11 future-work item).
+//
+// Runs the tiling explorer for MobileNetV1 on each board and compares the
+// best found configuration with the paper's hand-picked Table 6.7 row.
+// The claim to check: an automatic explorer over the synthesis model
+// finds configurations at least as good as the hand-selected ones.
+#include "bench_util.hpp"
+
+#include "core/dse.hpp"
+
+using namespace clflow;
+
+int main() {
+  bench::Banner("Folded tiling design-space exploration (MobileNetV1)",
+                "SS4.11 future work");
+
+  Rng rng(bench::kBenchSeed);
+  graph::Graph net = nets::BuildMobileNetV1(rng);
+  Tensor image = nets::SyntheticImagenetImage(rng);
+
+  for (const auto& board : fpga::EvaluationBoards()) {
+    const auto result = core::ExploreFoldedTilings(net, board);
+    std::printf("-- %s: %zu candidates, rejected %zu divisibility / %zu "
+                "bandwidth / %zu fit / %zu route --\n",
+                board.name.c_str(), result.considered,
+                result.rejected_divisibility, result.rejected_bandwidth,
+                result.rejected_fit, result.rejected_route);
+    Table t({"Rank", "1x1 W2/C2/C1", "Pred. FPS", "fmax", "DSPs", "Logic"});
+    int rank = 1;
+    for (const auto& c : result.ranked) {
+      t.AddRow({std::to_string(rank++),
+                std::to_string(c.conv1x1.w2) + "/" +
+                    std::to_string(c.conv1x1.c2) + "/" +
+                    std::to_string(c.conv1x1.c1),
+                Table::Num(c.predicted_fps, 1), Table::Num(c.fmax_mhz, 0),
+                std::to_string(c.dsps), Table::Pct(c.alut_frac)});
+    }
+    t.Print();
+
+    // Compare with the hand-picked Table 6.7 configuration.
+    auto hand =
+        bench::DeployFolded(net, core::FoldedMobileNet(board.key), board);
+    auto best = bench::DeployFolded(net, result.BestRecipe(board.key), board);
+    const double hand_fps = hand.ok() ? hand.EstimateFps(image) : 0.0;
+    const double best_fps = best.ok() ? best.EstimateFps(image) : 0.0;
+    std::printf("hand-picked (Table 6.7): %.1f FPS; DSE best: %.1f FPS "
+                "(%.2fx)\n\n",
+                hand_fps, best_fps,
+                hand_fps > 0 ? best_fps / hand_fps : 0.0);
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Table 6.4 + Figure 6.1: the LeNet-5 optimization ladder.
+//
+// Five bitstreams (Base, Unrolling, Channels, Autorun, TVM-Autorun), each
+// built on the previous one, executed serially and with concurrent
+// execution ([CE]) on all three FPGA platforms. The figure's headline:
+// channels and concurrent execution give the largest steps, with the best
+// configuration 6-10x over Base.
+#include "bench_util.hpp"
+
+using namespace clflow;
+
+int main() {
+  bench::Banner("LeNet-5 optimization ladder (FPS)",
+                "Table 6.4 / Figure 6.1");
+
+  Rng rng(bench::kBenchSeed);
+  graph::Graph lenet = nets::BuildLeNet5(rng);
+  Tensor image = nets::SyntheticMnistImage(rng);
+
+  // Paper FPS for the best configurations (SS6.3.1): Base and
+  // TVM-Autorun[CE] per board.
+  const double paper_base[] = {568, 524, 402};
+  const double paper_best[] = {1706, 4917, 2653};
+
+  Table table({"Bitstream", "S10MX", "S10MX[CE]", "S10SX", "S10SX[CE]",
+               "A10", "A10[CE]"});
+  std::vector<std::vector<double>> fps_ce(5);
+
+  int row_idx = 0;
+  for (const auto& recipe : core::PipelineLadder()) {
+    std::vector<std::string> row{recipe.name};
+    int board_idx = 0;
+    for (const auto& board : fpga::EvaluationBoards()) {
+      auto serial = bench::DeployPipelined(lenet, recipe, board, false);
+      auto ce = bench::DeployPipelined(lenet, recipe, board, true);
+      const double fps_s = serial.EstimateFps(image);
+      const double fps_c = ce.EstimateFps(image);
+      row.push_back(Table::Num(fps_s, 0));
+      row.push_back(Table::Num(fps_c, 0));
+      fps_ce[static_cast<std::size_t>(row_idx)].push_back(fps_c);
+      ++board_idx;
+    }
+    table.AddRow(std::move(row));
+    ++row_idx;
+  }
+  table.Print();
+
+  std::printf("\nbest configuration vs paper:\n");
+  Table summary({"Board", "Base FPS", "Best FPS (TVM-Autorun[CE])",
+                 "Improvement over Base"});
+  int b = 0;
+  for (const auto& board : fpga::EvaluationBoards()) {
+    auto base = bench::DeployPipelined(lenet, core::PipelineBase(), board);
+    const double base_fps = base.EstimateFps(image);
+    const double best_fps = fps_ce[4][static_cast<std::size_t>(b)];
+    summary.AddRow({board.name, bench::WithPaper(base_fps, paper_base[b]),
+                    bench::WithPaper(best_fps, paper_best[b]),
+                    Table::Speedup(best_fps / base_fps)});
+    ++b;
+  }
+  summary.Print();
+  return 0;
+}

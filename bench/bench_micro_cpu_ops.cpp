@@ -1,0 +1,102 @@
+// Real-machine microbenchmarks of the reference CPU operators
+// (google-benchmark). These are the functional oracle's actual throughput
+// on THIS host -- complementary to the calibrated Xeon-8280/GTX-1060
+// models the comparison tables use (see DESIGN.md on the substitution).
+#include <benchmark/benchmark.h>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "cpu/ops.hpp"
+
+namespace {
+
+using namespace clflow;
+
+void BM_Conv2d3x3(benchmark::State& state) {
+  const auto threads = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Tensor input = Tensor::Random(Shape{1, 64, 56, 56}, rng);
+  Tensor w = Tensor::Random(Shape{64, 64, 3, 3}, rng);
+  Tensor bias = Tensor::Random(Shape{64}, rng);
+  for (auto _ : state) {
+    auto out = cpu::Conv2d(input, w, bias,
+                           {.stride = 1, .pad = 1,
+                            .activation = Activation::kRelu},
+                           threads);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  const double macs = 64.0 * 56 * 56 * 64 * 9;
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * macs * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Conv2d3x3)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_Conv2d1x1(benchmark::State& state) {
+  Rng rng(2);
+  Tensor input = Tensor::Random(Shape{1, 256, 28, 28}, rng);
+  Tensor w = Tensor::Random(Shape{256, 256, 1, 1}, rng);
+  for (auto _ : state) {
+    auto out = cpu::Conv2d(input, w, Tensor(), {}, 4);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+}
+BENCHMARK(BM_Conv2d1x1)->Unit(benchmark::kMillisecond);
+
+void BM_DepthwiseConv(benchmark::State& state) {
+  Rng rng(3);
+  Tensor input = Tensor::Random(Shape{1, 256, 28, 28}, rng);
+  Tensor w = Tensor::Random(Shape{256, 1, 3, 3}, rng);
+  for (auto _ : state) {
+    auto out = cpu::DepthwiseConv2d(input, w, Tensor(),
+                                    {.stride = 1, .pad = 1}, 4);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+}
+BENCHMARK(BM_DepthwiseConv)->Unit(benchmark::kMillisecond);
+
+void BM_Dense(benchmark::State& state) {
+  Rng rng(4);
+  Tensor x = Tensor::Random(Shape{1, 1024}, rng);
+  Tensor w = Tensor::Random(Shape{1000, 1024}, rng);
+  Tensor b = Tensor::Random(Shape{1000}, rng);
+  for (auto _ : state) {
+    auto out = cpu::Dense(x, w, b, Activation::kNone, 1);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+}
+BENCHMARK(BM_Dense)->Unit(benchmark::kMicrosecond);
+
+void BM_MaxPool(benchmark::State& state) {
+  Rng rng(5);
+  Tensor input = Tensor::Random(Shape{1, 64, 112, 112}, rng);
+  for (auto _ : state) {
+    auto out = cpu::MaxPool2d(input, {.window = 2, .stride = 2}, 4);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+}
+BENCHMARK(BM_MaxPool)->Unit(benchmark::kMicrosecond);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(6);
+  Tensor x = Tensor::Random(Shape{1000}, rng);
+  for (auto _ : state) {
+    auto out = cpu::Softmax(x);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+}
+BENCHMARK(BM_Softmax)->Unit(benchmark::kMicrosecond);
+
+void BM_Pad2d(benchmark::State& state) {
+  Rng rng(7);
+  Tensor input = Tensor::Random(Shape{1, 128, 56, 56}, rng);
+  for (auto _ : state) {
+    auto out = cpu::Pad2d(input, 1);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+}
+BENCHMARK(BM_Pad2d)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

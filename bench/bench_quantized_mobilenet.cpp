@@ -1,0 +1,101 @@
+// Quantized-network extension bench (paper SS8.1 future work #1).
+//
+// Two claims the paper makes about int8 deployment, checked here:
+//   1. "pack more operations per DSP" and "reduce LSU bit width and cache
+//      sizes, which alleviates LSU area bloat" -- the same MobileNet
+//      tiling costs half the DSPs and less logic/BRAM in int8, clocks
+//      higher, and runs faster; the freed area admits *larger* tilings on
+//      the Arria 10 that do not fit in fp32.
+//   2. Accuracy survives: real int8 arithmetic (per-tensor symmetric,
+//      int32 accumulation) keeps LeNet's top-1 and MobileNet's output
+//      close to the float reference.
+#include "bench_util.hpp"
+
+#include "quant/quantize.hpp"
+
+using namespace clflow;
+
+int main() {
+  bench::Banner("Quantized (int8) deployment study", "SS8.1 future work");
+
+  Rng rng(bench::kBenchSeed);
+  graph::Graph net = nets::BuildMobileNetV1(rng);
+  Tensor image = nets::SyntheticImagenetImage(rng);
+
+  // --- 1. Device-model impact -------------------------------------------------
+  fpga::CostModel int8_model;
+  int8_model.data_bytes = 1.0;
+  int8_model.ops_per_dsp = 2;
+
+  Table t({"Config", "Precision", "Fit", "FPS", "fmax", "DSPs", "Logic",
+           "BRAM"});
+  auto add_row = [&](const char* cfg, const char* prec,
+                     core::OptimizationRecipe recipe,
+                     const fpga::BoardSpec& board,
+                     const fpga::CostModel& model) {
+    core::DeployOptions o;
+    o.mode = core::ExecutionMode::kFolded;
+    o.recipe = std::move(recipe);
+    o.board = board;
+    o.cost_model = model;
+    auto d = core::Deployment::Compile(net, o);
+    if (!d.ok()) {
+      t.AddRow({cfg, prec, d.bitstream().status_detail.substr(0, 30), "-",
+                "-", "-", "-", "-"});
+      return;
+    }
+    t.AddRow({cfg, prec, "ok", Table::Num(d.EstimateFps(image), 1),
+              Table::Num(d.bitstream().fmax_mhz, 0),
+              std::to_string(d.bitstream().totals.dsps),
+              Table::Pct(d.bitstream().totals.alut_frac),
+              Table::Pct(d.bitstream().totals.bram_frac)});
+  };
+
+  const auto& a10 = fpga::Arria10();
+  add_row("A10 7/8/8 (Table 6.7)", "fp32", core::FoldedMobileNet("a10"), a10,
+          {});
+  add_row("A10 7/8/8 (Table 6.7)", "int8", core::FoldedMobileNet("a10"), a10,
+          int8_model);
+  // A bigger tiling that fp32 cannot host on the A10.
+  add_row("A10 7/16/8 (2x tiles)", "fp32",
+          core::FoldedWithTiling({.c1 = 8, .w2 = 7, .c2 = 16}), a10, {});
+  add_row("A10 7/16/8 (2x tiles)", "int8",
+          core::FoldedWithTiling({.c1 = 8, .w2 = 7, .c2 = 16}), a10,
+          int8_model);
+  add_row("S10SX 7/16/4 (Table 6.7)", "fp32", core::FoldedMobileNet("s10sx"),
+          fpga::Stratix10SX(), {});
+  add_row("S10SX 7/16/4 (Table 6.7)", "int8", core::FoldedMobileNet("s10sx"),
+          fpga::Stratix10SX(), int8_model);
+  t.Print();
+
+  // --- 2. Numerical quality ---------------------------------------------------
+  std::printf("\nint8 functional quality (real int8 arithmetic):\n");
+  {
+    graph::Graph fused = graph::FuseOperators(net);
+    std::vector<Tensor> calib;
+    for (int i = 0; i < 2; ++i) {
+      calib.push_back(nets::SyntheticImagenetImage(rng));
+    }
+    auto q = quant::QuantizedGraph::Calibrate(fused, calib,
+                                              HardwareThreads());
+    const Tensor f = graph::Execute(fused, image, HardwareThreads());
+    const Tensor i8 =
+        q.Execute(image, HardwareThreads()).Reshaped(f.shape());
+    std::printf("  MobileNetV1: output SQNR %.1f dB, argmax %s, "
+                "parameters %.1f MB -> %.1f MB\n",
+                quant::SqnrDb(f, i8),
+                f.ArgMax() == i8.ArgMax() ? "agrees" : "differs",
+                static_cast<double>(graph::GraphCost(fused).params) * 4 / 1e6,
+                static_cast<double>(q.parameter_bytes()) / 1e6);
+  }
+  {
+    graph::Graph lenet = graph::FuseOperators(nets::BuildLeNet5(rng));
+    std::vector<Tensor> calib, eval;
+    for (int i = 0; i < 8; ++i) calib.push_back(nets::SyntheticMnistImage(rng));
+    for (int i = 0; i < 32; ++i) eval.push_back(nets::SyntheticMnistImage(rng));
+    auto q = quant::QuantizedGraph::Calibrate(lenet, calib, 2);
+    std::printf("  LeNet-5: top-1 agreement with float on %zu inputs: %.0f%%\n",
+                eval.size(), 100.0 * quant::Top1Agreement(lenet, q, eval, 2));
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Reproduces Tables 6.7 + 6.11 + 6.12 and Figure 6.5: MobileNetV1 folded
+// deployment across boards and the comparison platforms.
+//
+// Shape to reproduce: the naive per-layer mapping does not synthesize on
+// the Arria 10 and runs at ~0.2 FPS elsewhere; parameterized tiled kernels
+// fit everywhere and improve throughput by two orders of magnitude; the
+// best FPGA (S10SX) modestly beats TF-CPU (paper: 1.40x) but loses to the
+// GPU; TVM scales near-linearly to ~16 threads.
+#include "bench_util.hpp"
+
+using namespace clflow;
+
+int main() {
+  bench::Banner("MobileNetV1 folded inference", "Tables 6.7/6.11/6.12, Fig 6.5");
+
+  Rng rng(bench::kBenchSeed);
+  graph::Graph net = nets::BuildMobileNetV1(rng);
+  Tensor image = nets::SyntheticImagenetImage(rng);
+  const auto cost = graph::GraphCost(net);
+  std::printf("CNN FP ops: %.2fG (paper 1.11G), parameters %.1fM (paper 4.2M)\n\n",
+              cost.flops / 1e9, static_cast<double>(cost.params) / 1e6);
+
+  // --- Table 6.7: parameterized kernels per board ----------------------------
+  std::printf("parameterized kernels (Table 6.7):\n");
+  for (const auto& board : fpga::EvaluationBoards()) {
+    auto opt =
+        bench::DeployFolded(net, core::FoldedMobileNet(board.key), board);
+    std::printf("-- %s --\n", board.name.c_str());
+    for (const auto& pk : opt.kernels()) {
+      if (pk.tiling_desc.empty()) continue;
+      std::printf("  %-16s %s\n", pk.op_class.c_str(),
+                  pk.tiling_desc.c_str());
+    }
+  }
+
+  // --- Table 6.11 ------------------------------------------------------------
+  const double paper_base[] = {0.21, 0.17, -1};
+  const double paper_opt[] = {17.7, 30.3, 18.0};
+  std::printf("\nFPGA deployments (Table 6.11):\n");
+  Table fpga_table({"Platform", "Base FPS", "Opt FPS", "GFLOPS", "Speedup",
+                    "Logic", "BRAM", "DSP", "fmax"});
+  std::vector<double> opt_fps;
+  int b = 0;
+  for (const auto& board : fpga::EvaluationBoards()) {
+    auto base = bench::DeployFolded(net, core::FoldedBase(), board);
+    auto opt =
+        bench::DeployFolded(net, core::FoldedMobileNet(board.key), board);
+    std::string base_cell = "na (does not fit)";
+    double fps_b = 0;
+    if (base.ok()) {
+      fps_b = base.EstimateFps(image);
+      base_cell = bench::WithPaper(fps_b, paper_base[b], 3);
+    }
+    const double fps_o = opt.EstimateFps(image);
+    opt_fps.push_back(fps_o);
+    const auto& t = opt.bitstream().totals;
+    fpga_table.AddRow(
+        {board.name, base_cell, bench::WithPaper(fps_o, paper_opt[b], 1),
+         Table::Num(fps_o * cost.flops / 1e9, 1),
+         fps_b > 0 ? Table::Speedup(fps_o / fps_b, 0) : std::string("-"),
+         Table::Pct(t.alut_frac), Table::Pct(t.bram_frac),
+         Table::Pct(t.dsp_frac), Table::Num(opt.bitstream().fmax_mhz, 0)});
+    ++b;
+  }
+  fpga_table.Print();
+
+  // --- Table 6.12 ------------------------------------------------------------
+  const double tf_cpu = perfmodel::TensorflowCpuFps(net);
+  const double tvm_1t = perfmodel::TvmCpuFps(net, 1);
+  const double tvm_16t = perfmodel::TvmCpuFps(net, 16);
+  const double tf_gpu = perfmodel::TensorflowGpuFps(net);
+  std::printf("\ncomparison (Table 6.12; FPGA ratio over platform):\n");
+  Table cmp({"FPGA", "FPS", "vs TF-CPU (21.6)", "vs TVM-1T (15.6)",
+             "vs TVM-16T", "vs TF-cuDNN (43.7)"});
+  b = 0;
+  for (const auto& board : fpga::EvaluationBoards()) {
+    const double f = opt_fps[static_cast<std::size_t>(b)];
+    cmp.AddRow({board.name, Table::Num(f, 1), Table::Speedup(f / tf_cpu),
+                Table::Speedup(f / tvm_1t), Table::Speedup(f / tvm_16t),
+                Table::Speedup(f / tf_gpu)});
+    ++b;
+  }
+  cmp.Print();
+  std::printf("paper ratios (S10SX row): 1.40x TF-CPU, 1.94x TVM-1T, "
+              "0.69x TF-cuDNN\n");
+
+  // --- Figure 6.5 series -------------------------------------------------------
+  std::printf("\nTVM-nT thread sweep (Figure 6.5 series):\n");
+  Table sweep({"Threads", "TVM FPS"});
+  for (int threads : {1, 2, 4, 8, 16, 32, 56}) {
+    sweep.AddRow({std::to_string(threads),
+                  Table::Num(perfmodel::TvmCpuFps(net, threads), 1)});
+  }
+  sweep.Print();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Reproduces Tables 6.13 + 6.14 + 6.15 and Figures 6.6/6.7: ResNet-18/34
+// folded deployment.
+//
+// Shape to reproduce: neither the naive nor the optimized ResNet fits the
+// Arria 10 (insufficient BRAM from the 3x3 convolutions' replicated
+// LSUs); the optimized Stratix deployments improve on the naive schedule
+// by around three orders of magnitude but still lose to TF-CPU-112T
+// (0.24x-0.43x) and the GPU, landing at roughly 1-4 TVM CPU threads.
+#include "bench_util.hpp"
+
+using namespace clflow;
+
+int main() {
+  bench::Banner("ResNet-18/34 folded inference",
+                "Tables 6.13/6.14/6.15, Figs 6.6/6.7");
+
+  Rng rng(bench::kBenchSeed);
+  graph::Graph r18 = nets::BuildResNet(18, rng);
+  graph::Graph r34 = nets::BuildResNet(34, rng);
+  Tensor image = nets::SyntheticImagenetImage(rng);
+
+  // --- Table 6.13: parameterized kernels ------------------------------------
+  {
+    auto d = bench::DeployFolded(r18, core::FoldedResNet(),
+                                 fpga::Stratix10SX());
+    std::printf("parameterized kernels (Table 6.13):\n");
+    for (const auto& pk : d.kernels()) {
+      std::printf("  %-16s %s\n", pk.op_class.c_str(),
+                  pk.tiling_desc.c_str());
+    }
+    std::printf("\n");
+  }
+
+  struct NetRow {
+    const char* label;
+    graph::Graph* net;
+    double paper_base_mx, paper_base_sx, paper_opt_mx, paper_opt_sx;
+  };
+  NetRow nets_rows[] = {
+      {"ResNet-18", &r18, 6.83e-3, 8.3e-3, 4.1, 7.04},
+      {"ResNet-34", &r34, 3.2e-3, 4.01e-3, 2.6, 4.6},
+  };
+
+  std::vector<std::vector<double>> opt_fps(2);
+  for (int n = 0; n < 2; ++n) {
+    auto& row = nets_rows[n];
+    const auto cost = graph::GraphCost(*row.net);
+    std::printf("%s: %.2fG FP ops, %.1fM parameters\n", row.label,
+                cost.flops / 1e9, static_cast<double>(cost.params) / 1e6);
+    Table t({"Platform", "Base FPS", "Opt FPS", "GFLOPS", "Speedup", "Logic",
+             "BRAM", "DSP", "fmax"});
+    int b = 0;
+    for (const auto& board : fpga::EvaluationBoards()) {
+      auto base = bench::DeployFolded(*row.net, core::FoldedBase(), board);
+      auto opt = bench::DeployFolded(*row.net, core::FoldedResNet(), board);
+      if (!opt.ok()) {
+        t.AddRow({board.name, base.ok() ? "synthesizes" : "na",
+                  "na (" + opt.bitstream().status_detail.substr(0, 28) + ")",
+                  "-", "-", "-", "-", "-", "-"});
+        ++b;
+        continue;
+      }
+      const double paper_base = b == 0 ? row.paper_base_mx
+                                       : row.paper_base_sx;
+      const double paper_opt = b == 0 ? row.paper_opt_mx : row.paper_opt_sx;
+      double fps_b = 0;
+      std::string base_cell = "na";
+      if (base.ok()) {
+        fps_b = base.EstimateFps(image);
+        base_cell = Table::Num(fps_b, 4) + " (paper " +
+                    Table::Num(paper_base, 4) + ")";
+      }
+      const double fps_o = opt.EstimateFps(image);
+      opt_fps[static_cast<std::size_t>(n)].push_back(fps_o);
+      const auto& tt = opt.bitstream().totals;
+      t.AddRow({board.name, base_cell,
+                bench::WithPaper(fps_o, paper_opt, 2),
+                Table::Num(fps_o * cost.flops / 1e9, 1),
+                fps_b > 0 ? Table::Speedup(fps_o / fps_b, 0)
+                          : std::string("-"),
+                Table::Pct(tt.alut_frac), Table::Pct(tt.bram_frac),
+                Table::Pct(tt.dsp_frac),
+                Table::Num(opt.bitstream().fmax_mhz, 0)});
+      ++b;
+    }
+    t.Print();
+    std::printf("\n");
+  }
+
+  // --- Table 6.15 + Figures 6.6/6.7 ------------------------------------------
+  for (int n = 0; n < 2; ++n) {
+    auto& row = nets_rows[n];
+    const double tf_cpu = perfmodel::TensorflowCpuFps(*row.net);
+    const double tvm_1t = perfmodel::TvmCpuFps(*row.net, 1);
+    const double tvm_56t = perfmodel::TvmCpuFps(*row.net, 56);
+    const double tf_gpu = perfmodel::TensorflowGpuFps(*row.net);
+    std::printf("%s comparison (Table 6.15):\n", row.label);
+    Table cmp({"FPGA", "FPS", "vs TF-CPU", "vs TVM-1T", "vs TVM-56T",
+               "vs TF-cuDNN"});
+    const char* fpga_names[] = {"Stratix 10 MX", "Stratix 10 SX"};
+    for (std::size_t b = 0;
+         b < opt_fps[static_cast<std::size_t>(n)].size() && b < 2; ++b) {
+      const double f = opt_fps[static_cast<std::size_t>(n)][b];
+      cmp.AddRow({fpga_names[b], Table::Num(f, 2),
+                  Table::Speedup(f / tf_cpu), Table::Speedup(f / tvm_1t),
+                  Table::Speedup(f / tvm_56t), Table::Speedup(f / tf_gpu)});
+    }
+    cmp.Print();
+    std::printf("\nTVM thread sweep (Figure 6.%d series): ", 6 + n);
+    for (int threads : {1, 2, 4, 8, 16, 32, 56}) {
+      std::printf("%dT=%.1f ", threads,
+                  perfmodel::TvmCpuFps(*row.net, threads));
+    }
+    std::printf("\n\n");
+  }
+  std::printf("paper ratios (ResNet-18 S10SX): 0.43x TF-CPU, 1.21x TVM-1T, "
+              "0.13x TVM-56T, 0.15x TF-cuDNN\n");
+  return 0;
+}

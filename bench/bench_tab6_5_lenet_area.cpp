@@ -1,0 +1,33 @@
+// Reproduces Table 6.5: area usage (logic / RAM / DSP) and fmax for each
+// LeNet-5 bitstream on each platform, from the synthesis model's fit
+// report. The table's shape: unrolling raises every resource class,
+// channels cut RAM (activation caches disappear) and can raise fmax,
+// autorun is area-neutral.
+#include "bench_util.hpp"
+
+using namespace clflow;
+
+int main() {
+  bench::Banner("LeNet-5 area usage per bitstream", "Table 6.5");
+
+  Rng rng(bench::kBenchSeed);
+  graph::Graph lenet = nets::BuildLeNet5(rng);
+
+  for (const auto& board : fpga::EvaluationBoards()) {
+    std::printf("-- %s --\n", board.name.c_str());
+    Table table({"Bitstream", "Logic", "RAM", "DSP", "fmax MHz"});
+    for (const auto& recipe : core::PipelineLadder()) {
+      auto d = bench::DeployPipelined(lenet, recipe, board);
+      const auto& t = d.bitstream().totals;
+      table.AddRow({recipe.name, Table::Pct(t.alut_frac),
+                    Table::Pct(t.bram_frac), Table::Pct(t.dsp_frac),
+                    Table::Num(d.bitstream().fmax_mhz, 0)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "paper reference rows (S10SX): Base 32%%/21%%/3%% @209, "
+      "Channels 24%%/18%%/5%% @234, TVM-Autorun 25%%/19%%/5%% @218.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces Tables 6.9 + 6.10 and Figure 6.4: LeNet-5 inference
+// performance across the three FPGAs and the comparison platforms
+// (TF-CPU, TVM-nT thread sweep, TF-cuDNN).
+//
+// Shape to reproduce: the optimized FPGA bitstreams beat the CPU
+// frameworks and the GTX 1060 on this small network (up to ~4.6x TF-CPU
+// and ~3.1x the GPU on the S10SX); TVM's FPS *decreases* with added
+// threads because LeNet's layers are too small to parallelize.
+#include "bench_util.hpp"
+
+using namespace clflow;
+
+int main() {
+  bench::Banner("LeNet-5 inference performance", "Tables 6.9/6.10, Fig 6.4");
+
+  Rng rng(bench::kBenchSeed);
+  graph::Graph lenet = nets::BuildLeNet5(rng);
+  Tensor image = nets::SyntheticMnistImage(rng);
+  const auto cost = graph::GraphCost(lenet);
+  std::printf("CNN FP ops: %.0fK (paper 389K), parameters %.0fK (paper 60K)\n\n",
+              cost.flops / 1e3, static_cast<double>(cost.params) / 1e3);
+
+  // --- Table 6.9: FPGA rows -------------------------------------------------
+  const double paper_fps_base[] = {564, 524, 402};
+  const double paper_fps_opt[] = {1706, 4917, 2653};
+  Table fpga_table({"Platform", "Base FPS", "Opt FPS", "GFLOPS", "Speedup",
+                    "Logic", "BRAM", "DSP", "fmax"});
+  std::vector<double> opt_fps;
+  int b = 0;
+  for (const auto& board : fpga::EvaluationBoards()) {
+    auto base = bench::DeployPipelined(lenet, core::PipelineBase(), board);
+    auto opt = bench::DeployPipelined(lenet, core::PipelineTvmAutorun(),
+                                      board, /*concurrent=*/true);
+    const double fps_b = base.EstimateFps(image);
+    const double fps_o = opt.EstimateFps(image, /*verify=*/true);
+    opt_fps.push_back(fps_o);
+    const auto& t = opt.bitstream().totals;
+    fpga_table.AddRow({board.name,
+                       bench::WithPaper(fps_b, paper_fps_base[b]),
+                       bench::WithPaper(fps_o, paper_fps_opt[b]),
+                       Table::Num(fps_o * cost.flops / 1e9, 2),
+                       Table::Speedup(fps_o / fps_b),
+                       Table::Pct(t.alut_frac), Table::Pct(t.bram_frac),
+                       Table::Pct(t.dsp_frac),
+                       Table::Num(opt.bitstream().fmax_mhz, 0)});
+    ++b;
+  }
+  fpga_table.Print();
+
+  // --- Table 6.10: comparison platforms -------------------------------------
+  const double tf_cpu = perfmodel::TensorflowCpuFps(lenet);
+  const double tvm_1t = perfmodel::TvmCpuFps(lenet, 1);
+  const double tf_gpu = perfmodel::TensorflowGpuFps(lenet);
+  std::printf("\ncomparison (FPGA speedup over platform):\n");
+  Table cmp({"FPGA", "FPS", "vs TF-CPU (1075)", "vs TVM-1T (2345)",
+             "vs TF-cuDNN (1604)"});
+  b = 0;
+  for (const auto& board : fpga::EvaluationBoards()) {
+    cmp.AddRow({board.name, Table::Num(opt_fps[static_cast<std::size_t>(b)], 0),
+                Table::Speedup(opt_fps[static_cast<std::size_t>(b)] / tf_cpu),
+                Table::Speedup(opt_fps[static_cast<std::size_t>(b)] / tvm_1t),
+                Table::Speedup(opt_fps[static_cast<std::size_t>(b)] / tf_gpu)});
+    ++b;
+  }
+  cmp.Print();
+  std::printf("paper speedups (S10SX row): 4.57x TF-CPU, 2.10x TVM-1T, "
+              "3.07x TF-cuDNN\n");
+
+  // --- Figure 6.4 series: TVM thread sweep ----------------------------------
+  std::printf("\nTVM-nT thread sweep (Figure 6.4 series):\n");
+  Table sweep({"Threads", "TVM FPS"});
+  for (int threads : {1, 2, 4, 8, 16, 32, 56}) {
+    sweep.AddRow({std::to_string(threads),
+                  Table::Num(perfmodel::TvmCpuFps(lenet, threads), 0)});
+  }
+  sweep.Print();
+  std::printf("(decreasing with threads, as the paper observes for LeNet)\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared helpers for the table/figure reproduction harnesses.
+//
+// Every bench binary regenerates one table or figure from the paper's
+// evaluation chapter and prints the same rows/series, annotated with the
+// paper's published value where one exists so the reader can compare
+// shape directly (see EXPERIMENTS.md for the full ledger).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/deployment.hpp"
+#include "nets/nets.hpp"
+#include "perfmodel/reference.hpp"
+
+namespace clflow::bench {
+
+inline constexpr std::uint64_t kBenchSeed = 2021;  // thesis year
+
+inline core::Deployment DeployPipelined(const graph::Graph& g,
+                                        core::OptimizationRecipe recipe,
+                                        const fpga::BoardSpec& board,
+                                        bool concurrent = false) {
+  core::DeployOptions o;
+  o.mode = core::ExecutionMode::kPipelined;
+  o.recipe = std::move(recipe);
+  o.recipe.concurrent_execution = concurrent;
+  o.board = board;
+  o.functional_threads = HardwareThreads();
+  return core::Deployment::Compile(g, o);
+}
+
+inline core::Deployment DeployFolded(const graph::Graph& g,
+                                     core::OptimizationRecipe recipe,
+                                     const fpga::BoardSpec& board) {
+  core::DeployOptions o;
+  o.mode = core::ExecutionMode::kFolded;
+  o.recipe = std::move(recipe);
+  o.board = board;
+  o.functional_threads = HardwareThreads();
+  return core::Deployment::Compile(g, o);
+}
+
+/// "1234 (paper 5678)" annotation cell.
+inline std::string WithPaper(double model, double paper, int digits = 0) {
+  return Table::Num(model, digits) + " (paper " + Table::Num(paper, digits) +
+         ")";
+}
+
+inline void Banner(const char* what, const char* paper_ref) {
+  std::printf("=== %s ===\n", what);
+  std::printf("reproduces %s; simulated FPGA platform (see DESIGN.md). "
+              "'paper' columns quote the thesis.\n\n",
+              paper_ref);
+}
+
+}  // namespace clflow::bench

@@ -1,0 +1,93 @@
+// Flow inspector: compiles a network for a board and writes every
+// artifact the real flow would produce -- the OpenCL kernels (.cl), the
+// custom host program (SS5.2), and the fit report -- so the whole
+// compilation can be inspected file by file.
+//
+// usage: example_flow_inspector [lenet|mobilenet|resnet18|resnet34]
+//                               [a10|s10sx|s10mx] [pipelined|folded]
+//                               [outdir]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/dse.hpp"
+#include "core/host_codegen.hpp"
+#include "fpga/report.hpp"
+#include "nets/nets.hpp"
+
+namespace {
+
+void WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << contents;
+  std::printf("wrote %-28s (%zu bytes)\n", path.c_str(), contents.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace clflow;
+  const std::string net_name = argc > 1 ? argv[1] : "lenet";
+  const std::string board_key = argc > 2 ? argv[2] : "s10sx";
+  const std::string mode_name = argc > 3 ? argv[3] : "";
+  const std::string outdir = argc > 4 ? argv[4] : ".";
+
+  Rng rng(17);
+  graph::Graph net;
+  if (net_name == "lenet") {
+    net = nets::BuildLeNet5(rng);
+  } else if (net_name == "mobilenet") {
+    net = nets::BuildMobileNetV1(rng);
+  } else if (net_name == "resnet18") {
+    net = nets::BuildResNet(18, rng);
+  } else if (net_name == "resnet34") {
+    net = nets::BuildResNet(34, rng);
+  } else {
+    std::fprintf(stderr, "unknown network %s\n", net_name.c_str());
+    return 1;
+  }
+
+  core::DeployOptions opts;
+  opts.board = fpga::BoardByKey(board_key);
+  const bool pipelined =
+      mode_name.empty() ? net_name == "lenet" : mode_name == "pipelined";
+  if (pipelined) {
+    opts.mode = core::ExecutionMode::kPipelined;
+    opts.recipe = core::PipelineTvmAutorun();
+    opts.recipe.concurrent_execution = true;
+  } else {
+    opts.mode = core::ExecutionMode::kFolded;
+    if (net_name == "mobilenet") {
+      opts.recipe = core::FoldedMobileNet(board_key);
+    } else if (net_name == "lenet") {
+      opts.recipe = core::FoldedBase();
+    } else {
+      opts.recipe = core::FoldedResNet();
+    }
+  }
+
+  std::printf("compiling %s for %s (%s)...\n", net.name().c_str(),
+              opts.board.name.c_str(), pipelined ? "pipelined" : "folded");
+  auto d = core::Deployment::Compile(net, opts);
+
+  const std::string base = outdir + "/" + net.name() + "_" + board_key;
+  WriteFile(base + "_fit_report.txt", fpga::WriteFitReport(d.bitstream()));
+  if (!d.ok()) {
+    std::printf("design does not synthesize: %s\n",
+                d.bitstream().status_detail.c_str());
+    return 0;
+  }
+  WriteFile(base + ".cl", d.GeneratedSource());
+  WriteFile(base + "_host.cpp", core::EmitHostProgram(d));
+  WriteFile(base + "_graph.txt", d.fused_graph().ToString());
+
+  std::printf("\nfmax %.0f MHz, %zu kernels, %zu invocations/pass\n",
+              d.bitstream().fmax_mhz, d.kernels().size(),
+              d.invocations().size());
+  return 0;
+}

@@ -1,0 +1,66 @@
+// ResNet-18/34 folded deployment: the paper's "large CNN" scenario, where
+// the FPGA flow hits its limits (SS6.4.3/SS6.5). The example shows:
+//   * the Arria 10 cannot host ResNet at all (BRAM consumed by LSUs);
+//   * the Stratix boards run it, but slower than a many-threaded CPU;
+//   * per-op profiling that localizes the bottlenecks.
+#include <cstdio>
+
+#include "common/parallel.hpp"
+#include "core/deployment.hpp"
+#include "nets/nets.hpp"
+#include "perfmodel/reference.hpp"
+
+int main(int argc, char** argv) {
+  using namespace clflow;
+  const int depth = argc > 1 ? std::atoi(argv[1]) : 18;
+  if (depth != 18 && depth != 34) {
+    std::fprintf(stderr, "usage: %s [18|34]\n", argv[0]);
+    return 1;
+  }
+
+  Rng rng(23);
+  graph::Graph net = nets::BuildResNet(depth, rng);
+  const auto cost = graph::GraphCost(net);
+  std::printf("network: %s, %.2fG FLOPs, %.1fM parameters, %zu graph nodes\n\n",
+              net.name().c_str(), cost.flops / 1e9,
+              static_cast<double>(cost.params) / 1e6, net.nodes().size());
+
+  Tensor image = nets::SyntheticImagenetImage(rng);
+
+  for (const auto& board : fpga::EvaluationBoards()) {
+    core::DeployOptions opts;
+    opts.mode = core::ExecutionMode::kFolded;
+    opts.recipe = core::FoldedResNet();
+    opts.board = board;
+    opts.functional_threads = HardwareThreads();
+    auto d = core::Deployment::Compile(net, opts);
+
+    std::printf("== %s ==\n", board.name.c_str());
+    if (!d.ok()) {
+      std::printf("  does not synthesize: %s\n",
+                  d.bitstream().status_detail.c_str());
+      continue;
+    }
+    const double fps = d.EstimateFps(image, /*verify=*/board.key == "s10sx");
+    std::printf("  %.2f FPS (%.1f GFLOPS), fmax %.0f MHz, "
+                "%zu parameterized kernels for %zu layer invocations\n",
+                fps, fps * cost.flops / 1e9, d.bitstream().fmax_mhz,
+                d.kernels().size(), d.invocations().size());
+    std::printf("  top time consumers:\n");
+    int shown = 0;
+    for (const auto& e : d.ProfileOps()) {
+      if (shown++ >= 4) break;
+      std::printf("    %-14s %5.1f%% of time, %6.2f GFLOPS\n",
+                  e.op_class.c_str(), e.runtime_share * 100, e.gflops);
+    }
+  }
+
+  std::printf("\nCPU/GPU context: TF-CPU %.1f FPS, TVM-56T %.1f FPS, "
+              "TF-cuDNN %.1f FPS\n",
+              perfmodel::TensorflowCpuFps(net),
+              perfmodel::TvmCpuFps(net, 56),
+              perfmodel::TensorflowGpuFps(net));
+  std::printf("(as in the paper, the folded FPGA deployment loses to the "
+              "112-thread CPU on ResNet)\n");
+  return 0;
+}

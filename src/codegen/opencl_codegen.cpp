@@ -1,0 +1,283 @@
+#include "codegen/opencl_codegen.hpp"
+
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace clflow::codegen {
+
+namespace {
+
+using ir::BinOp;
+using ir::Expr;
+using ir::ExprKind;
+using ir::MemScope;
+using ir::ScalarType;
+using ir::Stmt;
+using ir::StmtKind;
+
+class Emitter {
+ public:
+  explicit Emitter(const CodegenOptions& options) : options_(options) {}
+
+  std::string Kernel(const ir::Kernel& k) {
+    k.Validate();
+    os_.str("");
+    // Collect buffers that are only read (for const qualification).
+    std::unordered_set<const ir::BufferNode*> stored;
+    ir::VisitStmts(k.body, [&](const Stmt& s) {
+      if (s->kind == StmtKind::kStore) stored.insert(s->buffer.get());
+    });
+
+    if (k.autorun) {
+      os_ << "__attribute__((max_global_work_dim(0)))\n"
+          << "__attribute__((autorun))\n";
+    }
+    os_ << "__kernel void " << k.name << "(";
+    bool first = true;
+    for (const auto& b : k.buffer_args) {
+      if (!first) os_ << ", ";
+      first = false;
+      const bool readonly = options_.const_qualify_readonly &&
+                            stored.find(b.get()) == stored.end();
+      os_ << (b->scope == MemScope::kConstant ? "__constant " : "__global ");
+      if (readonly) os_ << "const ";
+      os_ << TypeName(b->dtype) << "* restrict " << b->name;
+    }
+    for (const auto& v : k.scalar_args) {
+      if (!first) os_ << ", ";
+      first = false;
+      os_ << "int " << v->name;
+    }
+    os_ << ") {\n";
+    indent_ = 1;
+    for (const auto& b : k.local_buffers) {
+      Indent();
+      os_ << (b->scope == MemScope::kLocal ? "__local " : "")
+          << TypeName(b->dtype) << ' ' << b->name;
+      for (const auto& d : b->shape) {
+        os_ << '[' << Expr2C(d) << ']';
+      }
+      os_ << ";\n";
+    }
+    Emit(k.body);
+    os_ << "}\n";
+    return os_.str();
+  }
+
+  std::string Expr2C(const Expr& e) {
+    switch (e->kind) {
+      case ExprKind::kIntImm:
+        return std::to_string(e->int_value);
+      case ExprKind::kFloatImm: {
+        std::ostringstream fs;
+        fs.precision(9);
+        fs << e->float_value;
+        std::string s = fs.str();
+        if (s.find('.') == std::string::npos &&
+            s.find('e') == std::string::npos) {
+          s += ".0";
+        }
+        return s + "f";
+      }
+      case ExprKind::kVar:
+        return e->var->name;
+      case ExprKind::kBinary:
+        return Binary2C(e);
+      case ExprKind::kLoad: {
+        std::string s = e->buffer->name;
+        for (const auto& idx : LinearizedIndices(e->buffer, e->indices)) {
+          s += '[' + Expr2C(idx) + ']';
+        }
+        return s;
+      }
+      case ExprKind::kCall: {
+        if (e->callee == "read_channel") {
+          return "read_channel_intel(" + e->buffer->name + ")";
+        }
+        std::string s = e->callee + "(";
+        for (std::size_t i = 0; i < e->args.size(); ++i) {
+          if (i) s += ", ";
+          s += Expr2C(e->args[i]);
+        }
+        return s + ")";
+      }
+      case ExprKind::kSelect:
+        return "(" + Expr2C(e->a) + " ? " + Expr2C(e->b) + " : " +
+               Expr2C(e->c) + ")";
+    }
+    throw IrError("codegen: bad expression");
+  }
+
+ private:
+  static std::string_view TypeName(ScalarType t) {
+    return t == ScalarType::kFloat32 ? "float" : "int";
+  }
+
+  /// Global buffers are flat pointers in OpenCL C: multi-dimensional
+  /// accesses are linearized (with explicit strides when present). Local
+  /// and private arrays keep their array-of-array form.
+  std::vector<Expr> LinearizedIndices(const ir::BufferPtr& buffer,
+                                      const std::vector<Expr>& indices) {
+    if (buffer->scope == MemScope::kLocal ||
+        buffer->scope == MemScope::kPrivate) {
+      return indices;
+    }
+    Expr flat;
+    if (!buffer->strides.empty()) {
+      flat = ir::IntImm(0);
+      for (std::size_t d = 0; d < indices.size(); ++d) {
+        flat = ir::Add(flat, ir::Mul(indices[d], buffer->strides[d]));
+      }
+    } else {
+      flat = ir::IntImm(0);
+      for (std::size_t d = 0; d < indices.size(); ++d) {
+        flat = ir::Add(ir::Mul(flat, buffer->shape[d]), indices[d]);
+      }
+    }
+    return {ir::Simplify(flat)};
+  }
+
+  std::string Binary2C(const Expr& e) {
+    const std::string a = Expr2C(e->a);
+    const std::string b = Expr2C(e->b);
+    const bool is_float = e->dtype == ScalarType::kFloat32;
+    switch (e->op) {
+      case BinOp::kMin:
+        return (is_float ? "fmin(" : "min(") + a + ", " + b + ")";
+      case BinOp::kMax:
+        return (is_float ? "fmax(" : "max(") + a + ", " + b + ")";
+      case BinOp::kAdd: return "(" + a + " + " + b + ")";
+      case BinOp::kSub: return "(" + a + " - " + b + ")";
+      case BinOp::kMul: return "(" + a + " * " + b + ")";
+      case BinOp::kDiv: return "(" + a + " / " + b + ")";
+      case BinOp::kMod: return "(" + a + " % " + b + ")";
+      case BinOp::kLt: return "(" + a + " < " + b + ")";
+      case BinOp::kGe: return "(" + a + " >= " + b + ")";
+      case BinOp::kEq: return "(" + a + " == " + b + ")";
+      case BinOp::kAnd: return "(" + a + " && " + b + ")";
+    }
+    throw IrError("codegen: bad binary op");
+  }
+
+  void Indent() {
+    for (int i = 0; i < indent_; ++i) os_ << "  ";
+  }
+
+  void Emit(const Stmt& s) {
+    if (!s) return;
+    switch (s->kind) {
+      case StmtKind::kFor: {
+        if (s->ann.unroll == -1 || s->ann.vectorized) {
+          Indent();
+          os_ << "#pragma unroll\n";
+        } else if (s->ann.unroll > 1) {
+          Indent();
+          os_ << "#pragma unroll " << s->ann.unroll << "\n";
+        }
+        Indent();
+        const std::string v = s->var->name;
+        os_ << "for (int " << v << " = " << Expr2C(s->min) << "; " << v
+            << " < " << Expr2C(ir::Simplify(ir::Add(s->min, s->extent)))
+            << "; ++" << v << ") {\n";
+        ++indent_;
+        Emit(s->body);
+        --indent_;
+        Indent();
+        os_ << "}\n";
+        break;
+      }
+      case StmtKind::kStore: {
+        Indent();
+        os_ << s->buffer->name;
+        for (const auto& idx :
+             LinearizedIndices(s->buffer, s->indices)) {
+          os_ << '[' << Expr2C(idx) << ']';
+        }
+        os_ << " = " << Expr2C(s->value) << ";\n";
+        break;
+      }
+      case StmtKind::kBlock:
+        for (const auto& child : s->stmts) Emit(child);
+        break;
+      case StmtKind::kIf: {
+        Indent();
+        os_ << "if (" << Expr2C(s->cond) << ") {\n";
+        ++indent_;
+        Emit(s->then_body);
+        --indent_;
+        Indent();
+        os_ << "}";
+        if (s->else_body) {
+          os_ << " else {\n";
+          ++indent_;
+          Emit(s->else_body);
+          --indent_;
+          Indent();
+          os_ << "}";
+        }
+        os_ << "\n";
+        break;
+      }
+      case StmtKind::kWriteChannel: {
+        Indent();
+        os_ << "write_channel_intel(" << s->buffer->name << ", "
+            << Expr2C(s->value) << ");\n";
+        break;
+      }
+    }
+  }
+
+  const CodegenOptions& options_;
+  std::ostringstream os_;
+  int indent_ = 0;
+};
+
+}  // namespace
+
+std::string EmitKernel(const ir::Kernel& kernel,
+                       const CodegenOptions& options) {
+  Emitter emitter(options);
+  return emitter.Kernel(kernel);
+}
+
+std::string EmitExpr(const ir::Expr& expr) {
+  CodegenOptions options;
+  Emitter emitter(options);
+  return emitter.Expr2C(expr);
+}
+
+std::string EmitProgram(const std::vector<const ir::Kernel*>& kernels,
+                        const CodegenOptions& options) {
+  std::ostringstream os;
+  // Gather channels across all kernels, by pointer identity, emit once.
+  std::set<const ir::BufferNode*> channels;
+  bool any_channels = false;
+  for (const auto* k : kernels) {
+    for (const auto& c : k->channels_read) channels.insert(c.get());
+    for (const auto& c : k->channels_written) channels.insert(c.get());
+  }
+  any_channels = !channels.empty();
+
+  if (any_channels && options.declare_channel_extension) {
+    os << "#pragma OPENCL EXTENSION cl_intel_channels : enable\n\n";
+  }
+  for (const auto* c : channels) {
+    os << "channel float " << c->name;
+    if (c->channel_depth > 0) {
+      os << " __attribute__((depth(" << c->channel_depth << ")))";
+    }
+    os << ";\n";
+  }
+  if (any_channels) os << "\n";
+
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    if (i) os << "\n";
+    os << EmitKernel(*kernels[i], options);
+  }
+  return os.str();
+}
+
+}  // namespace clflow::codegen

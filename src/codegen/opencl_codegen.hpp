@@ -1,0 +1,39 @@
+// OpenCL C code generation.
+//
+// Emits Intel-FPGA-flavoured OpenCL C from scheduled kernels: the .cl
+// source that the paper feeds to AOC. The emitted text mirrors the
+// thesis's listings -- #pragma unroll for annotated loops, channel
+// declarations with depth attributes, autorun/max_global_work_dim
+// attributes, restrict-qualified global pointers, and int arguments for
+// symbolic shapes/strides. aocsim consumes the IR directly; the generated
+// source exists so the flow is inspectable end-to-end and is verified by
+// golden tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/stmt.hpp"
+
+namespace clflow::codegen {
+
+struct CodegenOptions {
+  bool declare_channel_extension = true;
+  /// Emit "__global const float* restrict" for buffers never stored to.
+  bool const_qualify_readonly = true;
+};
+
+/// Emits one kernel definition (no channel declarations).
+[[nodiscard]] std::string EmitKernel(const ir::Kernel& kernel,
+                                     const CodegenOptions& options = {});
+
+/// Emits a full .cl translation unit: extension pragma, channel
+/// declarations (deduplicated across kernels), then every kernel.
+[[nodiscard]] std::string EmitProgram(
+    const std::vector<const ir::Kernel*>& kernels,
+    const CodegenOptions& options = {});
+
+/// Emits a single expression (exposed for tests).
+[[nodiscard]] std::string EmitExpr(const ir::Expr& expr);
+
+}  // namespace clflow::codegen

@@ -1,0 +1,44 @@
+// Activation functions fused into compute layers.
+//
+// The paper's flow fuses element-wise activations into the producing
+// convolution/dense kernel (§4.3, §5.1.1); the same enum is shared by the
+// graph IR, the tensor IR lowering, and the CPU reference operators so all
+// three agree on semantics.
+#pragma once
+
+#include <algorithm>
+#include <string_view>
+
+namespace clflow {
+
+enum class Activation {
+  kNone,
+  kRelu,
+  kRelu6,
+};
+
+[[nodiscard]] constexpr float ApplyActivation(Activation act, float x) {
+  switch (act) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return x > 0.0f ? x : 0.0f;
+    case Activation::kRelu6:
+      return std::clamp(x, 0.0f, 6.0f);
+  }
+  return x;  // unreachable
+}
+
+[[nodiscard]] constexpr std::string_view ActivationName(Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return "none";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kRelu6:
+      return "relu6";
+  }
+  return "?";
+}
+
+}  // namespace clflow

@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace clflow::detail {
+
+void ThrowCheckFailure(const char* file, int line, const char* expr,
+                       const std::string& msg) {
+  std::ostringstream os;
+  os << "CLFLOW_CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!msg.empty()) os << " -- " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace clflow::detail

@@ -1,0 +1,70 @@
+// Error handling primitives for clflow.
+//
+// The library reports unrecoverable usage errors (shape mismatches, invalid
+// schedules, out-of-range arguments) with exceptions derived from
+// clflow::Error. Conditions that a caller is expected to handle as part of
+// normal operation -- most prominently synthesis "fit" and "route" failures,
+// which the paper treats as data points rather than bugs -- are modelled as
+// status values on the relevant result structs instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace clflow {
+
+/// Base class for all clflow exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when tensor shapes or dtypes are inconsistent.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a schedule primitive is applied illegally
+/// (e.g. splitting a loop by a non-dividing factor without allowing tails).
+class ScheduleError : public Error {
+ public:
+  explicit ScheduleError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on malformed IR (unbound variables, unknown buffers, ...).
+class IrError : public Error {
+ public:
+  explicit IrError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on misuse of the simulated OpenCL runtime
+/// (unset kernel arguments, reads from unwritten buffers, ...).
+class RuntimeApiError : public Error {
+ public:
+  explicit RuntimeApiError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void ThrowCheckFailure(const char* file, int line,
+                                    const char* expr, const std::string& msg);
+}  // namespace detail
+
+/// Internal invariant check. Unlike assert(), CLFLOW_CHECK is always active;
+/// the simulator is a measurement instrument and silent corruption of a
+/// result is worse than an abort.
+#define CLFLOW_CHECK(expr)                                                    \
+  do {                                                                        \
+    if (!(expr)) [[unlikely]] {                                               \
+      ::clflow::detail::ThrowCheckFailure(__FILE__, __LINE__, #expr, "");     \
+    }                                                                         \
+  } while (false)
+
+#define CLFLOW_CHECK_MSG(expr, msg)                                           \
+  do {                                                                        \
+    if (!(expr)) [[unlikely]] {                                               \
+      ::clflow::detail::ThrowCheckFailure(__FILE__, __LINE__, #expr, (msg));  \
+    }                                                                         \
+  } while (false)
+
+}  // namespace clflow

@@ -1,0 +1,58 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace clflow {
+
+int HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ParallelChunks(std::int64_t begin, std::int64_t end, int num_threads,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  num_threads = std::clamp<int>(num_threads, 1,
+                                static_cast<int>(std::min<std::int64_t>(n, 256)));
+  if (num_threads == 1) {
+    fn(begin, end);
+    return;
+  }
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(num_threads));
+  const std::int64_t chunk = (n + num_threads - 1) / num_threads;
+  for (int t = 0; t < num_threads; ++t) {
+    const std::int64_t lo = begin + t * chunk;
+    const std::int64_t hi = std::min<std::int64_t>(lo + chunk, end);
+    if (lo >= hi) break;
+    workers.emplace_back([&, lo, hi] {
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        const std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ParallelFor(std::int64_t begin, std::int64_t end, int num_threads,
+                 const std::function<void(std::int64_t)>& fn) {
+  ParallelChunks(begin, end, num_threads,
+                 [&fn](std::int64_t lo, std::int64_t hi) {
+                   for (std::int64_t i = lo; i < hi; ++i) fn(i);
+                 });
+}
+
+}  // namespace clflow

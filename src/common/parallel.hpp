@@ -1,0 +1,30 @@
+// Host-side data parallelism.
+//
+// The reference CPU operators (the functional oracle, and the real-machine
+// data points in the benches) parallelize over output channels/rows with
+// ParallelFor, which chunks an index range over a persistent pool of worker
+// threads. The pool size is a per-call parameter so the TVM-nT thread sweeps
+// of the paper's Figures 6.4-6.7 can be reproduced faithfully.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace clflow {
+
+/// Number of hardware threads available to the process (>= 1).
+[[nodiscard]] int HardwareThreads();
+
+/// Runs fn(i) for i in [begin, end) using up to `num_threads` workers.
+/// num_threads <= 1 executes inline on the calling thread. The function must
+/// be safe to invoke concurrently for distinct indices. Exceptions thrown by
+/// fn propagate to the caller (first one wins).
+void ParallelFor(std::int64_t begin, std::int64_t end, int num_threads,
+                 const std::function<void(std::int64_t)>& fn);
+
+/// Static chunking variant: fn(chunk_begin, chunk_end) per worker. Lower
+/// dispatch overhead for very fine-grained bodies.
+void ParallelChunks(std::int64_t begin, std::int64_t end, int num_threads,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace clflow

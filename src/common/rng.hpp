@@ -1,0 +1,75 @@
+// Deterministic random number generation.
+//
+// All stochastic inputs in clflow (weight initialization, synthetic images)
+// flow through Rng so that every experiment is reproducible from a seed.
+// The generator is SplitMix64 feeding xoshiro256**, both public-domain
+// algorithms by Blackman & Vigna.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace clflow {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform float in [0, 1).
+  float NextFloat() {
+    return static_cast<float>(NextU64() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float Uniform(float lo, float hi) { return lo + (hi - lo) * NextFloat(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t Below(std::uint64_t n) { return NextU64() % n; }
+
+  /// Approximately standard-normal value (sum of uniforms; adequate for
+  /// weight initialization where only the scale matters).
+  float Normal(float mean = 0.0f, float stddev = 1.0f) {
+    float acc = -6.0f;
+    for (int i = 0; i < 12; ++i) acc += NextFloat();
+    return mean + stddev * acc;
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace clflow

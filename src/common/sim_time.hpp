@@ -1,0 +1,59 @@
+// Simulated time.
+//
+// The OpenCL runtime simulation and the FPGA model account time in
+// picoseconds on a discrete clock that is independent of wall time.
+// Picosecond resolution keeps cycle arithmetic exact for fmax values that do
+// not divide a nanosecond (e.g. one cycle at 318 MHz is 3144.65... ps; we
+// round per-kernel totals, not per-cycle values).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+
+namespace clflow {
+
+/// A point or span on the simulated clock, in picoseconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime Ps(std::int64_t ps) { return SimTime(ps); }
+  [[nodiscard]] static constexpr SimTime Ns(double ns) {
+    return SimTime(static_cast<std::int64_t>(ns * 1e3 + 0.5));
+  }
+  [[nodiscard]] static constexpr SimTime Us(double us) {
+    return SimTime(static_cast<std::int64_t>(us * 1e6 + 0.5));
+  }
+  [[nodiscard]] static constexpr SimTime Ms(double ms) {
+    return SimTime(static_cast<std::int64_t>(ms * 1e9 + 0.5));
+  }
+  [[nodiscard]] static constexpr SimTime Seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e12 + 0.5));
+  }
+  /// Duration of `cycles` clock cycles at `mhz` megahertz.
+  [[nodiscard]] static SimTime Cycles(double cycles, double mhz) {
+    return SimTime(static_cast<std::int64_t>(cycles * 1e6 / mhz + 0.5));
+  }
+
+  [[nodiscard]] constexpr std::int64_t ps() const { return ps_; }
+  [[nodiscard]] constexpr double ns() const { return static_cast<double>(ps_) * 1e-3; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ps_) * 1e-6; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ps_) * 1e-9; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ps_) * 1e-12; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime(ps_ + o.ps_); }
+  constexpr SimTime operator-(SimTime o) const { return SimTime(ps_ - o.ps_); }
+  constexpr SimTime& operator+=(SimTime o) { ps_ += o.ps_; return *this; }
+  constexpr SimTime& operator-=(SimTime o) { ps_ -= o.ps_; return *this; }
+  constexpr SimTime operator*(std::int64_t k) const { return SimTime(ps_ * k); }
+
+ private:
+  constexpr explicit SimTime(std::int64_t ps) : ps_(ps) {}
+  std::int64_t ps_ = 0;
+};
+
+constexpr SimTime kSimTimeZero = SimTime();
+
+}  // namespace clflow

@@ -1,0 +1,705 @@
+#include "core/deployment.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "codegen/opencl_codegen.hpp"
+#include "common/error.hpp"
+
+namespace clflow::core {
+
+namespace {
+
+using graph::Node;
+using graph::NodeId;
+using graph::OpKind;
+
+std::int64_t LargestDivisorLE(std::int64_t n, std::int64_t limit) {
+  for (std::int64_t d = std::min(n, limit); d >= 1; --d) {
+    if (n % d == 0) return d;
+  }
+  return 1;
+}
+
+std::string TilingDesc(const ir::ConvSchedule& s) {
+  std::ostringstream os;
+  os << "W2/C2/C1=" << s.tile_w2 << '/' << s.tile_c2 << '/' << s.tile_c1;
+  if (s.unroll_filter) os << " +FxF";
+  if (s.symbolic) os << (s.pin_strides ? " sym(pinned)" : " sym");
+  return os.str();
+}
+
+/// Row-major stride bindings for a symbolic buffer role, matched by the
+/// "<buffer>_s<dim>" parameter naming convention of the builders.
+void BindStrides(const ir::BuiltKernel& built, const ir::BufferPtr& buffer,
+                 const Shape& shape, ir::Bindings& bindings) {
+  if (!buffer) return;
+  const auto strides = shape.Strides();
+  for (std::size_t d = 0; d < strides.size(); ++d) {
+    auto it = built.params.find(buffer->name + "_s" + std::to_string(d));
+    if (it != built.params.end()) {
+      bindings[it->second.get()] = strides[d];
+    }
+  }
+}
+
+void BindParam(const ir::BuiltKernel& built, const std::string& name,
+               std::int64_t value, ir::Bindings& bindings) {
+  auto it = built.params.find(name);
+  if (it != built.params.end()) bindings[it->second.get()] = value;
+}
+
+/// Channel endpoints for a hybrid-tail node: input from the predecessor's
+/// channel (when the predecessor is in the tail), output to this node's
+/// channel (when one exists, i.e. it is not the network output).
+ir::ChannelIO TailIo(
+    NodeId id, NodeId tail_start,
+    const std::unordered_map<NodeId, ir::BufferPtr>& tail_channel) {
+  ir::ChannelIO io;
+  if (tail_start < 0 || id < tail_start) return io;
+  auto out_it = tail_channel.find(id);
+  if (out_it != tail_channel.end()) io.output = out_it->second;
+  auto in_it = tail_channel.find(id - 1);
+  if (id > tail_start && in_it != tail_channel.end()) {
+    io.input = in_it->second;
+  }
+  return io;
+}
+
+}  // namespace
+
+Deployment Deployment::Compile(const graph::Graph& g,
+                               const DeployOptions& options) {
+  Deployment d;
+  d.options_ = options;
+  d.fused_ = graph::FuseOperators(g);
+  if (options.mode == ExecutionMode::kPipelined) {
+    d.PlanPipelined(options.recipe);
+  } else {
+    d.PlanFolded(options.recipe);
+  }
+  d.SynthesizeAll();
+  if (d.ok()) d.PrepareRuntime();
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined planning (LeNet-class networks, SS6.3.1)
+
+void Deployment::PlanPipelined(const OptimizationRecipe& recipe) {
+  // The pipelined planner requires a linear chain of single-consumer nodes.
+  const auto consumers = fused_.ConsumerMap();
+  for (const Node& n : fused_.nodes()) {
+    if (consumers[static_cast<std::size_t>(n.id)].size() > 1 ||
+        n.inputs.size() > 1) {
+      throw ScheduleError(
+          "pipelined execution requires a linear chain; node " + n.name +
+          " branches (use folded execution)");
+    }
+  }
+  CLFLOW_CHECK_MSG(!recipe.parameterized,
+                   "parameterized kernels are a folded-mode optimization");
+
+  const bool naive = !recipe.fuse_and_cache;
+  if (recipe.channels) {
+    CLFLOW_CHECK_MSG(!naive, "channelized recipes build on the fused/unrolled "
+                             "kernels (Table 6.4 ladder)");
+  }
+
+  // Pre-create channels for every interior edge.
+  std::unordered_map<NodeId, ir::BufferPtr> out_channel;
+  if (recipe.channels) {
+    for (const Node& n : fused_.nodes()) {
+      if (n.kind == OpKind::kInput) continue;
+      if (n.id == fused_.output_id()) continue;
+      auto chan = ir::MakeBuffer("ch_" + n.name, {ir::IntImm(1)},
+                                 ir::MemScope::kChannel);
+      chan->channel_depth = n.output_shape.NumElements();
+      out_channel[n.id] = chan;
+    }
+  }
+
+  for (const Node& n : fused_.nodes()) {
+    if (n.kind == OpKind::kInput) continue;
+    const Node& src = fused_.node(n.inputs[0]);
+    ir::ChannelIO io;
+    if (recipe.channels) {
+      if (src.kind != OpKind::kInput) io.input = out_channel.at(src.id);
+      auto it = out_channel.find(n.id);
+      if (it != out_channel.end()) io.output = it->second;
+    }
+
+    const Shape& in_shape = src.output_shape;
+    PlannedKernel pk;
+    const std::string kname = "k_" + n.name;
+    const bool implicit_unroll =
+        naive && options_.board.auto_unrolls_small_loops;
+
+    switch (n.kind) {
+      case OpKind::kConv2d:
+      case OpKind::kDepthwiseConv2d: {
+        ir::ConvSpec spec{.c1 = in_shape.channels(),
+                          .h1 = in_shape.height(),
+                          .w1 = in_shape.width(),
+                          .k = n.filters,
+                          .f = n.window,
+                          .stride = n.stride,
+                          .depthwise = n.kind == OpKind::kDepthwiseConv2d,
+                          .has_bias = n.bias.defined(),
+                          .activation = n.activation};
+        ir::ConvSchedule sched;
+        sched.fuse_activation = recipe.fuse_and_cache;
+        sched.cached_writes = recipe.fuse_and_cache;
+        sched.unroll_filter = recipe.unroll || implicit_unroll;
+        sched.weight_cache = recipe.weight_cache;
+        pk.built = ir::BuildConv2dKernel(spec, sched, kname, io);
+        pk.op_class = spec.depthwise ? "dw conv" : "conv";
+        pk.tiling_desc = TilingDesc(sched);
+        break;
+      }
+      case OpKind::kDense: {
+        ir::DenseSpec spec{.c1 = in_shape.NumElements(),
+                           .c2 = n.output_shape.NumElements(),
+                           .has_bias = n.bias.defined(),
+                           .activation = n.activation};
+        ir::DenseSchedule sched;
+        sched.cached_writes = recipe.fuse_and_cache;
+        sched.unroll_k = recipe.unroll
+                             ? LargestDivisorLE(spec.c1,
+                                                recipe.dense_unroll_limit)
+                             : 1;
+        sched.input_cache = recipe.weight_cache || io.input != nullptr;
+        pk.built = ir::BuildDenseKernel(spec, sched, kname, io);
+        pk.op_class = "dense";
+        pk.tiling_desc = "k unroll " + std::to_string(sched.unroll_k);
+        break;
+      }
+      case OpKind::kMaxPool:
+      case OpKind::kAvgPool: {
+        ir::PoolSpec spec{.c = in_shape.channels(),
+                          .h1 = in_shape.height(),
+                          .w1 = in_shape.width(),
+                          .f = n.window,
+                          .stride = n.stride,
+                          .is_max = n.kind == OpKind::kMaxPool};
+        pk.built = ir::BuildPoolKernel(
+            spec, {.optimized = recipe.fuse_and_cache}, kname, io);
+        pk.op_class = "pool";
+        break;
+      }
+      case OpKind::kSoftmax: {
+        pk.built = ir::BuildSoftmaxKernel({.n = in_shape.NumElements()},
+                                          /*optimized=*/recipe.fuse_and_cache,
+                                          kname, io);
+        pk.op_class = "softmax";
+        break;
+      }
+      case OpKind::kFlatten: {
+        pk.built =
+            ir::BuildCopyKernel(in_shape.NumElements(), kname, io);
+        pk.op_class = "flatten";
+        break;
+      }
+      case OpKind::kPad: {
+        pk.built = ir::BuildPadKernel({.c = in_shape.channels(),
+                                       .h1 = in_shape.height(),
+                                       .w1 = in_shape.width(),
+                                       .pad = n.pad},
+                                      kname, io);
+        pk.op_class = "pad";
+        break;
+      }
+      default:
+        throw ScheduleError("pipelined planner: unsupported op " + n.name);
+    }
+
+    if (recipe.autorun && pk.built.kernel.buffer_args.empty() &&
+        pk.built.kernel.scalar_args.empty()) {
+      pk.built.kernel.autorun = true;
+    }
+
+    PlannedInvocation inv;
+    inv.kernel_index = static_cast<int>(kernels_.size());
+    inv.node = n.id;
+    inv.stats = ir::AnalyzeKernel(pk.built.kernel);
+    inv.autorun = pk.built.kernel.autorun;
+    if (io.input) inv.reads_channels.push_back(io.input->name);
+    if (io.output) inv.writes_channels.push_back(io.output->name);
+    kernels_.push_back(std::move(pk));
+    invocations_.push_back(std::move(inv));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Folded planning (MobileNet/ResNet-class networks, SS6.3.2)
+
+void Deployment::PlanFolded(const OptimizationRecipe& recipe) {
+  CLFLOW_CHECK_MSG(!recipe.channels && !recipe.autorun,
+                   "channels/autorun do not apply to folded execution "
+                   "(Table 4.1)");
+
+  // Hybrid execution (SS6.5): identify the constant-shape classifier tail
+  // after the last convolution-like node. Tail nodes must form a linear
+  // single-consumer chain ending at the network output.
+  NodeId tail_start = -1;
+  if (recipe.pipeline_tail) {
+    NodeId last_conv = -1;
+    for (const Node& n : fused_.nodes()) {
+      if (n.kind == OpKind::kConv2d || n.kind == OpKind::kDepthwiseConv2d ||
+          n.kind == OpKind::kAdd || n.kind == OpKind::kPad) {
+        last_conv = n.id;
+      }
+    }
+    const auto consumers = fused_.ConsumerMap();
+    bool chain_ok = last_conv >= 0 && last_conv < fused_.output_id();
+    for (NodeId id = last_conv + 1; chain_ok && id <= fused_.output_id();
+         ++id) {
+      const Node& n = fused_.node(id);
+      chain_ok = n.inputs.size() == 1 &&
+                 consumers[static_cast<std::size_t>(id)].size() <= 1;
+    }
+    if (chain_ok) tail_start = last_conv + 1;
+  }
+  std::unordered_map<NodeId, ir::BufferPtr> tail_channel;
+  if (tail_start >= 0) {
+    for (NodeId id = tail_start; id < fused_.output_id(); ++id) {
+      auto chan = ir::MakeBuffer("ch_" + fused_.node(id).name,
+                                 {ir::IntImm(1)}, ir::MemScope::kChannel);
+      chan->channel_depth = fused_.node(id).output_shape.NumElements();
+      tail_channel[id] = chan;
+    }
+  }
+
+  // Kernel cache for parameterized groups, keyed by a structural string.
+  std::map<std::string, int> group_kernel;
+
+  auto conv_tiling = [&](const Node& n) -> ConvTiling {
+    if (n.kind == OpKind::kDepthwiseConv2d) return recipe.conv_dw;
+    if (n.window == 1) return recipe.conv1x1;
+    if (n.window <= 3) return recipe.conv3x3;
+    return recipe.conv_large;
+  };
+
+  for (const Node& n : fused_.nodes()) {
+    if (n.kind == OpKind::kInput) continue;
+    const Node& src = fused_.node(n.inputs[0]);
+    const Shape& in_shape = src.output_shape;
+    PlannedInvocation inv;
+    inv.node = n.id;
+
+    auto intern = [&](const std::string& key,
+                      const std::function<PlannedKernel()>& make) {
+      auto it = group_kernel.find(key);
+      if (it != group_kernel.end()) return it->second;
+      const int index = static_cast<int>(kernels_.size());
+      kernels_.push_back(make());
+      group_kernel[key] = index;
+      return index;
+    };
+
+    switch (n.kind) {
+      case OpKind::kConv2d:
+      case OpKind::kDepthwiseConv2d: {
+        const bool dw = n.kind == OpKind::kDepthwiseConv2d;
+        const ConvTiling tiling = conv_tiling(n);
+        ir::ConvSchedule sched;
+        sched.fuse_activation = recipe.fuse_and_cache;
+        sched.cached_writes = recipe.fuse_and_cache;
+        sched.unroll_filter = recipe.unroll && tiling.unroll_filter;
+        sched.symbolic = recipe.parameterized;
+        sched.pin_strides = recipe.parameterized && recipe.pin_strides;
+        if (recipe.fuse_and_cache) {
+          sched.tile_c1 = dw ? 1 : tiling.c1;
+          sched.tile_w2 = tiling.w2;
+          sched.tile_c2 = dw ? 1 : tiling.c2;
+        }
+        // Divisibility (no epilogue loops, SS4.11 requirement 2).
+        const Shape& out = n.output_shape;
+        if ((!dw && in_shape.channels() % sched.tile_c1 != 0) ||
+            out.width() % sched.tile_w2 != 0 ||
+            (!dw && n.filters % sched.tile_c2 != 0)) {
+          throw ScheduleError("tiling does not divide layer " + n.name);
+        }
+
+        ir::ConvSpec spec{.c1 = in_shape.channels(),
+                          .h1 = in_shape.height(),
+                          .w1 = in_shape.width(),
+                          .k = n.filters,
+                          .f = n.window,
+                          .stride = n.stride,
+                          .depthwise = dw,
+                          .has_bias = n.bias.defined(),
+                          .activation = n.activation};
+        std::ostringstream key;
+        key << (dw ? "dw" : "conv") << n.window << "_s" << n.stride << "_b"
+            << spec.has_bias;
+        // Parameterized kernels select their activation at runtime, so
+        // activation is not part of the grouping key; constant-shape
+        // kernels bake it in.
+        if (!recipe.parameterized) {
+          key << "_a" << static_cast<int>(n.activation);
+        }
+        std::ostringstream cls;
+        cls << n.window << "x" << n.window << (dw ? " DW conv" : " conv");
+        if (n.window != 1) cls << " S=" << n.stride;
+        if (!recipe.parameterized) key << "_node" << n.id;
+
+        inv.kernel_index = intern(key.str(), [&] {
+          PlannedKernel pk;
+          pk.built = ir::BuildConv2dKernel(spec, sched, "k_" + key.str());
+          pk.op_class = cls.str();
+          pk.tiling_desc = TilingDesc(sched);
+          return pk;
+        });
+
+        const auto& built = kernels_[static_cast<std::size_t>(
+                                         inv.kernel_index)].built;
+        BindParam(built, "C1", in_shape.channels(), inv.bindings);
+        BindParam(built, "HW", in_shape.height(), inv.bindings);
+        BindParam(built, "K", n.filters, inv.bindings);
+        BindParam(built, "ACT", static_cast<std::int64_t>(n.activation),
+                  inv.bindings);
+        BindStrides(built, built.input,
+                    Shape{in_shape.channels(), in_shape.height(),
+                          in_shape.width()},
+                    inv.bindings);
+        if (built.weights) {
+          BindStrides(built, built.weights,
+                      dw ? Shape{spec.c1, spec.f, spec.f}
+                         : Shape{n.filters, spec.c1, spec.f, spec.f},
+                      inv.bindings);
+        }
+        BindStrides(built, built.output,
+                    Shape{out.channels(), out.height(), out.width()},
+                    inv.bindings);
+        for (const auto& ws : built.workspaces) {
+          BindStrides(built, ws, Shape{out.height(), out.width()},
+                      inv.bindings);
+        }
+        break;
+      }
+      case OpKind::kPad: {
+        std::ostringstream key;
+        key << "pad" << n.pad;
+        if (!recipe.parameterized) key << "_node" << n.id;
+        ir::PadSpec spec{.c = in_shape.channels(),
+                         .h1 = in_shape.height(),
+                         .w1 = in_shape.width(),
+                         .pad = n.pad,
+                         .symbolic = recipe.parameterized};
+        inv.kernel_index = intern(key.str(), [&] {
+          PlannedKernel pk;
+          pk.built = ir::BuildPadKernel(spec, "k_" + key.str());
+          pk.op_class = "pad";
+          return pk;
+        });
+        const auto& built = kernels_[static_cast<std::size_t>(
+                                         inv.kernel_index)].built;
+        BindParam(built, "C1", in_shape.channels(), inv.bindings);
+        BindParam(built, "HW", in_shape.height(), inv.bindings);
+        break;
+      }
+      case OpKind::kAdd: {
+        const std::int64_t elems = n.output_shape.NumElements();
+        const std::int64_t unroll =
+            recipe.fuse_and_cache ? recipe.add_unroll : 1;
+        CLFLOW_CHECK_MSG(elems % unroll == 0, "add unroll does not divide");
+        std::ostringstream key;
+        key << "add_a" << static_cast<int>(n.activation);
+        if (!recipe.parameterized) key << "_node" << n.id;
+        inv.kernel_index = intern(key.str(), [&] {
+          PlannedKernel pk;
+          pk.built = ir::BuildAddKernel({.n = elems,
+                                         .activation = n.activation,
+                                         .symbolic = recipe.parameterized},
+                                        unroll, "k_" + key.str());
+          pk.op_class = "add";
+          return pk;
+        });
+        const auto& built = kernels_[static_cast<std::size_t>(
+                                         inv.kernel_index)].built;
+        BindParam(built, "N", elems, inv.bindings);
+        break;
+      }
+      case OpKind::kDense: {
+        ir::ChannelIO io = TailIo(n.id, tail_start, tail_channel);
+        ir::DenseSpec spec{.c1 = in_shape.NumElements(),
+                           .c2 = n.output_shape.NumElements(),
+                           .has_bias = n.bias.defined(),
+                           .activation = n.activation};
+        ir::DenseSchedule sched;
+        sched.cached_writes = recipe.fuse_and_cache;
+        sched.unroll_k =
+            recipe.unroll
+                ? LargestDivisorLE(spec.c1, recipe.dense_unroll_folded)
+                : 1;
+        sched.input_cache = recipe.fuse_and_cache || io.input != nullptr;
+        inv.kernel_index = static_cast<int>(kernels_.size());
+        PlannedKernel pk;
+        pk.built = ir::BuildDenseKernel(spec, sched, "k_" + n.name, io);
+        pk.op_class = "dense";
+        pk.tiling_desc = "k unroll " + std::to_string(sched.unroll_k);
+        kernels_.push_back(std::move(pk));
+        break;
+      }
+      case OpKind::kMaxPool:
+      case OpKind::kAvgPool: {
+        ir::ChannelIO io = TailIo(n.id, tail_start, tail_channel);
+        ir::PoolSpec spec{.c = in_shape.channels(),
+                          .h1 = in_shape.height(),
+                          .w1 = in_shape.width(),
+                          .f = n.window,
+                          .stride = n.stride,
+                          .is_max = n.kind == OpKind::kMaxPool};
+        inv.kernel_index = static_cast<int>(kernels_.size());
+        PlannedKernel pk;
+        pk.built = ir::BuildPoolKernel(
+            spec, {.optimized = recipe.fuse_and_cache}, "k_" + n.name, io);
+        pk.op_class = spec.is_max ? "maxpool" : "avgpool";
+        kernels_.push_back(std::move(pk));
+        break;
+      }
+      case OpKind::kSoftmax: {
+        ir::ChannelIO io = TailIo(n.id, tail_start, tail_channel);
+        inv.kernel_index = static_cast<int>(kernels_.size());
+        PlannedKernel pk;
+        pk.built = ir::BuildSoftmaxKernel({.n = in_shape.NumElements()},
+                                          recipe.fuse_and_cache,
+                                          "k_" + n.name, io);
+        pk.op_class = "softmax";
+        kernels_.push_back(std::move(pk));
+        break;
+      }
+      case OpKind::kFlatten: {
+        ir::ChannelIO io = TailIo(n.id, tail_start, tail_channel);
+        inv.kernel_index = static_cast<int>(kernels_.size());
+        PlannedKernel pk;
+        pk.built = ir::BuildCopyKernel(in_shape.NumElements(), "k_" + n.name,
+                                       io);
+        pk.op_class = "flatten";
+        kernels_.push_back(std::move(pk));
+        break;
+      }
+      default:
+        throw ScheduleError("folded planner: unsupported op " + n.name);
+    }
+
+    // Hybrid tail: record channel endpoints and autorun weightless
+    // kernels (no dispatch).
+    if (tail_start >= 0 && inv.node >= tail_start) {
+      auto& pk = kernels_[static_cast<std::size_t>(inv.kernel_index)];
+      auto in_it = tail_channel.find(fused_.node(inv.node).inputs[0]);
+      if (in_it != tail_channel.end()) {
+        inv.reads_channels.push_back(in_it->second->name);
+      }
+      auto out_it = tail_channel.find(inv.node);
+      if (out_it != tail_channel.end()) {
+        inv.writes_channels.push_back(out_it->second->name);
+      }
+      if (pk.built.kernel.buffer_args.empty() &&
+          pk.built.kernel.scalar_args.empty()) {
+        pk.built.kernel.autorun = true;
+        inv.autorun = true;
+      }
+    }
+
+    inv.stats = ir::AnalyzeKernel(
+        kernels_[static_cast<std::size_t>(inv.kernel_index)].built.kernel,
+        inv.bindings);
+    invocations_.push_back(std::move(inv));
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+void Deployment::SynthesizeAll() {
+  std::vector<fpga::SynthInput> inputs;
+  std::vector<bool> seen(kernels_.size(), false);
+  // Representative bindings: first invocation of each kernel.
+  std::vector<ir::Bindings> rep(kernels_.size());
+  for (const auto& inv : invocations_) {
+    const auto idx = static_cast<std::size_t>(inv.kernel_index);
+    if (!seen[idx]) {
+      seen[idx] = true;
+      rep[idx] = inv.bindings;
+    }
+  }
+  for (std::size_t i = 0; i < kernels_.size(); ++i) {
+    inputs.push_back({&kernels_[i].built.kernel, rep[i]});
+  }
+  bitstream_ = fpga::Synthesize(inputs, options_.board, options_.recipe.aoc,
+                                options_.cost_model);
+}
+
+void Deployment::PrepareRuntime() {
+  runtime_ = std::make_unique<ocl::Runtime>(bitstream_, options_.cost_model);
+  input_buffer_ = runtime_->CreateBuffer(
+      fused_.node(fused_.input_id()).output_shape.NumElements());
+  output_buffer_ = runtime_->CreateBuffer(
+      fused_.node(fused_.output_id()).output_shape.NumElements());
+
+  invocation_queues_.assign(invocations_.size(), 0);
+  const bool ce = options_.recipe.concurrent_execution &&
+                  options_.recipe.channels;
+  if (ce) {
+    for (std::size_t i = 0; i < invocations_.size(); ++i) {
+      if (invocations_[i].autorun) continue;
+      // The first kernel shares queue 0 with the input write so the
+      // in-order queue sequences it after the transfer.
+      invocation_queues_[i] = i == 0 ? 0 : runtime_->CreateQueue();
+    }
+  }
+}
+
+ocl::KernelLaunch Deployment::MakeLaunch(const PlannedInvocation& inv,
+                                         bool functional) {
+  const PlannedKernel& pk = kernels_[static_cast<std::size_t>(
+                                         inv.kernel_index)];
+  ocl::KernelLaunch launch;
+  launch.name = pk.built.kernel.name;
+  launch.stats = inv.stats;
+  launch.reads_channels = inv.reads_channels;
+  launch.writes_channels = inv.writes_channels;
+  if (functional) {
+    const NodeId node_id = inv.node;
+    launch.functional = [this, node_id] {
+      const Node& n = fused_.node(node_id);
+      std::vector<Tensor> inputs;
+      inputs.reserve(n.inputs.size());
+      for (NodeId in : n.inputs) inputs.push_back(acts_.at(in));
+      Tensor out =
+          graph::ExecuteNode(n, inputs, options_.functional_threads);
+      if (node_id == fused_.output_id()) {
+        const auto src = out.data();
+        auto dst = output_buffer_->view();
+        std::copy(src.begin(), src.end(), dst.begin());
+      }
+      acts_[node_id] = std::move(out);
+    };
+  }
+  return launch;
+}
+
+RunResult Deployment::Run(const Tensor& input, bool functional) {
+  if (!ok()) {
+    throw RuntimeApiError("deployment did not synthesize: " +
+                          bitstream_.status_detail);
+  }
+  if (functional) {
+    acts_.clear();
+    acts_[fused_.input_id()] = input;
+  }
+
+  runtime_->EnqueueWrite(0, input_buffer_, input.data(), "write_input");
+  int last_queue = 0;
+  for (std::size_t i = 0; i < invocations_.size(); ++i) {
+    const auto& inv = invocations_[i];
+    ocl::KernelLaunch launch = MakeLaunch(inv, functional);
+    if (inv.autorun) {
+      runtime_->RunAutorun(std::move(launch));
+    } else {
+      const int q = invocation_queues_[i];
+      runtime_->EnqueueKernel(q, std::move(launch));
+      last_queue = q;
+    }
+  }
+
+  RunResult result;
+  const std::int64_t out_elems =
+      fused_.node(fused_.output_id()).output_shape.NumElements();
+  result.output = Tensor(Shape{out_elems});
+  runtime_->EnqueueRead(last_queue, output_buffer_, result.output.data(),
+                        "read_output");
+  if (!functional) result.output = Tensor();
+  result.latency = runtime_->Finish();
+  return result;
+}
+
+double Deployment::EstimateFps(const Tensor& input,
+                               bool verify_against_reference) {
+  if (verify_against_reference) {
+    RunResult r = Run(input, /*functional=*/true);
+    Tensor expected = graph::Execute(fused_, input,
+                                     options_.functional_threads);
+    Tensor got = r.output.Reshaped(expected.shape());
+    if (!Tensor::AllClose(got, expected, 1e-3f, 1e-4f)) {
+      throw Error("FPGA functional output diverges from the reference (max "
+                  "rel diff " +
+                  std::to_string(Tensor::MaxRelDiff(got, expected)) + ")");
+    }
+  }
+  const RunResult timing = Run(input, /*functional=*/false);
+  return 1.0 / timing.latency.seconds();
+}
+
+std::vector<OpProfileEntry> Deployment::ProfileOps() {
+  if (!ok()) {
+    throw RuntimeApiError("deployment did not synthesize");
+  }
+  std::map<std::string, OpProfileEntry> by_class;
+  SimTime total;
+  for (const auto& inv : invocations_) {
+    const auto& pk = kernels_[static_cast<std::size_t>(inv.kernel_index)];
+    OpProfileEntry& e = by_class[pk.op_class];
+    e.op_class = pk.op_class;
+    e.flops += graph::NodeCost(fused_.node(inv.node), fused_).flops;
+    const SimTime t = fpga::InvocationTime(inv.stats, options_.board,
+                                           bitstream_.fmax_mhz,
+                                           options_.cost_model);
+    e.kernel_time += t;
+    total += t;
+  }
+  std::vector<OpProfileEntry> entries;
+  entries.reserve(by_class.size());
+  for (auto& [_, e] : by_class) {
+    e.runtime_share = total > kSimTimeZero
+                          ? e.kernel_time.seconds() / total.seconds()
+                          : 0.0;
+    e.gflops = e.kernel_time > kSimTimeZero
+                   ? e.flops / e.kernel_time.seconds() / 1e9
+                   : 0.0;
+    entries.push_back(e);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const OpProfileEntry& a, const OpProfileEntry& b) {
+              return a.flops > b.flops;
+            });
+  return entries;
+}
+
+EventBreakdown Deployment::ProfileEvents(const Tensor& input) {
+  if (!ok()) {
+    throw RuntimeApiError("deployment did not synthesize");
+  }
+  runtime_->ClearEvents();
+  runtime_->set_profiling(true);
+  (void)Run(input, /*functional=*/false);
+  runtime_->set_profiling(false);
+
+  EventBreakdown breakdown;
+  for (const auto& ev : runtime_->events()) {
+    switch (ev.kind) {
+      case ocl::CommandKind::kWriteBuffer:
+        breakdown.write += ev.duration();
+        break;
+      case ocl::CommandKind::kKernel:
+        breakdown.kernel += ev.duration();
+        break;
+      case ocl::CommandKind::kReadBuffer:
+        breakdown.read += ev.duration();
+        break;
+    }
+  }
+  runtime_->ClearEvents();
+  return breakdown;
+}
+
+std::string Deployment::GeneratedSource() const {
+  std::vector<const ir::Kernel*> kernels;
+  kernels.reserve(kernels_.size());
+  for (const auto& pk : kernels_) kernels.push_back(&pk.built.kernel);
+  return codegen::EmitProgram(kernels);
+}
+
+}  // namespace clflow::core

@@ -1,0 +1,134 @@
+// The end-to-end compilation flow (paper Ch. 3).
+//
+// Deployment::Compile takes a network graph, applies operator fusion,
+// plans either a pipelined or a folded execution (Ch. 3), builds scheduled
+// kernels with the recipe's optimizations (Ch. 4/5), synthesizes them with
+// the AOC model, and -- when the design fits and routes -- produces a
+// runnable deployment whose Run() performs functional inference (verified
+// numbers) under a simulated-time schedule.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/recipes.hpp"
+#include "fpga/synth.hpp"
+#include "graph/graph.hpp"
+#include "ir/op_kernels.hpp"
+#include "ocl/runtime.hpp"
+
+namespace clflow::core {
+
+struct DeployOptions {
+  ExecutionMode mode = ExecutionMode::kPipelined;
+  OptimizationRecipe recipe;
+  fpga::BoardSpec board;
+  fpga::CostModel cost_model;
+  /// Threads used for functional (host-side oracle) execution.
+  int functional_threads = 1;
+};
+
+struct RunResult {
+  Tensor output;    ///< undefined on timing-only runs
+  SimTime latency;  ///< simulated end-to-end time for this image
+};
+
+/// Per-operation-class profile row (Tables 6.8 / 6.16).
+struct OpProfileEntry {
+  std::string op_class;
+  double flops = 0.0;          ///< per image
+  SimTime kernel_time;         ///< per image, kernel execution only
+  double runtime_share = 0.0;  ///< of total kernel time
+  double gflops = 0.0;
+};
+
+/// Runtime breakdown by command kind (Figure 6.2).
+struct EventBreakdown {
+  SimTime write, kernel, read;
+};
+
+/// One synthesized kernel and the label used in profiles/tables.
+struct PlannedKernel {
+  ir::BuiltKernel built;
+  std::string op_class;
+  std::string tiling_desc;  ///< human-readable unroll/tile summary
+};
+
+/// One runtime launch (a graph node executed by some kernel).
+struct PlannedInvocation {
+  int kernel_index = -1;
+  graph::NodeId node = -1;
+  ir::Bindings bindings;
+  ir::KernelStats stats;
+  bool autorun = false;
+  std::vector<std::string> reads_channels;
+  std::vector<std::string> writes_channels;
+};
+
+class Deployment {
+ public:
+  [[nodiscard]] static Deployment Compile(const graph::Graph& g,
+                                          const DeployOptions& options);
+
+  /// False when synthesis failed (fit/route); inspect bitstream() for why.
+  [[nodiscard]] bool ok() const { return bitstream_.ok(); }
+  [[nodiscard]] const fpga::Bitstream& bitstream() const { return bitstream_; }
+  [[nodiscard]] const graph::Graph& fused_graph() const { return fused_; }
+  [[nodiscard]] const DeployOptions& options() const { return options_; }
+  [[nodiscard]] const std::vector<PlannedKernel>& kernels() const {
+    return kernels_;
+  }
+  [[nodiscard]] const std::vector<PlannedInvocation>& invocations() const {
+    return invocations_;
+  }
+
+  /// Runs one image. With functional=true the returned output holds real
+  /// numbers computed by the verified reference operators; timing-only
+  /// runs return an undefined tensor and are much faster.
+  [[nodiscard]] RunResult Run(const Tensor& input, bool functional = true);
+
+  /// Simulated frames per second (one functional warm-up run optional via
+  /// `verify_against_reference`, which throws if FPGA output diverges from
+  /// the graph oracle).
+  [[nodiscard]] double EstimateFps(const Tensor& input,
+                                   bool verify_against_reference = false);
+
+  [[nodiscard]] std::vector<OpProfileEntry> ProfileOps();
+
+  /// Per-command-kind breakdown with the event profiler enabled (which
+  /// serializes the host, as on real hardware).
+  [[nodiscard]] EventBreakdown ProfileEvents(const Tensor& input);
+
+  /// The generated OpenCL C translation unit for the whole design.
+  [[nodiscard]] std::string GeneratedSource() const;
+
+ private:
+  Deployment() = default;
+
+  void PlanPipelined(const OptimizationRecipe& recipe);
+  void PlanFolded(const OptimizationRecipe& recipe);
+  void SynthesizeAll();
+  void PrepareRuntime();
+  [[nodiscard]] ocl::KernelLaunch MakeLaunch(const PlannedInvocation& inv,
+                                             bool functional);
+
+  DeployOptions options_;
+  graph::Graph fused_;
+  std::vector<PlannedKernel> kernels_;
+  std::vector<PlannedInvocation> invocations_;
+  fpga::Bitstream bitstream_;
+
+  // Runtime state (valid when ok()).
+  std::unique_ptr<ocl::Runtime> runtime_;
+  ocl::BufferPtr input_buffer_;
+  ocl::BufferPtr output_buffer_;
+  std::vector<int> invocation_queues_;
+  /// Functional activation map, rebuilt per functional run.
+  std::unordered_map<graph::NodeId, Tensor> acts_;
+};
+
+}  // namespace clflow::core

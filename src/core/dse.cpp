@@ -1,0 +1,152 @@
+#include "core/dse.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace clflow::core {
+
+const DseCandidate& DseResult::best() const {
+  CLFLOW_CHECK_MSG(!ranked.empty(), "DSE found no feasible configuration");
+  return ranked.front();
+}
+
+OptimizationRecipe DseResult::BestRecipe(const std::string& tag) const {
+  const DseCandidate& b = best();
+  OptimizationRecipe r;
+  r.name = "Folded-DSE-" + tag;
+  r.fuse_and_cache = true;
+  r.unroll = true;
+  r.parameterized = true;
+  r.conv1x1 = b.conv1x1;
+  r.conv3x3 = b.conv3x3;
+  r.conv_dw = b.conv_dw;
+  return r;
+}
+
+namespace {
+
+using graph::OpKind;
+
+/// Collects, per convolution family, the divisibility constraints of
+/// every layer: tile_c1 | C1, tile_w2 | W2, tile_c2 | K.
+struct FamilyDims {
+  std::vector<std::int64_t> c1s, w2s, ks;
+  [[nodiscard]] bool Accepts(const ConvTiling& t) const {
+    auto divides_all = [](std::int64_t f,
+                          const std::vector<std::int64_t>& vals) {
+      return std::all_of(vals.begin(), vals.end(),
+                         [f](std::int64_t v) { return v % f == 0; });
+    };
+    return divides_all(t.c1, c1s) && divides_all(t.w2, w2s) &&
+           divides_all(t.c2, ks);
+  }
+};
+
+}  // namespace
+
+DseResult ExploreFoldedTilings(const graph::Graph& g,
+                               const fpga::BoardSpec& board,
+                               const DseOptions& options,
+                               const fpga::CostModel& model) {
+  const graph::Graph fused = graph::FuseOperators(g);
+
+  FamilyDims pw, std3, dw;
+  for (const auto& n : fused.nodes()) {
+    if (n.kind == OpKind::kConv2d) {
+      const auto& in = fused.node(n.inputs[0]).output_shape;
+      FamilyDims& fam = n.window == 1 ? pw : std3;
+      fam.c1s.push_back(in.channels());
+      fam.w2s.push_back(n.output_shape.width());
+      fam.ks.push_back(n.filters);
+    } else if (n.kind == OpKind::kDepthwiseConv2d) {
+      dw.w2s.push_back(n.output_shape.width());
+    }
+  }
+
+  // Non-pointwise families keep the paper's fixed minimal tilings, picked
+  // to satisfy divisibility for this network.
+  ConvTiling conv3x3{.c1 = 1, .w2 = 1, .c2 = 1};
+  for (std::int64_t c1 : {8, 4, 3, 2}) {
+    ConvTiling t{.c1 = c1, .w2 = 1, .c2 = 1};
+    if (std3.Accepts(t)) {
+      conv3x3 = t;
+      break;
+    }
+  }
+  ConvTiling conv_dw{.c1 = 1, .w2 = 1, .c2 = 1};
+  if (dw.Accepts({.c1 = 1, .w2 = 7, .c2 = 1})) conv_dw.w2 = 7;
+
+  DseResult result;
+  Tensor probe = Tensor::Full(fused.node(fused.input_id()).output_shape, 0.0f);
+
+  std::vector<DseCandidate> feasible;
+  for (std::int64_t c1 : options.c1_factors) {
+    for (std::int64_t w2 : options.w2_factors) {
+      for (std::int64_t c2 : options.c2_factors) {
+        if (result.considered >= options.max_candidates) break;
+        ++result.considered;
+        DseCandidate cand;
+        cand.conv1x1 = {.c1 = c1, .w2 = w2, .c2 = c2};
+        cand.conv3x3 = conv3x3;
+        cand.conv_dw = conv_dw;
+
+        if (!pw.Accepts(cand.conv1x1)) {
+          ++result.rejected_divisibility;
+          continue;
+        }
+        // SS4.11 requirement 1: the unroll factor of the streamed (non-
+        // cached) reduction dimension must not exceed the board's peak
+        // bytes/cycle -- the paper's "should not exceed 32 for the Arria
+        // 10" rule. Input/output accesses amortize through caches and
+        // wide bursts; the weight stream is the fresh traffic.
+        const double demand_bytes = 4.0 * static_cast<double>(c1 * w2);
+        if (demand_bytes > board.BytesPerCycle(board.base_fmax_mhz)) {
+          ++result.rejected_bandwidth;
+          continue;
+        }
+
+        OptimizationRecipe recipe;
+        recipe.name = "dse-cand";
+        recipe.fuse_and_cache = true;
+        recipe.unroll = true;
+        recipe.parameterized = true;
+        recipe.conv1x1 = cand.conv1x1;
+        recipe.conv3x3 = conv3x3;
+        recipe.conv_dw = conv_dw;
+
+        DeployOptions dep;
+        dep.mode = ExecutionMode::kFolded;
+        dep.recipe = std::move(recipe);
+        dep.board = board;
+        dep.cost_model = model;
+        auto d = Deployment::Compile(fused, dep);
+        cand.status = d.bitstream().status;
+        cand.status_detail = d.bitstream().status_detail;
+        if (cand.status == fpga::SynthStatus::kFitError) {
+          ++result.rejected_fit;
+          continue;
+        }
+        if (cand.status == fpga::SynthStatus::kRouteError) {
+          ++result.rejected_route;
+          continue;
+        }
+        cand.fmax_mhz = d.bitstream().fmax_mhz;
+        cand.dsps = d.bitstream().totals.dsps;
+        cand.alut_frac = d.bitstream().totals.alut_frac;
+        cand.predicted_fps = d.EstimateFps(probe);
+        feasible.push_back(std::move(cand));
+      }
+    }
+  }
+
+  std::sort(feasible.begin(), feasible.end(),
+            [](const DseCandidate& a, const DseCandidate& b) {
+              return a.predicted_fps > b.predicted_fps;
+            });
+  if (feasible.size() > options.top_k) feasible.resize(options.top_k);
+  result.ranked = std::move(feasible);
+  return result;
+}
+
+}  // namespace clflow::core

@@ -1,0 +1,76 @@
+// Design-space exploration for folded tiling configurations.
+//
+// SS4.11 of the paper selects unroll/tile factors by hand under three
+// requirements -- (1) the widened LSUs must not exceed the board's
+// theoretical external bandwidth, (2) factors must divide every layer's
+// trip counts (no epilogues), (3) the design must fit -- and explicitly
+// leaves "resource modeling and exploration for a DSE" to future work.
+// This module implements that explorer on top of the synthesis model:
+// enumerate candidate tilings satisfying (1) and (2), synthesize each
+// candidate (cheap here: the model is analytical), discard non-fitting /
+// non-routing designs, and rank the rest by predicted whole-network
+// throughput rather than single-kernel throughput -- the paper notes a
+// DSE should "maximize overall network performance ... rather than the
+// performance of individual layers".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/deployment.hpp"
+
+namespace clflow::core {
+
+struct DseCandidate {
+  ConvTiling conv1x1;
+  ConvTiling conv3x3;
+  ConvTiling conv_dw;
+  /// Predicted frames per second for the whole network.
+  double predicted_fps = 0.0;
+  /// Synthesis outcome for this candidate.
+  fpga::SynthStatus status = fpga::SynthStatus::kOk;
+  std::string status_detail;
+  double fmax_mhz = 0.0;
+  std::int64_t dsps = 0;
+  double alut_frac = 0.0;
+};
+
+struct DseOptions {
+  /// Factors considered per tiling dimension (filtered by divisibility).
+  std::vector<std::int64_t> c1_factors = {1, 2, 4, 8, 16};
+  std::vector<std::int64_t> w2_factors = {1, 7};
+  std::vector<std::int64_t> c2_factors = {1, 2, 4, 8, 16, 32, 64};
+  /// Keep at most this many fully-evaluated candidates (best first).
+  std::size_t top_k = 8;
+  /// Upper bound on candidates to synthesize (safety valve).
+  std::size_t max_candidates = 512;
+};
+
+struct DseResult {
+  /// Feasible candidates, best predicted FPS first (size <= top_k).
+  std::vector<DseCandidate> ranked;
+  /// How many candidates each filter removed.
+  std::size_t considered = 0;
+  std::size_t rejected_divisibility = 0;
+  std::size_t rejected_bandwidth = 0;
+  std::size_t rejected_fit = 0;
+  std::size_t rejected_route = 0;
+
+  [[nodiscard]] const DseCandidate& best() const;
+  /// A folded recipe configured with the best candidate's tilings.
+  [[nodiscard]] OptimizationRecipe BestRecipe(const std::string& tag) const;
+};
+
+/// Explores tiling configurations for a folded deployment of `g` on
+/// `board`. The divisibility requirement is checked against every layer
+/// of the fused graph; the bandwidth requirement (SS4.11 req. 1) bounds
+/// the total unroll width of global-memory-facing dimensions by the
+/// board's bytes-per-cycle at its base clock.
+[[nodiscard]] DseResult ExploreFoldedTilings(const graph::Graph& g,
+                                             const fpga::BoardSpec& board,
+                                             const DseOptions& options = {},
+                                             const fpga::CostModel& model = {});
+
+}  // namespace clflow::core

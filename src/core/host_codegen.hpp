@@ -1,0 +1,26 @@
+// OpenCL host-program generation.
+//
+// The paper implements a custom OpenCL C++ host program (SS5.2) with:
+// parameter/buffer loading, toggleable event profiling via macros, kernel
+// re-use across layers with per-layer arguments, one command queue per
+// kernel for concurrent execution, asynchronous enqueues, and output
+// verification hooks. EmitHostProgram generates exactly that program for
+// a compiled deployment -- the .cpp a user would build against the real
+// Intel OpenCL SDK to drive the board the simulation models.
+#pragma once
+
+#include <string>
+
+#include "core/deployment.hpp"
+
+namespace clflow::core {
+
+struct HostCodegenOptions {
+  /// Name used for the emitted aocx file.
+  std::string aocx_name = "network.aocx";
+};
+
+[[nodiscard]] std::string EmitHostProgram(
+    const Deployment& deployment, const HostCodegenOptions& options = {});
+
+}  // namespace clflow::core

@@ -1,0 +1,105 @@
+#include "core/recipes.hpp"
+
+#include "common/error.hpp"
+
+namespace clflow::core {
+
+OptimizationRecipe PipelineBase() {
+  OptimizationRecipe r;
+  r.name = "Base";
+  return r;
+}
+
+OptimizationRecipe PipelineUnrolling() {
+  OptimizationRecipe r = PipelineBase();
+  r.name = "Unrolling";
+  r.fuse_and_cache = true;
+  r.unroll = true;
+  return r;
+}
+
+OptimizationRecipe PipelineChannels() {
+  OptimizationRecipe r = PipelineUnrolling();
+  r.name = "Channels";
+  r.channels = true;
+  return r;
+}
+
+OptimizationRecipe PipelineAutorun() {
+  OptimizationRecipe r = PipelineChannels();
+  r.name = "Autorun";
+  r.autorun = true;
+  return r;
+}
+
+OptimizationRecipe PipelineTvmAutorun() {
+  OptimizationRecipe r = PipelineAutorun();
+  r.name = "TVM-Autorun";
+  r.weight_cache = true;
+  return r;
+}
+
+std::vector<OptimizationRecipe> PipelineLadder() {
+  return {PipelineBase(), PipelineUnrolling(), PipelineChannels(),
+          PipelineAutorun(), PipelineTvmAutorun()};
+}
+
+OptimizationRecipe FoldedBase() {
+  OptimizationRecipe r;
+  r.name = "Folded-Base";
+  return r;
+}
+
+OptimizationRecipe FoldedMobileNet(const std::string& board_key) {
+  OptimizationRecipe r;
+  r.name = "Folded-MobileNet-" + board_key;
+  r.fuse_and_cache = true;
+  r.unroll = true;
+  r.parameterized = true;
+  // Table 6.7: W2vec / C2vec / C1vec per board for 1x1 convolutions.
+  if (board_key == "s10mx") {
+    r.conv1x1 = {.c1 = 4, .w2 = 7, .c2 = 32};
+  } else if (board_key == "s10sx") {
+    r.conv1x1 = {.c1 = 4, .w2 = 7, .c2 = 16};
+  } else if (board_key == "a10") {
+    r.conv1x1 = {.c1 = 8, .w2 = 7, .c2 = 8};
+  } else {
+    throw Error("no MobileNet tiling configuration for board " + board_key);
+  }
+  // 3x3 conv tiled C1,F,F with 3x3x3; depthwise tiled W2,F,F with 7x3x3.
+  r.conv3x3 = {.c1 = 3, .w2 = 1, .c2 = 1};
+  r.conv_dw = {.c1 = 1, .w2 = 7, .c2 = 1};
+  r.dense_unroll_folded = 32;
+  return r;
+}
+
+OptimizationRecipe FoldedResNet() {
+  OptimizationRecipe r;
+  r.name = "Folded-ResNet";
+  r.fuse_and_cache = true;
+  r.unroll = true;
+  r.parameterized = true;
+  // Table 6.13.
+  r.conv3x3 = {.c1 = 8, .w2 = 7, .c2 = 1};          // 7/8/3x3
+  r.conv1x1 = {.c1 = 8, .w2 = 1, .c2 = 1};          // unroll C1 by 8
+  r.conv_large = {.c1 = 1, .w2 = 1, .c2 = 1};       // 7x7: FxF only
+  r.dense_unroll_folded = 32;
+  r.add_unroll = 8;
+  return r;
+}
+
+OptimizationRecipe FoldedWithTiling(ConvTiling conv1x1) {
+  OptimizationRecipe r;
+  r.name = "Folded-Tiling";
+  r.fuse_and_cache = true;
+  r.unroll = true;
+  r.parameterized = true;
+  r.conv1x1 = conv1x1;
+  // The SS6.3.2 tiling experiment varies only the pointwise kernel; the
+  // other kernels stay at their window-unrolled minimum.
+  r.conv3x3 = {.c1 = 1, .w2 = 1, .c2 = 1};
+  r.conv_dw = {.c1 = 1, .w2 = 1, .c2 = 1};
+  return r;
+}
+
+}  // namespace clflow::core

@@ -1,0 +1,114 @@
+// Optimization recipes: named bundles of kernel + host optimizations.
+//
+// The pipelined ladder reproduces Table 6.4's five LeNet bitstreams
+// (Base / Unrolling / Channels / Autorun / TVM-Autorun), each building on
+// the previous one; concurrent execution is a separate host-side toggle as
+// in Figure 6.1. The folded recipes carry the per-board tiling
+// configurations of Tables 6.7 (MobileNetV1) and 6.13 (ResNet).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpga/synth.hpp"
+
+namespace clflow::core {
+
+/// How the network is executed on the FPGA (paper Ch. 3).
+enum class ExecutionMode {
+  kPipelined,  ///< kernel per layer, all resident, channels between them
+  kFolded,     ///< parameterized kernels time-multiplexed across layers
+};
+
+/// Tiling/unroll factors for one convolution family in folded execution.
+struct ConvTiling {
+  std::int64_t c1 = 1;  ///< C1vec (input channels)
+  std::int64_t w2 = 1;  ///< W2vec (output columns)
+  std::int64_t c2 = 1;  ///< C2vec (output channels; 1x1 convs only)
+  bool unroll_filter = true;
+};
+
+struct OptimizationRecipe {
+  std::string name;
+
+  // --- kernel schedule optimizations (Ch. 4) ---
+  /// Fused activation + private-register accumulators (SS4.3/SS4.5). The
+  /// two go together: fusion is what the write cache enables.
+  bool fuse_and_cache = false;
+  /// Filter-loop unrolling on convolutions and strip-mine+unroll on dense
+  /// reductions (SS4.1/SS4.2).
+  bool unroll = false;
+  /// Largest dense-layer unroll factor considered (the paper used
+  /// 40/40/4 on LeNet's dense layers).
+  std::int64_t dense_unroll_limit = 40;
+  /// Stage conv weights in on-chip caches (the TVM-Autorun variant).
+  bool weight_cache = false;
+
+  // --- pipelined-mode options ---
+  /// Move activations between kernels over channels (SS4.6).
+  bool channels = false;
+  /// Declare weightless channel-only kernels autorun (SS4.7).
+  bool autorun = false;
+  /// One command queue per kernel (SS4.8).
+  bool concurrent_execution = false;
+
+  // --- folded-mode options ---
+  /// Group same-(F,S) convolutions into symbolic-shape kernels (SS4.9).
+  bool parameterized = false;
+  /// Hybrid execution (SS6.5 / SS8.1: "it is possible to parameterize some
+  /// components of the network while layer-pipelining others"): the
+  /// constant-shape classifier tail after the last convolution (pool /
+  /// flatten / dense / softmax) is chained through channels with autorun
+  /// for its weightless kernels, while the convolutional body stays
+  /// folded.
+  bool pipeline_tail = false;
+  /// Listing 5.11 stride pinning for symbolic kernels.
+  bool pin_strides = true;
+  ConvTiling conv1x1;      ///< pointwise convolutions
+  ConvTiling conv3x3;      ///< standard 3x3 convolutions
+  ConvTiling conv_dw;      ///< depthwise convolutions
+  ConvTiling conv_large;   ///< 7x7 entry convolutions
+  std::int64_t dense_unroll_folded = 32;
+  std::int64_t add_unroll = 8;
+
+  fpga::AocOptions aoc;
+};
+
+// --- The LeNet pipelined ladder (Table 6.4) ---------------------------------
+
+/// Default TVM schedule; one kernel per layer through global memory.
+/// On boards whose Quartus auto-unrolls small trip counts (A10/S10SX),
+/// the planner adds the implicit FxF unroll the footnote describes.
+[[nodiscard]] OptimizationRecipe PipelineBase();
+/// + explicit filter/dense unrolling (with the dependency-resolving
+/// fusion + write caches the thesis's hand-written kernels contain).
+[[nodiscard]] OptimizationRecipe PipelineUnrolling();
+/// + channels for all inter-layer activations.
+[[nodiscard]] OptimizationRecipe PipelineChannels();
+/// + autorun for weightless kernels.
+[[nodiscard]] OptimizationRecipe PipelineAutorun();
+/// Same optimizations as Autorun but applied through TVM schedule
+/// primitives; adds conv weight caches and dense input caches.
+[[nodiscard]] OptimizationRecipe PipelineTvmAutorun();
+
+/// All five ladder rungs in Table 6.4 order.
+[[nodiscard]] std::vector<OptimizationRecipe> PipelineLadder();
+
+// --- Folded recipes -----------------------------------------------------------
+
+/// Naive folded baseline: a constant-shape naive kernel per layer.
+[[nodiscard]] OptimizationRecipe FoldedBase();
+
+/// Optimized folded deployment for MobileNetV1 with the board's Table 6.7
+/// tiling row ("s10mx" -> 7/32/4, "s10sx" -> 7/16/4, "a10" -> 7/8/8).
+[[nodiscard]] OptimizationRecipe FoldedMobileNet(const std::string& board_key);
+
+/// Optimized folded deployment for ResNet-18/34 (Table 6.13: 3x3 convs
+/// 7/8/3/3, 1x1 unrolled by 8, 7x7 window-unrolled).
+[[nodiscard]] OptimizationRecipe FoldedResNet();
+
+/// A generic 1x1 tiling experiment recipe (Table 6.6 / Figure 6.3 sweep).
+[[nodiscard]] OptimizationRecipe FoldedWithTiling(ConvTiling conv1x1);
+
+}  // namespace clflow::core

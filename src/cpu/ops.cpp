@@ -1,0 +1,414 @@
+#include "cpu/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace clflow::cpu {
+
+namespace {
+
+void CheckNchw(const Tensor& t, const char* what) {
+  if (!t.defined() || t.shape().rank() != 4 || t.shape().batch() != 1) {
+    throw ShapeError(std::string(what) + " must be a defined [1,C,H,W] tensor");
+  }
+}
+
+}  // namespace
+
+Tensor Conv2d(const Tensor& input, const Tensor& weights, const Tensor& bias,
+              const Conv2dParams& params, int num_threads) {
+  CheckNchw(input, "conv2d input");
+  if (weights.shape().rank() != 4) throw ShapeError("conv2d weights not rank-4");
+  const std::int64_t c1 = input.shape().channels();
+  const std::int64_t h1 = input.shape().height();
+  const std::int64_t w1 = input.shape().width();
+  const std::int64_t k = weights.shape()[0];
+  const std::int64_t f = weights.shape()[2];
+  if (weights.shape()[1] != c1 || weights.shape()[3] != f) {
+    throw ShapeError("conv2d weights shape mismatch: weights " +
+                     weights.shape().ToString() + " vs input " +
+                     input.shape().ToString());
+  }
+  if (bias.defined() && bias.size() != k) {
+    throw ShapeError("conv2d bias size mismatch");
+  }
+  const std::int64_t h2 = ConvOutDim(h1, f, params.stride, params.pad);
+  const std::int64_t w2 = ConvOutDim(w1, f, params.stride, params.pad);
+
+  Tensor out(Shape{1, k, h2, w2});
+  const auto in = input.data();
+  const auto w = weights.data();
+  auto o = out.data();
+  const float* b = bias.defined() ? bias.data().data() : nullptr;
+  const std::int64_t s = params.stride;
+  const std::int64_t p = params.pad;
+  const Activation act = params.activation;
+
+  ParallelFor(0, k, num_threads, [&](std::int64_t oc) {
+    for (std::int64_t oy = 0; oy < h2; ++oy) {
+      for (std::int64_t ox = 0; ox < w2; ++ox) {
+        float acc = 0.0f;
+        for (std::int64_t ic = 0; ic < c1; ++ic) {
+          for (std::int64_t fy = 0; fy < f; ++fy) {
+            const std::int64_t iy = oy * s + fy - p;
+            if (iy < 0 || iy >= h1) continue;
+            const float* in_row = in.data() + (ic * h1 + iy) * w1;
+            const float* w_row = w.data() + ((oc * c1 + ic) * f + fy) * f;
+            for (std::int64_t fx = 0; fx < f; ++fx) {
+              const std::int64_t ix = ox * s + fx - p;
+              if (ix < 0 || ix >= w1) continue;
+              acc += in_row[ix] * w_row[fx];
+            }
+          }
+        }
+        if (b != nullptr) acc += b[oc];
+        o[(oc * h2 + oy) * w2 + ox] = ApplyActivation(act, acc);
+      }
+    }
+  });
+  return out;
+}
+
+Tensor DepthwiseConv2d(const Tensor& input, const Tensor& weights,
+                       const Tensor& bias, const Conv2dParams& params,
+                       int num_threads) {
+  CheckNchw(input, "depthwise conv input");
+  if (weights.shape().rank() != 4 || weights.shape()[1] != 1) {
+    throw ShapeError("depthwise weights must be [C,1,F,F]");
+  }
+  const std::int64_t c = input.shape().channels();
+  const std::int64_t h1 = input.shape().height();
+  const std::int64_t w1 = input.shape().width();
+  const std::int64_t f = weights.shape()[2];
+  if (weights.shape()[0] != c || weights.shape()[3] != f) {
+    throw ShapeError("depthwise weights shape mismatch");
+  }
+  if (bias.defined() && bias.size() != c) {
+    throw ShapeError("depthwise bias size mismatch");
+  }
+  const std::int64_t h2 = ConvOutDim(h1, f, params.stride, params.pad);
+  const std::int64_t w2 = ConvOutDim(w1, f, params.stride, params.pad);
+
+  Tensor out(Shape{1, c, h2, w2});
+  const auto in = input.data();
+  const auto w = weights.data();
+  auto o = out.data();
+  const float* b = bias.defined() ? bias.data().data() : nullptr;
+  const std::int64_t s = params.stride;
+  const std::int64_t p = params.pad;
+  const Activation act = params.activation;
+
+  ParallelFor(0, c, num_threads, [&](std::int64_t ch) {
+    for (std::int64_t oy = 0; oy < h2; ++oy) {
+      for (std::int64_t ox = 0; ox < w2; ++ox) {
+        float acc = 0.0f;
+        for (std::int64_t fy = 0; fy < f; ++fy) {
+          const std::int64_t iy = oy * s + fy - p;
+          if (iy < 0 || iy >= h1) continue;
+          const float* in_row = in.data() + (ch * h1 + iy) * w1;
+          const float* w_row = w.data() + (ch * f + fy) * f;
+          for (std::int64_t fx = 0; fx < f; ++fx) {
+            const std::int64_t ix = ox * s + fx - p;
+            if (ix < 0 || ix >= w1) continue;
+            acc += in_row[ix] * w_row[fx];
+          }
+        }
+        if (b != nullptr) acc += b[ch];
+        o[(ch * h2 + oy) * w2 + ox] = ApplyActivation(act, acc);
+      }
+    }
+  });
+  return out;
+}
+
+Tensor Dense(const Tensor& input, const Tensor& weights, const Tensor& bias,
+             Activation activation, int num_threads) {
+  if (!input.defined() || weights.shape().rank() != 2) {
+    throw ShapeError("dense expects defined input and rank-2 weights");
+  }
+  const std::int64_t c2 = weights.shape()[0];
+  const std::int64_t c1 = weights.shape()[1];
+  if (input.size() != c1) {
+    throw ShapeError("dense input size " + std::to_string(input.size()) +
+                     " != weights C1 " + std::to_string(c1));
+  }
+  if (bias.defined() && bias.size() != c2) {
+    throw ShapeError("dense bias size mismatch");
+  }
+
+  Tensor out(Shape{1, c2});
+  const auto in = input.data();
+  const auto w = weights.data();
+  auto o = out.data();
+  const float* b = bias.defined() ? bias.data().data() : nullptr;
+
+  ParallelFor(0, c2, num_threads, [&](std::int64_t j) {
+    const float* w_row = w.data() + j * c1;
+    float acc = 0.0f;
+    for (std::int64_t i = 0; i < c1; ++i) acc += in[static_cast<std::size_t>(i)] * w_row[i];
+    if (b != nullptr) acc += b[j];
+    o[static_cast<std::size_t>(j)] = ApplyActivation(activation, acc);
+  });
+  return out;
+}
+
+namespace {
+
+template <typename Reduce>
+Tensor Pool2dImpl(const Tensor& input, const PoolParams& params,
+                  int num_threads, Reduce reduce, bool average) {
+  CheckNchw(input, "pool input");
+  const std::int64_t c = input.shape().channels();
+  const std::int64_t h1 = input.shape().height();
+  const std::int64_t w1 = input.shape().width();
+  const std::int64_t f = params.window;
+  const std::int64_t h2 = ConvOutDim(h1, f, params.stride, params.pad);
+  const std::int64_t w2 = ConvOutDim(w1, f, params.stride, params.pad);
+
+  Tensor out(Shape{1, c, h2, w2});
+  const auto in = input.data();
+  auto o = out.data();
+
+  ParallelFor(0, c, num_threads, [&](std::int64_t ch) {
+    for (std::int64_t oy = 0; oy < h2; ++oy) {
+      for (std::int64_t ox = 0; ox < w2; ++ox) {
+        float acc = average ? 0.0f : -std::numeric_limits<float>::infinity();
+        std::int64_t count = 0;
+        for (std::int64_t fy = 0; fy < f; ++fy) {
+          const std::int64_t iy = oy * params.stride + fy - params.pad;
+          if (iy < 0 || iy >= h1) continue;
+          for (std::int64_t fx = 0; fx < f; ++fx) {
+            const std::int64_t ix = ox * params.stride + fx - params.pad;
+            if (ix < 0 || ix >= w1) continue;
+            acc = reduce(acc, in[(ch * h1 + iy) * w1 + ix]);
+            ++count;
+          }
+        }
+        if (average && count > 0) acc /= static_cast<float>(count);
+        o[(ch * h2 + oy) * w2 + ox] = acc;
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+Tensor MaxPool2d(const Tensor& input, const PoolParams& params,
+                 int num_threads) {
+  return Pool2dImpl(
+      input, params, num_threads,
+      [](float a, float b) { return std::max(a, b); }, /*average=*/false);
+}
+
+Tensor AvgPool2d(const Tensor& input, const PoolParams& params,
+                 int num_threads) {
+  return Pool2dImpl(
+      input, params, num_threads, [](float a, float b) { return a + b; },
+      /*average=*/true);
+}
+
+Tensor Pad2d(const Tensor& input, std::int64_t pad) {
+  CheckNchw(input, "pad input");
+  CLFLOW_CHECK_MSG(pad >= 0, "negative padding");
+  if (pad == 0) return input;
+  const std::int64_t c = input.shape().channels();
+  const std::int64_t h1 = input.shape().height();
+  const std::int64_t w1 = input.shape().width();
+  Tensor out(Shape{1, c, h1 + 2 * pad, w1 + 2 * pad});
+  const auto in = input.data();
+  auto o = out.data();
+  const std::int64_t h2 = h1 + 2 * pad;
+  const std::int64_t w2 = w1 + 2 * pad;
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t y = 0; y < h1; ++y) {
+      const float* src = in.data() + (ch * h1 + y) * w1;
+      float* dst = o.data() + (ch * h2 + y + pad) * w2 + pad;
+      std::copy(src, src + w1, dst);
+    }
+  }
+  return out;
+}
+
+Tensor Activate(const Tensor& input, Activation activation) {
+  Tensor out = input.Clone();
+  for (auto& v : out.data()) v = ApplyActivation(activation, v);
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b, Activation activation) {
+  if (a.shape() != b.shape()) {
+    throw ShapeError("residual add shape mismatch: " + a.shape().ToString() +
+                     " vs " + b.shape().ToString());
+  }
+  Tensor out(a.shape());
+  const auto da = a.data(), db = b.data();
+  auto o = out.data();
+  for (std::size_t i = 0; i < da.size(); ++i)
+    o[i] = ApplyActivation(activation, da[i] + db[i]);
+  return out;
+}
+
+Tensor Softmax(const Tensor& input) {
+  CLFLOW_CHECK_MSG(input.defined() && input.size() > 0, "softmax on empty");
+  Tensor out(input.shape());
+  const auto in = input.data();
+  auto o = out.data();
+  // Max-subtraction for numerical stability, as TVM does (§2.1.2).
+  const float max_v = *std::max_element(in.begin(), in.end());
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    o[i] = std::exp(in[i] - max_v);
+    sum += o[i];
+  }
+  for (auto& v : o) v /= sum;
+  return out;
+}
+
+Tensor Conv2dWinograd(const Tensor& input, const Tensor& weights,
+                      const Tensor& bias, Activation activation,
+                      int num_threads) {
+  CheckNchw(input, "winograd input");
+  if (weights.shape().rank() != 4 || weights.shape()[2] != 3 ||
+      weights.shape()[3] != 3) {
+    throw ShapeError("winograd requires 3x3 weights");
+  }
+  const std::int64_t c1 = input.shape().channels();
+  const std::int64_t h1 = input.shape().height();
+  const std::int64_t w1 = input.shape().width();
+  const std::int64_t k = weights.shape()[0];
+  if (weights.shape()[1] != c1) throw ShapeError("winograd channel mismatch");
+  const std::int64_t h2 = h1 - 2, w2 = w1 - 2;  // stride 1, pad 0
+  if (h2 <= 0 || w2 <= 0 || h2 % 2 != 0 || w2 % 2 != 0) {
+    throw ShapeError("winograd F(2,3) needs even output extents");
+  }
+  if (bias.defined() && bias.size() != k) {
+    throw ShapeError("winograd bias size mismatch");
+  }
+
+  // Pre-transform all filters: U = G g G^T, with
+  // G = [[1,0,0],[1/2,1/2,1/2],[1/2,-1/2,1/2],[0,0,1]] (4x3).
+  std::vector<float> u(static_cast<std::size_t>(k * c1 * 16));
+  {
+    const auto w = weights.data();
+    for (std::int64_t oc = 0; oc < k; ++oc) {
+      for (std::int64_t ic = 0; ic < c1; ++ic) {
+        const float* g = w.data() + (oc * c1 + ic) * 9;
+        float tmp[4][3];
+        for (int col = 0; col < 3; ++col) {
+          const float g0 = g[col], g1 = g[3 + col], g2 = g[6 + col];
+          tmp[0][col] = g0;
+          tmp[1][col] = 0.5f * (g0 + g1 + g2);
+          tmp[2][col] = 0.5f * (g0 - g1 + g2);
+          tmp[3][col] = g2;
+        }
+        float* uu = u.data() + (oc * c1 + ic) * 16;
+        for (int row = 0; row < 4; ++row) {
+          const float t0 = tmp[row][0], t1 = tmp[row][1], t2 = tmp[row][2];
+          uu[row * 4 + 0] = t0;
+          uu[row * 4 + 1] = 0.5f * (t0 + t1 + t2);
+          uu[row * 4 + 2] = 0.5f * (t0 - t1 + t2);
+          uu[row * 4 + 3] = t2;
+        }
+      }
+    }
+  }
+
+  Tensor out(Shape{1, k, h2, w2});
+  const auto in = input.data();
+  auto o = out.data();
+  const float* b = bias.defined() ? bias.data().data() : nullptr;
+
+  ParallelFor(0, k, num_threads, [&](std::int64_t oc) {
+    for (std::int64_t ty = 0; ty < h2 / 2; ++ty) {
+      for (std::int64_t tx = 0; tx < w2 / 2; ++tx) {
+        // Accumulate the element-wise products in the transform domain
+        // across input channels, then inverse-transform once per tile.
+        float m[16] = {};
+        for (std::int64_t ic = 0; ic < c1; ++ic) {
+          // d = 4x4 input tile at (2*ty, 2*tx).
+          float d[4][4];
+          for (int r = 0; r < 4; ++r) {
+            const float* row =
+                in.data() + (ic * h1 + (2 * ty + r)) * w1 + 2 * tx;
+            d[r][0] = row[0];
+            d[r][1] = row[1];
+            d[r][2] = row[2];
+            d[r][3] = row[3];
+          }
+          // V = B^T d B with B^T = [[1,0,-1,0],[0,1,1,0],[0,-1,1,0],
+          //                         [0,1,0,-1]].
+          float bd[4][4];
+          for (int col = 0; col < 4; ++col) {
+            bd[0][col] = d[0][col] - d[2][col];
+            bd[1][col] = d[1][col] + d[2][col];
+            bd[2][col] = -d[1][col] + d[2][col];
+            bd[3][col] = d[1][col] - d[3][col];
+          }
+          float v[16];
+          for (int row = 0; row < 4; ++row) {
+            v[row * 4 + 0] = bd[row][0] - bd[row][2];
+            v[row * 4 + 1] = bd[row][1] + bd[row][2];
+            v[row * 4 + 2] = -bd[row][1] + bd[row][2];
+            v[row * 4 + 3] = bd[row][1] - bd[row][3];
+          }
+          const float* uu = u.data() + (oc * c1 + ic) * 16;
+          for (int i = 0; i < 16; ++i) m[i] += uu[i] * v[i];
+        }
+        // Y = A^T m A with A^T = [[1,1,1,0],[0,1,-1,-1]].
+        float am[2][4];
+        for (int col = 0; col < 4; ++col) {
+          am[0][col] = m[col] + m[4 + col] + m[8 + col];
+          am[1][col] = m[4 + col] - m[8 + col] - m[12 + col];
+        }
+        float y[2][2];
+        for (int row = 0; row < 2; ++row) {
+          y[row][0] = am[row][0] + am[row][1] + am[row][2];
+          y[row][1] = am[row][1] - am[row][2] - am[row][3];
+        }
+        for (int dy = 0; dy < 2; ++dy) {
+          for (int dx = 0; dx < 2; ++dx) {
+            float v = y[dy][dx];
+            if (b != nullptr) v += b[oc];
+            o[(oc * h2 + 2 * ty + dy) * w2 + 2 * tx + dx] =
+                ApplyActivation(activation, v);
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+FoldedBatchNorm FoldBatchNorm(const Tensor& weights, const Tensor& bias,
+                              const Tensor& gamma, const Tensor& beta,
+                              const Tensor& mean, const Tensor& variance,
+                              float epsilon) {
+  const std::int64_t k = weights.shape()[0];
+  for (const Tensor* t : {&gamma, &beta, &mean, &variance}) {
+    if (t->size() != k) throw ShapeError("batch norm parameter size mismatch");
+  }
+  FoldedBatchNorm folded;
+  folded.weights = weights.Clone();
+  folded.bias = bias.defined() ? bias.Clone() : Tensor(Shape{k});
+
+  const std::int64_t per_filter = weights.size() / k;
+  auto w = folded.weights.data();
+  auto b = folded.bias.data();
+  const auto g = gamma.data(), bt = beta.data(), mu = mean.data(),
+             var = variance.data();
+  for (std::int64_t oc = 0; oc < k; ++oc) {
+    const auto i = static_cast<std::size_t>(oc);
+    const float scale = g[i] / std::sqrt(var[i] + epsilon);
+    for (std::int64_t j = 0; j < per_filter; ++j) {
+      w[static_cast<std::size_t>(oc * per_filter + j)] *= scale;
+    }
+    b[i] = (b[i] - mu[i]) * scale + bt[i];
+  }
+  return folded;
+}
+
+}  // namespace clflow::cpu

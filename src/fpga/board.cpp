@@ -1,0 +1,110 @@
+#include "fpga/board.hpp"
+
+#include "common/error.hpp"
+
+namespace clflow::fpga {
+
+namespace {
+
+BoardSpec MakeA10() {
+  BoardSpec b;
+  b.key = "a10";
+  b.name = "Arria 10 GX";
+  b.aluts = 740500;
+  b.ffs = 1481000;
+  b.brams = 2336;
+  b.dsps = 1518;
+  b.static_alut_frac = 0.15;
+  b.static_ff_frac = 0.15;
+  b.static_bram_frac = 0.16;
+  b.ext_bw_gbps = 34.1;   // 2 banks DDR4
+  b.base_fmax_mhz = 232;  // 20 nm part
+  b.h2d_gbps = 5.5;       // PCIe Gen3 x8
+  b.d2h_gbps = 5.0;
+  b.h2d_latency_us = 55.0;
+  b.d2h_latency_us = 45.0;
+  b.kernel_launch_us = 22.0;
+  b.max_kernel_dsp_frac = 0.70;
+  b.auto_unrolls_small_loops = true;  // Quartus 17.1.1
+  return b;
+}
+
+BoardSpec MakeS10SX() {
+  BoardSpec b;
+  b.key = "s10sx";
+  b.name = "Stratix 10 SX";
+  b.aluts = 1666240;
+  b.ffs = 3457330;
+  b.brams = 11254;
+  b.dsps = 5760;
+  b.static_alut_frac = 0.12;
+  b.static_ff_frac = 0.08;
+  b.static_bram_frac = 0.04;
+  b.ext_bw_gbps = 76.8;   // 4 banks DDR4
+  b.base_fmax_mhz = 240;  // HyperFlex, but deep HLS pipelines
+  b.h2d_gbps = 11.0;      // PCIe Gen3 x16
+  b.d2h_gbps = 10.0;
+  b.h2d_latency_us = 25.0;
+  b.d2h_latency_us = 25.0;
+  b.kernel_launch_us = 18.0;
+  b.max_kernel_dsp_frac = 0.12;
+  b.auto_unrolls_small_loops = true;  // Quartus 18.1.2
+  return b;
+}
+
+BoardSpec MakeS10MX() {
+  BoardSpec b;
+  b.key = "s10mx";
+  b.name = "Stratix 10 MX";
+  b.aluts = 1405440;
+  b.ffs = 2810880;
+  b.brams = 6847;
+  b.dsps = 3960;
+  b.static_alut_frac = 0.01;  // minimal shell on the dev kit
+  b.static_ff_frac = 0.01;
+  b.static_bram_frac = 0.02;
+  b.ext_bw_gbps = 12.8;   // ONE HBM2 pseudo-channel (SS6.2)
+  b.base_fmax_mhz = 330;  // small shell leaves routing headroom
+  // Engineering sample with an experimental BSP: host writes are
+  // dramatically slow (Figure 6.2 / Appendix A).
+  b.h2d_gbps = 0.9;
+  b.d2h_gbps = 2.2;
+  b.h2d_latency_us = 420.0;
+  b.d2h_latency_us = 60.0;
+  b.kernel_launch_us = 20.0;
+  b.max_kernel_dsp_frac = 0.40;
+  b.auto_unrolls_small_loops = false;  // Quartus 19.1
+  return b;
+}
+
+}  // namespace
+
+const BoardSpec& Arria10() {
+  static const BoardSpec board = MakeA10();
+  return board;
+}
+
+const BoardSpec& Stratix10SX() {
+  static const BoardSpec board = MakeS10SX();
+  return board;
+}
+
+const BoardSpec& Stratix10MX() {
+  static const BoardSpec board = MakeS10MX();
+  return board;
+}
+
+const std::vector<BoardSpec>& EvaluationBoards() {
+  static const std::vector<BoardSpec> boards = {Stratix10MX(), Stratix10SX(),
+                                                Arria10()};
+  return boards;
+}
+
+const BoardSpec& BoardByKey(const std::string& key) {
+  for (const BoardSpec& b : EvaluationBoards()) {
+    if (b.key == key) return b;
+  }
+  throw Error("unknown board key: " + key);
+}
+
+}  // namespace clflow::fpga

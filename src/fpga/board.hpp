@@ -1,0 +1,95 @@
+// FPGA board specifications.
+//
+// The three evaluation platforms of the paper (Tables 6.1/6.2): an Intel
+// PAC with Arria 10 GX, an Intel PAC D5005 with Stratix 10 SX, and a
+// Stratix 10 MX HBM development kit (engineering sample). Resource totals
+// and static-partition (BSP shell) shares are the paper's published
+// numbers; bandwidth/latency constants are set from the paper's
+// measurements (Figure 6.2 and Appendix A show the S10MX's anomalously
+// slow host writes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clflow::fpga {
+
+struct BoardSpec {
+  std::string key;   ///< "a10", "s10sx", "s10mx"
+  std::string name;  ///< display name
+
+  // Chip resources (Table 6.2).
+  std::int64_t aluts = 0;
+  std::int64_t ffs = 0;
+  std::int64_t brams = 0;  ///< M20K blocks
+  std::int64_t dsps = 0;
+
+  // Static partition (BSP shell) fractions of the totals.
+  double static_alut_frac = 0.0;
+  double static_ff_frac = 0.0;
+  double static_bram_frac = 0.0;
+
+  /// Peak external memory bandwidth available to kernels, GB/s. For the
+  /// S10MX this is a single HBM2 pseudo-channel (12.8 GB/s): the BSP does
+  /// not support implicit banking and the paper uses one PC (SS6.2).
+  double ext_bw_gbps = 0.0;
+
+  /// Achievable clock for an uncongested design, MHz (upper end of the
+  /// per-bitstream fmax range in Table 6.5).
+  double base_fmax_mhz = 0.0;
+
+  // Host<->device transfer model: time = latency + bytes/bandwidth.
+  double h2d_gbps = 0.0;
+  double d2h_gbps = 0.0;
+  double h2d_latency_us = 0.0;
+  double d2h_latency_us = 0.0;
+
+  /// Host-side overhead per enqueued command (queue handling, driver),
+  /// microseconds. Autorun kernels skip this entirely (SS4.7).
+  double kernel_launch_us = 0.0;
+
+  /// Largest fraction of the board's DSPs a single kernel's compute unit
+  /// can concentrate before routing fails. Stratix 10's HyperFlex routing
+  /// gives up on very fat single compute units where the Arria 10's
+  /// Quartus 17 instead routes them at degraded fmax (SS6.5: 7/16/8 fails
+  /// on the S10SX and 7/32/8 on the S10MX while larger aggregate designs
+  /// route fine when spread across kernels).
+  double max_kernel_dsp_frac = 1.0;
+
+  /// Quartus < 19.1 (A10/S10SX BSPs) automatically unrolls small
+  /// trip-count loops; the S10MX BSP's Quartus 19.1 does not
+  /// (footnote to Table 6.4).
+  bool auto_unrolls_small_loops = false;
+
+  [[nodiscard]] std::int64_t usable_aluts() const {
+    return static_cast<std::int64_t>(
+        static_cast<double>(aluts) * (1.0 - static_alut_frac));
+  }
+  [[nodiscard]] std::int64_t usable_ffs() const {
+    return static_cast<std::int64_t>(static_cast<double>(ffs) *
+                                     (1.0 - static_ff_frac));
+  }
+  [[nodiscard]] std::int64_t usable_brams() const {
+    return static_cast<std::int64_t>(static_cast<double>(brams) *
+                                     (1.0 - static_bram_frac));
+  }
+
+  /// External-memory bytes deliverable per clock cycle at `fmax_mhz`.
+  [[nodiscard]] double BytesPerCycle(double fmax_mhz) const {
+    return ext_bw_gbps * 1e9 / (fmax_mhz * 1e6);
+  }
+};
+
+[[nodiscard]] const BoardSpec& Arria10();
+[[nodiscard]] const BoardSpec& Stratix10SX();
+[[nodiscard]] const BoardSpec& Stratix10MX();
+
+/// All three evaluation boards, in the paper's column order
+/// (S10MX, S10SX, A10).
+[[nodiscard]] const std::vector<BoardSpec>& EvaluationBoards();
+
+/// Lookup by key; throws Error for unknown keys.
+[[nodiscard]] const BoardSpec& BoardByKey(const std::string& key);
+
+}  // namespace clflow::fpga

@@ -1,0 +1,28 @@
+// Human-readable synthesis reports.
+//
+// The real flow's `aoc -report` HTML is how the thesis diagnoses designs
+// (area estimates, LSU inventory, loop IIs -- SS4.11 notes the estimates
+// "often grossly overestimate" and that place-and-route is needed for
+// truth). WriteFitReport renders the equivalent information from the
+// synthesis model: per-kernel area, the LSU inventory with the SS2.4.3
+// type taxonomy, pipelining status per kernel, and the fit/route verdict.
+#pragma once
+
+#include <string>
+
+#include "fpga/synth.hpp"
+
+namespace clflow::fpga {
+
+struct ReportOptions {
+  /// Include the per-site LSU inventory (the largest section).
+  bool lsu_inventory = true;
+  /// Include per-kernel dynamic estimates (cycles, bytes).
+  bool dynamic_estimates = true;
+};
+
+/// Renders a complete fit report for a synthesized (or failed) bitstream.
+[[nodiscard]] std::string WriteFitReport(const Bitstream& bitstream,
+                                         const ReportOptions& options = {});
+
+}  // namespace clflow::fpga

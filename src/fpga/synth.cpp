@@ -1,0 +1,245 @@
+#include "fpga/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace clflow::fpga {
+
+std::string_view SynthStatusName(SynthStatus status) {
+  switch (status) {
+    case SynthStatus::kOk:
+      return "ok";
+    case SynthStatus::kFitError:
+      return "fit_error";
+    case SynthStatus::kRouteError:
+      return "route_error";
+  }
+  return "?";
+}
+
+const KernelDesign* Bitstream::Find(const std::string& name) const {
+  for (const auto& k : kernels) {
+    if (k.name == name) return &k;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::int64_t CountLoops(const ir::Stmt& body) {
+  std::int64_t loops = 0;
+  ir::VisitStmts(body, [&](const ir::Stmt& s) {
+    if (s->kind == ir::StmtKind::kFor) ++loops;
+  });
+  return loops;
+}
+
+KernelDesign SynthesizeKernel(const SynthInput& input, const AocOptions& opts,
+                              const CostModel& m) {
+  CLFLOW_CHECK(input.kernel != nullptr);
+  const ir::Kernel& k = *input.kernel;
+  KernelDesign d;
+  d.name = k.name;
+  d.kernel = input.kernel;
+  d.static_stats = ir::AnalyzeKernel(k, input.representative_bindings);
+  const ir::KernelStats& st = d.static_stats;
+
+  // Control logic.
+  d.aluts = m.kernel_base_alut + m.alut_per_loop * CountLoops(k.body);
+
+  // Arithmetic: one DSP per spatial fp multiply (the mul-add pairs fuse
+  // into the DSP's accumulator with -fp-relaxed); unpaired adders and,
+  // without the float flags, *every* adder goes to soft logic (SS4.10).
+  // Reduced-precision data packs ops_per_dsp MACs per block (SS8.1).
+  d.dsps = (st.fp_mul_spatial + m.ops_per_dsp - 1) / m.ops_per_dsp;
+  const std::int64_t unpaired_adds =
+      std::max<std::int64_t>(st.fp_add_spatial - st.fp_mul_spatial, 0);
+  d.aluts += unpaired_adds * m.alut_per_unfused_add;
+  if (!opts.fp_relaxed || !opts.fpc) {
+    d.aluts += st.fp_add_spatial * m.alut_per_unfused_add;
+  }
+  d.dsps += st.fp_complex_spatial * m.dsp_per_complex_op;
+  d.aluts += st.fp_complex_spatial * m.alut_per_complex_op;
+
+  // LSUs.
+  for (const auto& site : st.accesses) {
+    const std::int64_t width_bytes = static_cast<std::int64_t>(
+        static_cast<double>(site.width_elems) * m.data_bytes);
+    const std::int64_t per_lsu_alut = static_cast<std::int64_t>(
+        (m.lsu_base_alut + m.lsu_alut_per_byte_width * width_bytes) *
+        (site.sequential ? 1.0 : m.nonaligned_alut_factor));
+    std::int64_t per_lsu_bram =
+        m.lsu_base_bram + (width_bytes / 16) * m.lsu_bram_per_16byte_width;
+    if (!site.sequential) {
+      per_lsu_bram = static_cast<std::int64_t>(
+          static_cast<double>(per_lsu_bram) * m.nonaligned_bram_factor);
+    }
+    d.aluts += per_lsu_alut * site.lsu_count;
+    d.brams += per_lsu_bram * site.lsu_count;
+    // One cache system per load site, shared by its replicas.
+    if (site.cached) d.brams += m.cached_lsu_bram;
+    d.lsu_count += site.lsu_count;
+    if (!site.sequential) d.nonseq_lsu_count += site.lsu_count;
+    d.lsu_width_bits += site.lsu_count * width_bytes * 8;
+  }
+
+  // On-chip storage: private arrays in registers, local arrays in BRAM
+  // (double-pumped/replicated for multiple readers is folded into the
+  // constant).
+  d.ffs = static_cast<std::int64_t>(static_cast<double>(d.aluts) *
+                                    m.ff_per_alut) +
+          static_cast<std::int64_t>(static_cast<double>(st.private_elems) *
+                                    m.data_bytes * 8.0);
+  d.brams += (static_cast<std::int64_t>(
+                  static_cast<double>(st.local_elems) * m.data_bytes) +
+              m.bram_bytes - 1) /
+             m.bram_bytes;
+
+  // Channel endpoints.
+  for (const auto& chan : k.channels_written) {
+    d.aluts += m.channel_base_alut;
+    d.brams += (chan->channel_depth * 4 + m.bram_bytes - 1) / m.bram_bytes;
+  }
+  d.aluts +=
+      static_cast<std::int64_t>(k.channels_read.size()) * m.channel_base_alut;
+
+  return d;
+}
+
+}  // namespace
+
+Bitstream Synthesize(const std::vector<SynthInput>& kernels,
+                     const BoardSpec& board, const AocOptions& options,
+                     const CostModel& model) {
+  CLFLOW_CHECK_MSG(!kernels.empty(), "nothing to synthesize");
+  Bitstream bs;
+  bs.board = board;
+  bs.options = options;
+
+  for (const auto& input : kernels) {
+    bs.kernels.push_back(SynthesizeKernel(input, options, model));
+  }
+
+  ResourceTotals& t = bs.totals;
+  for (const auto& k : bs.kernels) {
+    t.aluts += k.aluts;
+    t.ffs += k.ffs;
+    t.brams += k.brams;
+    t.dsps += k.dsps;
+  }
+  // Report fractions of the whole device, static partition included, as
+  // Quartus fit reports do (Tables 6.5/6.9/6.11/6.14).
+  const auto static_aluts = board.aluts - board.usable_aluts();
+  const auto static_ffs = board.ffs - board.usable_ffs();
+  const auto static_brams = board.brams - board.usable_brams();
+  t.alut_frac = static_cast<double>(t.aluts + static_aluts) /
+                static_cast<double>(board.aluts);
+  t.ff_frac = static_cast<double>(t.ffs + static_ffs) /
+              static_cast<double>(board.ffs);
+  t.bram_frac = static_cast<double>(t.brams + static_brams) /
+                static_cast<double>(board.brams);
+  t.dsp_frac = static_cast<double>(t.dsps) / static_cast<double>(board.dsps);
+
+  // Fit check against the kernel partition.
+  std::ostringstream detail;
+  if (t.aluts > board.usable_aluts()) {
+    detail << "logic " << t.aluts << " ALUTs > usable "
+           << board.usable_aluts() << "; ";
+  }
+  if (t.brams > board.usable_brams()) {
+    detail << "RAM " << t.brams << " M20Ks > usable " << board.usable_brams()
+           << "; ";
+  }
+  if (t.dsps > board.dsps) {
+    detail << "DSP " << t.dsps << " > " << board.dsps << "; ";
+  }
+  if (!detail.str().empty()) {
+    bs.status = SynthStatus::kFitError;
+    bs.status_detail = detail.str();
+    return bs;
+  }
+
+  // Routing pressure and fmax.
+  double lsu_kbits = 0;
+  double lsu_total = 0;
+  for (const auto& k : bs.kernels) {
+    lsu_kbits += static_cast<double>(k.lsu_width_bits) / 1000.0;
+    lsu_total += static_cast<double>(k.lsu_count) +
+                 (model.pressure_nonseq_lsu_multiplier - 1.0) *
+                     static_cast<double>(k.nonseq_lsu_count);
+  }
+  bs.routing_pressure = model.pressure_alut_weight * t.alut_frac +
+                        model.pressure_bram_weight * t.bram_frac +
+                        model.pressure_dsp_weight * t.dsp_frac +
+                        model.pressure_per_kbit_lsu_width * lsu_kbits +
+                        model.pressure_per_lsu * lsu_total;
+  // A single compute unit that concentrates too many of the chip's DSPs
+  // cannot be routed on HyperFlex parts (SS6.5 / Figure 6.8).
+  for (const auto& k : bs.kernels) {
+    const double frac =
+        static_cast<double>(k.dsps) / static_cast<double>(board.dsps);
+    if (frac > board.max_kernel_dsp_frac) {
+      bs.status = SynthStatus::kRouteError;
+      std::ostringstream os;
+      os << "routing congestion: kernel " << k.name << " concentrates "
+         << k.dsps << " DSPs (" << static_cast<int>(frac * 100)
+         << "% of chip) > board limit "
+         << static_cast<int>(board.max_kernel_dsp_frac * 100) << "%";
+      bs.status_detail = os.str();
+      return bs;
+    }
+  }
+  if (bs.routing_pressure > model.route_fail_pressure) {
+    bs.status = SynthStatus::kRouteError;
+    std::ostringstream os;
+    os << "routing congestion: pressure " << bs.routing_pressure << " > "
+       << model.route_fail_pressure;
+    bs.status_detail = os.str();
+    return bs;
+  }
+  const double p = bs.routing_pressure;
+  bs.fmax_mhz = board.base_fmax_mhz *
+                std::max(0.25, 1.0 - model.fmax_linear * p -
+                                   model.fmax_quadratic * p * p);
+  return bs;
+}
+
+double InvocationCycles(const ir::KernelStats& stats, const BoardSpec& board,
+                        double fmax_mhz, const CostModel& model) {
+  CLFLOW_CHECK(fmax_mhz > 0);
+  // Memory service time: every site pays a burst-efficiency penalty when
+  // its provable contiguous run is shorter than one burst.
+  double effective_bytes = 0.0;
+  for (const auto& site : stats.accesses) {
+    const double run_bytes = std::max(
+        model.data_bytes,
+        static_cast<double>(site.run_elems) * model.data_bytes);
+    const double penalty = std::max(1.0, model.burst_bytes / run_bytes);
+    double bytes = site.elems_per_invocation * model.data_bytes * penalty;
+    // Cached burst-coalesced LSUs serve most repeated reads on chip.
+    if (site.cached) bytes /= model.cached_lsu_reuse;
+    effective_bytes += bytes;
+  }
+  const double mem_cycles = effective_bytes / board.BytesPerCycle(fmax_mhz);
+  return std::max(stats.compute_cycles, mem_cycles);
+}
+
+SimTime InvocationTime(const ir::KernelStats& stats, const BoardSpec& board,
+                       double fmax_mhz, const CostModel& model) {
+  return SimTime::Cycles(InvocationCycles(stats, board, fmax_mhz, model),
+                         fmax_mhz);
+}
+
+SimTime TransferTime(const BoardSpec& board, std::int64_t bytes,
+                     bool host_to_device) {
+  const double gbps = host_to_device ? board.h2d_gbps : board.d2h_gbps;
+  const double lat_us =
+      host_to_device ? board.h2d_latency_us : board.d2h_latency_us;
+  const double us = lat_us + static_cast<double>(bytes) / (gbps * 1e3);
+  return SimTime::Us(us);
+}
+
+}  // namespace clflow::fpga

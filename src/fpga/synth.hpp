@@ -1,0 +1,168 @@
+// The AOC/Quartus synthesis model ("aocsim").
+//
+// Synthesize() maps a set of scheduled kernels onto a board, reproducing
+// the mechanisms the paper's results hinge on:
+//
+//   * DSP blocks replicate with spatial unrolling (one fp MAC per DSP with
+//     -fp-relaxed/-fpc tree balancing; without the flags extra adder logic
+//     is spent, SS4.10);
+//   * every global access site becomes one or more LSUs with logic + BRAM
+//     cost; cached burst-coalesced LSUs (repetitive reads) cost a large
+//     BRAM cache, non-coalesced sites replicate, wide sites widen;
+//   * local/private buffers consume BRAM/registers; channels consume FIFO
+//     BRAM;
+//   * fmax degrades with routing pressure (logic + BRAM utilization and
+//     LSU fanout); past a threshold the router fails (SS6.5, Figure 6.8);
+//   * designs whose resources exceed the board do not fit (the paper's
+//     MobileNet/ResNet base configurations on the Arria 10).
+//
+// All constants live in CostModel so tests and ablation benches can vary
+// them; the defaults are calibrated against the paper's Tables 6.5/6.6/
+// 6.9/6.11/6.14 area and fmax columns.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "fpga/board.hpp"
+#include "ir/analysis.hpp"
+#include "ir/stmt.hpp"
+
+namespace clflow::fpga {
+
+struct AocOptions {
+  bool fp_relaxed = true;  ///< -fp-relaxed: balanced reduction trees
+  bool fpc = true;         ///< -fpc: fused/rounding-free FP, saves area
+};
+
+/// Tunable synthesis-model constants (defaults calibrated to the paper).
+struct CostModel {
+  // Per-kernel fixed control overhead.
+  std::int64_t kernel_base_alut = 4500;
+  std::int64_t alut_per_loop = 260;
+  // Arithmetic.
+  std::int64_t alut_per_unfused_add = 500;  ///< without -fp-relaxed/-fpc
+  std::int64_t dsp_per_complex_op = 4;      ///< exp / fp division
+  std::int64_t alut_per_complex_op = 3200;
+  // LSUs.
+  std::int64_t lsu_base_alut = 1200;
+  std::int64_t lsu_alut_per_byte_width = 40;
+  std::int64_t lsu_base_bram = 6;
+  std::int64_t lsu_bram_per_16byte_width = 2;
+  std::int64_t cached_lsu_bram = 32;  ///< 512 kbit cache in M20Ks
+  double nonaligned_alut_factor = 1.35;
+  /// Non-aligned burst-coalesced LSUs buffer two bursts per access and
+  /// replicate their reorder storage (SS2.4.3).
+  double nonaligned_bram_factor = 3.0;
+  // Storage.
+  double ff_per_alut = 1.9;
+  std::int64_t bram_bytes = 2560;  ///< usable bytes per M20K (20 kbit)
+  // Channels.
+  std::int64_t channel_base_alut = 300;
+  // fmax / routing model: fmax = base * (1 - a*p - b*p^3) with pressure p
+  // from weighted utilization + LSU fanout; route failure when the total
+  // pressure exceeds a threshold or a single kernel concentrates more
+  // DSPs than the board's router can feed (board.max_kernel_dsp_frac).
+  double pressure_alut_weight = 0.40;
+  double pressure_bram_weight = 0.30;
+  double pressure_dsp_weight = 0.90;
+  double pressure_per_kbit_lsu_width = 0.0008;
+  double pressure_per_lsu = 0.0015;
+  /// Non-sequential (non-aligned) LSUs stress routing harder: arbitration
+  /// networks and reorder buffers fan out across the chip.
+  double pressure_nonseq_lsu_multiplier = 3.0;
+  double fmax_linear = 0.05;
+  double fmax_quadratic = 0.28;
+  double route_fail_pressure = 1.65;
+  // External memory efficiency.
+  double burst_bytes = 64.0;
+  // Data precision (paper SS8.1 future work: quantized networks).
+  // data_bytes scales every LSU width, cache footprint, and traffic
+  // figure; ops_per_dsp models the Intel DSP's packed 18x18 mode that
+  // computes two low-precision MACs per block. Defaults are the paper's
+  // fp32 deployment; bench_quantized_mobilenet sets {1, 2}.
+  double data_bytes = 4.0;
+  std::int64_t ops_per_dsp = 1;
+  /// Fraction of a cached LSU's repeated reads served from its cache
+  /// (SS2.4.3); traffic for cached sites is divided by this reuse factor.
+  double cached_lsu_reuse = 4.0;
+};
+
+enum class SynthStatus {
+  kOk,
+  kFitError,    ///< resources exceed the board
+  kRouteError,  ///< routing congestion (SS6.5)
+};
+
+[[nodiscard]] std::string_view SynthStatusName(SynthStatus status);
+
+/// Per-kernel synthesis result.
+struct KernelDesign {
+  std::string name;
+  const ir::Kernel* kernel = nullptr;
+  /// Analysis under the representative bindings used for synthesis.
+  ir::KernelStats static_stats;
+  std::int64_t dsps = 0;
+  std::int64_t aluts = 0;
+  std::int64_t ffs = 0;
+  std::int64_t brams = 0;
+  std::int64_t lsu_count = 0;
+  std::int64_t nonseq_lsu_count = 0;
+  std::int64_t lsu_width_bits = 0;
+};
+
+struct ResourceTotals {
+  std::int64_t aluts = 0, ffs = 0, brams = 0, dsps = 0;
+  // Fractions of the full device (including the static partition), as the
+  // paper's fitter reports present them.
+  double alut_frac = 0, ff_frac = 0, bram_frac = 0, dsp_frac = 0;
+};
+
+struct Bitstream {
+  SynthStatus status = SynthStatus::kOk;
+  std::string status_detail;
+  std::vector<KernelDesign> kernels;
+  ResourceTotals totals;
+  double fmax_mhz = 0.0;
+  double routing_pressure = 0.0;
+  BoardSpec board;
+  AocOptions options;
+
+  [[nodiscard]] bool ok() const { return status == SynthStatus::kOk; }
+  [[nodiscard]] const KernelDesign* Find(const std::string& name) const;
+};
+
+/// One kernel to synthesize, with representative shape-parameter bindings
+/// (largest layer) used to size caches and report static analysis.
+struct SynthInput {
+  const ir::Kernel* kernel = nullptr;
+  ir::Bindings representative_bindings;
+};
+
+[[nodiscard]] Bitstream Synthesize(const std::vector<SynthInput>& kernels,
+                                   const BoardSpec& board,
+                                   const AocOptions& options = {},
+                                   const CostModel& model = {});
+
+// --- Runtime timing ---------------------------------------------------------
+
+/// Cycles for one invocation of a synthesized kernel whose dynamic
+/// behaviour is described by `stats` (re-analyzed per layer for folded
+/// kernels): max of the pipelined compute estimate and the external-memory
+/// service time, including burst-efficiency penalties for short-run sites.
+[[nodiscard]] double InvocationCycles(const ir::KernelStats& stats,
+                                      const BoardSpec& board, double fmax_mhz,
+                                      const CostModel& model = {});
+
+[[nodiscard]] SimTime InvocationTime(const ir::KernelStats& stats,
+                                     const BoardSpec& board, double fmax_mhz,
+                                     const CostModel& model = {});
+
+/// Host<->device transfer time: latency + size/bandwidth.
+[[nodiscard]] SimTime TransferTime(const BoardSpec& board, std::int64_t bytes,
+                                   bool host_to_device);
+
+}  // namespace clflow::fpga

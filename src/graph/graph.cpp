@@ -1,0 +1,449 @@
+#include "graph/graph.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "cpu/ops.hpp"
+
+namespace clflow::graph {
+
+std::string_view OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput: return "input";
+    case OpKind::kConv2d: return "conv2d";
+    case OpKind::kDepthwiseConv2d: return "depthwise_conv2d";
+    case OpKind::kDense: return "dense";
+    case OpKind::kMaxPool: return "max_pool";
+    case OpKind::kAvgPool: return "avg_pool";
+    case OpKind::kPad: return "pad";
+    case OpKind::kActivation: return "activation";
+    case OpKind::kSoftmax: return "softmax";
+    case OpKind::kAdd: return "add";
+    case OpKind::kFlatten: return "flatten";
+  }
+  return "?";
+}
+
+Node& Graph::Append(OpKind kind, std::vector<NodeId> inputs,
+                    std::string name) {
+  for (NodeId in : inputs) {
+    CLFLOW_CHECK_MSG(in >= 0 && in < static_cast<NodeId>(nodes_.size()),
+                     "graph input id out of range");
+  }
+  Node n;
+  n.id = static_cast<NodeId>(nodes_.size());
+  n.kind = kind;
+  n.name = std::move(name);
+  n.inputs = std::move(inputs);
+  nodes_.push_back(std::move(n));
+  return nodes_.back();
+}
+
+NodeId Graph::AddInput(Shape shape, std::string name) {
+  CLFLOW_CHECK_MSG(nodes_.empty(), "input must be the first node");
+  Node& n = Append(OpKind::kInput, {}, std::move(name));
+  n.output_shape = std::move(shape);
+  return n.id;
+}
+
+NodeId Graph::AddConv2d(NodeId input, Tensor weights, Tensor bias,
+                        std::int64_t stride, std::string name,
+                        Activation activation) {
+  const Shape in = node(input).output_shape;
+  if (weights.shape().rank() != 4 || in.rank() != 4 ||
+      weights.shape()[1] != in.channels()) {
+    throw ShapeError("conv2d weights/input mismatch at node " + name);
+  }
+  const std::int64_t f = weights.shape()[2];
+  Node& n = Append(OpKind::kConv2d, {input}, std::move(name));
+  n.filters = weights.shape()[0];
+  n.window = f;
+  n.stride = stride;
+  n.weights = std::move(weights);
+  n.bias = std::move(bias);
+  n.activation = activation;
+  n.output_shape = Shape{1, n.filters, ConvOutDim(in.height(), f, stride, 0),
+                         ConvOutDim(in.width(), f, stride, 0)};
+  return n.id;
+}
+
+NodeId Graph::AddDepthwiseConv2d(NodeId input, Tensor weights, Tensor bias,
+                                 std::int64_t stride, std::string name,
+                                 Activation activation) {
+  const Shape in = node(input).output_shape;
+  if (weights.shape().rank() != 4 || weights.shape()[1] != 1 ||
+      weights.shape()[0] != in.channels()) {
+    throw ShapeError("depthwise weights/input mismatch at node " + name);
+  }
+  const std::int64_t f = weights.shape()[2];
+  Node& n = Append(OpKind::kDepthwiseConv2d, {input}, std::move(name));
+  n.filters = in.channels();
+  n.window = f;
+  n.stride = stride;
+  n.weights = std::move(weights);
+  n.bias = std::move(bias);
+  n.activation = activation;
+  n.output_shape = Shape{1, n.filters, ConvOutDim(in.height(), f, stride, 0),
+                         ConvOutDim(in.width(), f, stride, 0)};
+  return n.id;
+}
+
+NodeId Graph::AddDense(NodeId input, Tensor weights, Tensor bias,
+                       std::string name, Activation activation) {
+  const Shape in = node(input).output_shape;
+  if (weights.shape().rank() != 2 ||
+      weights.shape()[1] != in.NumElements()) {
+    throw ShapeError("dense weights/input mismatch at node " + name);
+  }
+  Node& n = Append(OpKind::kDense, {input}, std::move(name));
+  n.weights = std::move(weights);
+  n.bias = std::move(bias);
+  n.activation = activation;
+  n.output_shape = Shape{1, n.weights.shape()[0]};
+  return n.id;
+}
+
+NodeId Graph::AddMaxPool(NodeId input, std::int64_t window,
+                         std::int64_t stride, std::string name) {
+  const Shape in = node(input).output_shape;
+  Node& n = Append(OpKind::kMaxPool, {input}, std::move(name));
+  n.window = window;
+  n.stride = stride;
+  n.output_shape = Shape{1, in.channels(),
+                         ConvOutDim(in.height(), window, stride, 0),
+                         ConvOutDim(in.width(), window, stride, 0)};
+  return n.id;
+}
+
+NodeId Graph::AddAvgPool(NodeId input, std::int64_t window,
+                         std::int64_t stride, std::string name) {
+  const NodeId id = AddMaxPool(input, window, stride, std::move(name));
+  nodes_[static_cast<std::size_t>(id)].kind = OpKind::kAvgPool;
+  return id;
+}
+
+NodeId Graph::AddPad(NodeId input, std::int64_t pad, std::string name) {
+  CLFLOW_CHECK_MSG(pad > 0, "padding must be positive");
+  const Shape in = node(input).output_shape;
+  Node& n = Append(OpKind::kPad, {input}, std::move(name));
+  n.pad = pad;
+  n.output_shape = Shape{1, in.channels(), in.height() + 2 * pad,
+                         in.width() + 2 * pad};
+  return n.id;
+}
+
+NodeId Graph::AddActivation(NodeId input, Activation activation,
+                            std::string name) {
+  const Shape in = node(input).output_shape;
+  Node& n = Append(OpKind::kActivation, {input}, std::move(name));
+  n.standalone_activation = activation;
+  n.output_shape = in;
+  return n.id;
+}
+
+NodeId Graph::AddSoftmax(NodeId input, std::string name) {
+  const Shape in = node(input).output_shape;
+  Node& n = Append(OpKind::kSoftmax, {input}, std::move(name));
+  n.output_shape = in;
+  return n.id;
+}
+
+NodeId Graph::AddResidual(NodeId a, NodeId b, std::string name,
+                          Activation activation) {
+  if (node(a).output_shape != node(b).output_shape) {
+    throw ShapeError("residual add shape mismatch at node " + name);
+  }
+  const Shape in = node(a).output_shape;
+  Node& n = Append(OpKind::kAdd, {a, b}, std::move(name));
+  n.activation = activation;
+  n.output_shape = in;
+  return n.id;
+}
+
+NodeId Graph::AddFlatten(NodeId input, std::string name) {
+  const std::int64_t elems = node(input).output_shape.NumElements();
+  Node& n = Append(OpKind::kFlatten, {input}, std::move(name));
+  n.output_shape = Shape{1, elems};
+  return n.id;
+}
+
+const Node& Graph::node(NodeId id) const {
+  CLFLOW_CHECK_MSG(id >= 0 && id < static_cast<NodeId>(nodes_.size()),
+                   "node id out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+void Graph::SetParameters(NodeId id, Tensor weights, Tensor bias) {
+  CLFLOW_CHECK_MSG(id >= 0 && id < static_cast<NodeId>(nodes_.size()),
+                   "node id out of range");
+  Node& n = nodes_[static_cast<std::size_t>(id)];
+  if (!n.weights.defined()) {
+    throw ShapeError("node " + n.name + " has no parameters to set");
+  }
+  if (weights.shape() != n.weights.shape()) {
+    throw ShapeError("weight shape mismatch at node " + n.name + ": " +
+                     weights.shape().ToString() + " vs " +
+                     n.weights.shape().ToString());
+  }
+  if (n.bias.defined() != bias.defined() ||
+      (bias.defined() && bias.shape() != n.bias.shape())) {
+    throw ShapeError("bias mismatch at node " + n.name);
+  }
+  n.weights = std::move(weights);
+  n.bias = std::move(bias);
+}
+
+NodeId Graph::output_id() const {
+  CLFLOW_CHECK_MSG(!nodes_.empty(), "empty graph");
+  return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+std::vector<std::vector<NodeId>> Graph::ConsumerMap() const {
+  std::vector<std::vector<NodeId>> consumers(nodes_.size());
+  for (const Node& n : nodes_) {
+    for (NodeId in : n.inputs) {
+      consumers[static_cast<std::size_t>(in)].push_back(n.id);
+    }
+  }
+  return consumers;
+}
+
+std::string Graph::ToString() const {
+  std::ostringstream os;
+  os << "graph " << name_ << " {\n";
+  for (const Node& n : nodes_) {
+    os << "  %" << n.id << " = " << OpKindName(n.kind) << "(";
+    for (std::size_t i = 0; i < n.inputs.size(); ++i) {
+      if (i) os << ", ";
+      os << '%' << n.inputs[i];
+    }
+    os << ") " << n.output_shape.ToString();
+    if (n.activation != Activation::kNone) {
+      os << " +" << ActivationName(n.activation);
+    }
+    os << "  // " << n.name << '\n';
+  }
+  os << "}\n";
+  return os.str();
+}
+
+Graph FuseOperators(const Graph& g) {
+  const auto consumers = g.ConsumerMap();
+  // old id -> new id
+  std::unordered_map<NodeId, NodeId> remap;
+  Graph out;
+  out.set_name(g.name());
+
+  auto fusable = [](OpKind kind) {
+    return kind == OpKind::kConv2d || kind == OpKind::kDepthwiseConv2d ||
+           kind == OpKind::kDense || kind == OpKind::kAdd;
+  };
+
+  for (const Node& n : g.nodes()) {
+    // Skip activations that will be folded into their producer.
+    if (n.kind == OpKind::kActivation) {
+      const Node& prod = g.node(n.inputs[0]);
+      if (fusable(prod.kind) && prod.activation == Activation::kNone &&
+          consumers[static_cast<std::size_t>(prod.id)].size() == 1) {
+        continue;  // handled when the producer is copied below
+      }
+    }
+
+    std::vector<NodeId> mapped;
+    mapped.reserve(n.inputs.size());
+    for (NodeId in : n.inputs) mapped.push_back(remap.at(in));
+
+    NodeId new_id = -1;
+    switch (n.kind) {
+      case OpKind::kInput:
+        new_id = out.AddInput(n.output_shape, n.name);
+        break;
+      case OpKind::kConv2d:
+      case OpKind::kDepthwiseConv2d:
+      case OpKind::kDense:
+      case OpKind::kAdd: {
+        // Does a lone activation consumer exist to fuse?
+        Activation act = n.activation;
+        const auto& cons = consumers[static_cast<std::size_t>(n.id)];
+        const bool fuse =
+            act == Activation::kNone && cons.size() == 1 &&
+            g.node(cons[0]).kind == OpKind::kActivation;
+        if (fuse) act = g.node(cons[0]).standalone_activation;
+        switch (n.kind) {
+          case OpKind::kConv2d:
+            new_id = out.AddConv2d(mapped[0], n.weights, n.bias, n.stride,
+                                   n.name, act);
+            break;
+          case OpKind::kDepthwiseConv2d:
+            new_id = out.AddDepthwiseConv2d(mapped[0], n.weights, n.bias,
+                                            n.stride, n.name, act);
+            break;
+          case OpKind::kDense:
+            new_id = out.AddDense(mapped[0], n.weights, n.bias, n.name, act);
+            break;
+          default:
+            new_id = out.AddResidual(mapped[0], mapped[1], n.name, act);
+            break;
+        }
+        if (fuse) remap[cons[0]] = new_id;  // activation maps to fused node
+        break;
+      }
+      case OpKind::kMaxPool:
+        new_id = out.AddMaxPool(mapped[0], n.window, n.stride, n.name);
+        break;
+      case OpKind::kAvgPool:
+        new_id = out.AddAvgPool(mapped[0], n.window, n.stride, n.name);
+        break;
+      case OpKind::kPad:
+        new_id = out.AddPad(mapped[0], n.pad, n.name);
+        break;
+      case OpKind::kActivation:
+        new_id = out.AddActivation(mapped[0], n.standalone_activation, n.name);
+        break;
+      case OpKind::kSoftmax:
+        new_id = out.AddSoftmax(mapped[0], n.name);
+        break;
+      case OpKind::kFlatten:
+        new_id = out.AddFlatten(mapped[0], n.name);
+        break;
+    }
+    remap[n.id] = new_id;
+  }
+  return out;
+}
+
+OpCost NodeCost(const Node& node, const Graph& g) {
+  OpCost cost;
+  const auto out = node.output_shape;
+  switch (node.kind) {
+    case OpKind::kConv2d: {
+      const Shape& in = g.node(node.inputs[0]).output_shape;
+      const double macs = static_cast<double>(out.channels()) * out.height() *
+                          out.width() * in.channels() * node.window *
+                          node.window;
+      cost.flops = 2.0 * macs;
+      cost.params = node.weights.size() +
+                    (node.bias.defined() ? node.bias.size() : 0);
+      break;
+    }
+    case OpKind::kDepthwiseConv2d: {
+      const double macs = static_cast<double>(out.channels()) * out.height() *
+                          out.width() * node.window * node.window;
+      cost.flops = 2.0 * macs;
+      cost.params = node.weights.size() +
+                    (node.bias.defined() ? node.bias.size() : 0);
+      break;
+    }
+    case OpKind::kDense: {
+      const double macs = static_cast<double>(node.weights.shape()[0]) *
+                          node.weights.shape()[1];
+      cost.flops = 2.0 * macs;
+      cost.params = node.weights.size() +
+                    (node.bias.defined() ? node.bias.size() : 0);
+      break;
+    }
+    case OpKind::kMaxPool:
+    case OpKind::kAvgPool:
+      cost.flops = static_cast<double>(out.NumElements()) * node.window *
+                   node.window;
+      break;
+    case OpKind::kAdd:
+    case OpKind::kActivation:
+      cost.flops = static_cast<double>(out.NumElements());
+      break;
+    case OpKind::kSoftmax:
+      cost.flops = 3.0 * static_cast<double>(out.NumElements());
+      break;
+    case OpKind::kInput:
+    case OpKind::kPad:
+    case OpKind::kFlatten:
+      break;  // no arithmetic
+  }
+  return cost;
+}
+
+OpCost GraphCost(const Graph& g) {
+  OpCost total;
+  for (const Node& n : g.nodes()) {
+    const OpCost c = NodeCost(n, g);
+    total.flops += c.flops;
+    total.params += c.params;
+  }
+  return total;
+}
+
+Tensor ExecuteNode(const Node& n, const std::vector<Tensor>& inputs,
+                   int num_threads) {
+  CLFLOW_CHECK_MSG(inputs.size() == n.inputs.size(),
+                   "wrong input count for node " + n.name);
+  const Tensor& a = inputs.at(0);
+  Tensor result;
+  switch (n.kind) {
+    case OpKind::kConv2d:
+      result = cpu::Conv2d(a, n.weights, n.bias,
+                           {.stride = n.stride, .pad = 0,
+                            .activation = n.activation},
+                           num_threads);
+      break;
+    case OpKind::kDepthwiseConv2d:
+      result = cpu::DepthwiseConv2d(a, n.weights, n.bias,
+                                    {.stride = n.stride, .pad = 0,
+                                     .activation = n.activation},
+                                    num_threads);
+      break;
+    case OpKind::kDense:
+      result = cpu::Dense(a, n.weights, n.bias, n.activation, num_threads);
+      break;
+    case OpKind::kMaxPool:
+      result = cpu::MaxPool2d(a, {.window = n.window, .stride = n.stride},
+                              num_threads);
+      break;
+    case OpKind::kAvgPool:
+      result = cpu::AvgPool2d(a, {.window = n.window, .stride = n.stride},
+                              num_threads);
+      break;
+    case OpKind::kPad:
+      result = cpu::Pad2d(a, n.pad);
+      break;
+    case OpKind::kActivation:
+      result = cpu::Activate(a, n.standalone_activation);
+      break;
+    case OpKind::kSoftmax:
+      result = cpu::Softmax(a);
+      break;
+    case OpKind::kAdd:
+      result = cpu::Add(a, inputs.at(1), n.activation);
+      break;
+    case OpKind::kFlatten:
+      result = a.Reshaped(n.output_shape);
+      break;
+    case OpKind::kInput:
+      throw Error("cannot execute an input node");
+  }
+  CLFLOW_CHECK_MSG(result.shape() == n.output_shape,
+                   "execution shape mismatch at node " + n.name);
+  return result;
+}
+
+Tensor Execute(const Graph& g, const Tensor& input, int num_threads,
+               std::unordered_map<NodeId, Tensor>* activations) {
+  CLFLOW_CHECK_MSG(input.shape() == g.node(g.input_id()).output_shape,
+                   "network input shape mismatch: got " +
+                       input.shape().ToString());
+  std::unordered_map<NodeId, Tensor> values;
+  values[g.input_id()] = input;
+
+  for (const Node& n : g.nodes()) {
+    if (n.kind == OpKind::kInput) continue;
+    std::vector<Tensor> inputs;
+    inputs.reserve(n.inputs.size());
+    for (NodeId in : n.inputs) inputs.push_back(values.at(in));
+    values[n.id] = ExecuteNode(n, inputs, num_threads);
+  }
+
+  Tensor output = values.at(g.output_id());
+  if (activations != nullptr) *activations = std::move(values);
+  return output;
+}
+
+}  // namespace clflow::graph

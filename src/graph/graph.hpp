@@ -1,0 +1,148 @@
+// Graph IR: the network-level representation.
+//
+// This plays the role of TVM's Relay stage in the paper's flow (Figure
+// 3.1): a CNN is a DAG of operator nodes with inferred shapes. The
+// operator-fusion pass folds element-wise activations into their producing
+// conv/dense/add nodes (the paper's injective fusion, SS3.1); batch norm is
+// folded into convolution weights at build time.
+//
+// Padding is always an explicit node: the generated FPGA kernels assume
+// pre-padded inputs, and padding kernels are a measurable share of runtime
+// in the paper's profiles (Tables 6.8/6.16).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/activation.hpp"
+#include "tensor/tensor.hpp"
+
+namespace clflow::graph {
+
+enum class OpKind {
+  kInput,
+  kConv2d,
+  kDepthwiseConv2d,
+  kDense,
+  kMaxPool,
+  kAvgPool,
+  kPad,
+  kActivation,  ///< standalone relu/relu6 (fused away by FuseOperators)
+  kSoftmax,
+  kAdd,
+  kFlatten,
+};
+
+[[nodiscard]] std::string_view OpKindName(OpKind kind);
+
+using NodeId = std::int32_t;
+
+struct Node {
+  NodeId id = -1;
+  OpKind kind = OpKind::kInput;
+  std::string name;
+  std::vector<NodeId> inputs;
+  Shape output_shape;
+
+  // Convolution / pooling attributes.
+  std::int64_t filters = 0;  ///< K (conv only)
+  std::int64_t window = 0;   ///< F
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;      ///< kPad nodes only; convs/pools are pad-free
+
+  // Parameters (undefined when absent).
+  Tensor weights;
+  Tensor bias;
+
+  /// Activation fused into this node by FuseOperators (or at build time).
+  Activation activation = Activation::kNone;
+  /// For kActivation nodes: which function.
+  Activation standalone_activation = Activation::kNone;
+};
+
+/// Per-node computational cost: FLOPs (2x multiply-accumulates, paper
+/// SS6.1.2) and trainable parameter count.
+struct OpCost {
+  double flops = 0.0;
+  std::int64_t params = 0;
+};
+
+class Graph {
+ public:
+  /// Declares the network input; must be the first node.
+  NodeId AddInput(Shape shape, std::string name = "input");
+
+  /// Standard convolution, no implicit padding (insert AddPad first).
+  NodeId AddConv2d(NodeId input, Tensor weights, Tensor bias,
+                   std::int64_t stride, std::string name,
+                   Activation activation = Activation::kNone);
+  /// Depthwise convolution; weights [C,1,F,F].
+  NodeId AddDepthwiseConv2d(NodeId input, Tensor weights, Tensor bias,
+                            std::int64_t stride, std::string name,
+                            Activation activation = Activation::kNone);
+  NodeId AddDense(NodeId input, Tensor weights, Tensor bias, std::string name,
+                  Activation activation = Activation::kNone);
+  NodeId AddMaxPool(NodeId input, std::int64_t window, std::int64_t stride,
+                    std::string name);
+  NodeId AddAvgPool(NodeId input, std::int64_t window, std::int64_t stride,
+                    std::string name);
+  NodeId AddPad(NodeId input, std::int64_t pad, std::string name);
+  NodeId AddActivation(NodeId input, Activation activation, std::string name);
+  NodeId AddSoftmax(NodeId input, std::string name);
+  /// Element-wise residual sum of two equal-shaped nodes.
+  NodeId AddResidual(NodeId a, NodeId b, std::string name,
+                     Activation activation = Activation::kNone);
+  NodeId AddFlatten(NodeId input, std::string name);
+
+  [[nodiscard]] const Node& node(NodeId id) const;
+
+  /// Replaces a parameterized node's weights/bias with same-shaped
+  /// tensors (used by parameter loading; throws ShapeError on mismatch).
+  void SetParameters(NodeId id, Tensor weights, Tensor bias);
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] NodeId input_id() const { return 0; }
+  /// The last node added is the network output.
+  [[nodiscard]] NodeId output_id() const;
+  [[nodiscard]] std::string name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Consumers of each node (computed on demand).
+  [[nodiscard]] std::vector<std::vector<NodeId>> ConsumerMap() const;
+
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  Node& Append(OpKind kind, std::vector<NodeId> inputs, std::string name);
+  std::vector<Node> nodes_;
+  std::string name_ = "network";
+};
+
+/// Folds standalone activations into their producer when the producer is a
+/// conv/depthwise/dense/add node with no other consumers. Returns the
+/// rewritten graph (node ids change).
+[[nodiscard]] Graph FuseOperators(const Graph& g);
+
+/// FLOPs (2x MACs) and parameter count of one node.
+[[nodiscard]] OpCost NodeCost(const Node& node, const Graph& g);
+
+/// Totals across the graph. For LeNet/MobileNet/ResNet these land on the
+/// paper's reported "CNN FP Ops" and parameter counts.
+[[nodiscard]] OpCost GraphCost(const Graph& g);
+
+/// Executes a single node with the reference CPU operators, given its
+/// input tensors in `inputs` (matching node.inputs order).
+[[nodiscard]] Tensor ExecuteNode(const Node& node,
+                                 const std::vector<Tensor>& inputs,
+                                 int num_threads = 1);
+
+/// Functional execution with the reference CPU operators.
+/// `activations`, when non-null, receives every node's output tensor.
+[[nodiscard]] Tensor Execute(const Graph& g, const Tensor& input,
+                             int num_threads = 1,
+                             std::unordered_map<NodeId, Tensor>* activations =
+                                 nullptr);
+
+}  // namespace clflow::graph

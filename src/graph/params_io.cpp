@@ -1,0 +1,82 @@
+#include "graph/params_io.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace clflow::graph {
+
+namespace {
+
+constexpr char kMagic[8] = {'c', 'l', 'f', 'l', 'o', 'w', 't', '1'};
+
+}  // namespace
+
+void SaveTensor(const Tensor& t, const std::string& path) {
+  CLFLOW_CHECK_MSG(t.defined(), "cannot save an undefined tensor");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open " + path + " for writing");
+  out.write(kMagic, sizeof kMagic);
+  const auto rank = static_cast<std::int32_t>(t.shape().rank());
+  out.write(reinterpret_cast<const char*>(&rank), sizeof rank);
+  for (auto d : t.shape().dims()) {
+    out.write(reinterpret_cast<const char*>(&d), sizeof d);
+  }
+  const auto data = t.data();
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+  if (!out) throw Error("write failed for " + path);
+}
+
+Tensor LoadTensor(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open " + path);
+  char magic[sizeof kMagic];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw Error(path + " is not a clflow tensor file");
+  }
+  std::int32_t rank = 0;
+  in.read(reinterpret_cast<char*>(&rank), sizeof rank);
+  if (!in || rank < 0 || rank > 8) throw Error(path + ": bad rank");
+  std::vector<std::int64_t> dims(static_cast<std::size_t>(rank));
+  for (auto& d : dims) {
+    in.read(reinterpret_cast<char*>(&d), sizeof d);
+    if (!in || d <= 0 || d > (1 << 28)) throw Error(path + ": bad dim");
+  }
+  Shape shape(std::move(dims));
+  std::vector<float> data(static_cast<std::size_t>(shape.NumElements()));
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size() * sizeof(float)));
+  if (!in) throw Error(path + ": truncated payload");
+  return Tensor::FromData(std::move(shape), std::move(data));
+}
+
+int SaveParameters(const Graph& g, const std::string& dir) {
+  int files = 0;
+  for (const Node& n : g.nodes()) {
+    if (!n.weights.defined()) continue;
+    SaveTensor(n.weights, dir + "/" + n.name + ".w");
+    ++files;
+    if (n.bias.defined()) {
+      SaveTensor(n.bias, dir + "/" + n.name + ".b");
+      ++files;
+    }
+  }
+  return files;
+}
+
+Graph LoadParameters(const Graph& g, const std::string& dir) {
+  Graph out = g;
+  for (const Node& n : g.nodes()) {
+    if (!n.weights.defined()) continue;
+    Tensor weights = LoadTensor(dir + "/" + n.name + ".w");
+    Tensor bias =
+        n.bias.defined() ? LoadTensor(dir + "/" + n.name + ".b") : Tensor();
+    out.SetParameters(n.id, std::move(weights), std::move(bias));
+  }
+  return out;
+}
+
+}  // namespace clflow::graph

@@ -1,0 +1,34 @@
+// Parameter (de)serialization.
+//
+// The paper's custom host program loads "parameters and kernel buffer
+// sizes exported from TVM" (SS5.2). This module is that exporter/loader:
+// a network's weights and biases are written to one binary file per
+// parameter tensor (a simple versioned header + raw float32 payload,
+// matching the layout the generated host program's LoadParameters()
+// expects), and can be loaded back into a structurally identical graph.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace clflow::graph {
+
+/// Writes one tensor to `path`. Throws Error on I/O failure.
+void SaveTensor(const Tensor& t, const std::string& path);
+
+/// Reads a tensor written by SaveTensor. Throws Error on I/O failure or a
+/// malformed file.
+[[nodiscard]] Tensor LoadTensor(const std::string& path);
+
+/// Exports every parameterized node's weights ("<name>.w") and bias
+/// ("<name>.b") into `dir` (which must exist). Returns the number of
+/// files written.
+int SaveParameters(const Graph& g, const std::string& dir);
+
+/// Loads parameters exported by SaveParameters into a graph with the same
+/// node names and shapes. Returns the rewritten graph. Throws Error on
+/// missing files or shape mismatches.
+[[nodiscard]] Graph LoadParameters(const Graph& g, const std::string& dir);
+
+}  // namespace clflow::graph

@@ -1,0 +1,476 @@
+#include "ir/analysis.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace clflow::ir {
+
+std::string_view LsuTypeName(LsuType type) {
+  switch (type) {
+    case LsuType::kBurstCoalesced:
+      return "burst-coalesced";
+    case LsuType::kBurstCoalescedCached:
+      return "burst-coalesced cached";
+    case LsuType::kBurstCoalescedNonAligned:
+      return "burst-coalesced non-aligned";
+    case LsuType::kStreaming:
+      return "streaming";
+    case LsuType::kPipelined:
+      return "pipelined";
+  }
+  return "?";
+}
+
+LsuType AccessSite::lsu_type() const {
+  if (scope == MemScope::kLocal || scope == MemScope::kPrivate) {
+    return LsuType::kPipelined;
+  }
+  if (cached) return LsuType::kBurstCoalescedCached;
+  if (!sequential) return LsuType::kBurstCoalescedNonAligned;
+  // Very long provable runs with unit width degenerate to a streaming
+  // FIFO; everything else is the common burst-coalesced LSU.
+  if (width_elems == 1 && run_elems >= 4096 && !is_store) {
+    return LsuType::kStreaming;
+  }
+  return LsuType::kBurstCoalesced;
+}
+
+std::optional<std::int64_t> EvalConst(const Expr& e, const Bindings& bindings) {
+  if (!e) return std::nullopt;
+  switch (e->kind) {
+    case ExprKind::kIntImm:
+      return e->int_value;
+    case ExprKind::kFloatImm:
+      return std::nullopt;
+    case ExprKind::kVar: {
+      auto it = bindings.find(e->var.get());
+      if (it != bindings.end()) return it->second;
+      return std::nullopt;
+    }
+    case ExprKind::kBinary: {
+      const auto a = EvalConst(e->a, bindings);
+      const auto b = EvalConst(e->b, bindings);
+      if (!a || !b) return std::nullopt;
+      switch (e->op) {
+        case BinOp::kAdd: return *a + *b;
+        case BinOp::kSub: return *a - *b;
+        case BinOp::kMul: return *a * *b;
+        case BinOp::kDiv: return *b == 0 ? std::nullopt
+                                         : std::optional<std::int64_t>(*a / *b);
+        case BinOp::kMod: return *b == 0 ? std::nullopt
+                                         : std::optional<std::int64_t>(*a % *b);
+        case BinOp::kMin: return std::min(*a, *b);
+        case BinOp::kMax: return std::max(*a, *b);
+        case BinOp::kLt: return *a < *b ? 1 : 0;
+        case BinOp::kGe: return *a >= *b ? 1 : 0;
+        case BinOp::kEq: return *a == *b ? 1 : 0;
+        case BinOp::kAnd: return (*a != 0 && *b != 0) ? 1 : 0;
+      }
+      return std::nullopt;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<std::int64_t> LinearCoeff(const Expr& e, const VarPtr& var,
+                                        const Bindings& bindings) {
+  if (!e) return std::nullopt;
+  switch (e->kind) {
+    case ExprKind::kIntImm:
+    case ExprKind::kFloatImm:
+      return 0;
+    case ExprKind::kVar:
+      return e->var == var ? 1 : 0;
+    case ExprKind::kBinary: {
+      const auto ca = LinearCoeff(e->a, var, bindings);
+      const auto cb = LinearCoeff(e->b, var, bindings);
+      switch (e->op) {
+        case BinOp::kAdd:
+          if (ca && cb) return *ca + *cb;
+          return std::nullopt;
+        case BinOp::kSub:
+          if (ca && cb) return *ca - *cb;
+          return std::nullopt;
+        case BinOp::kMul: {
+          if (ca && *ca == 0 && cb && *cb == 0) return 0;
+          // const * affine or affine * const
+          const auto va = EvalConst(e->a, bindings);
+          const auto vb = EvalConst(e->b, bindings);
+          if (va && cb) return *va * *cb;
+          if (vb && ca) return *ca * *vb;
+          return std::nullopt;
+        }
+        case BinOp::kDiv:
+        case BinOp::kMod:
+          if (ca && *ca == 0 && cb && *cb == 0) return 0;
+          return std::nullopt;
+        default:
+          if (ca && *ca == 0 && cb && *cb == 0) return 0;
+          return std::nullopt;
+      }
+    }
+    case ExprKind::kSelect: {
+      const auto cc = LinearCoeff(e->a, var, bindings);
+      const auto cb = LinearCoeff(e->b, var, bindings);
+      const auto ce = LinearCoeff(e->c, var, bindings);
+      if (cc && *cc == 0 && cb && ce && *cb == *ce) return *cb;
+      return std::nullopt;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+namespace {
+
+struct EnclosingLoop {
+  VarPtr var;
+  /// Spatial copies (unroll width) this loop contributes.
+  std::int64_t span = 1;
+  /// Sequential trips this loop contributes.
+  std::int64_t trips = 1;
+  bool unrolled = false;
+};
+
+class Analyzer {
+ public:
+  Analyzer(const Kernel& kernel, const Bindings& bindings)
+      : kernel_(kernel), runtime_(bindings) {}
+
+  KernelStats Run() {
+    stats_ = {};
+    for (const auto& b : kernel_.local_buffers) {
+      std::int64_t elems = 1;
+      for (const auto& d : b->shape) {
+        const auto v = EvalConst(d, runtime_);
+        CLFLOW_CHECK_MSG(v.has_value(),
+                         "local buffer " + b->name + " has unbound dimension");
+        elems *= *v;
+      }
+      if (b->scope == MemScope::kPrivate) {
+        stats_.private_elems += elems;
+      } else {
+        stats_.local_elems += elems;
+      }
+    }
+    stats_.compute_cycles = Walk(kernel_.body, /*dyn=*/1.0, /*spatial=*/1);
+    // Buffers the kernel both reads and writes get write-ack LSUs, not
+    // cached ones (SS2.4.3): the data dependency defeats the cache.
+    std::unordered_set<std::string> written;
+    for (const auto& site : stats_.accesses) {
+      if (site.is_store) written.insert(site.buffer);
+    }
+    for (auto& site : stats_.accesses) {
+      if (site.cached && written.count(site.buffer) != 0) {
+        site.cached = false;
+      }
+    }
+    return stats_;
+  }
+
+ private:
+  /// Returns the pipelined cycle estimate of `s` executed once, while
+  /// accumulating spatial op counts and access sites scaled by `dyn`
+  /// (dynamic executions of this statement per kernel invocation) and
+  /// `spatial` (hardware replication from enclosing unrolled loops).
+  double Walk(const Stmt& s, double dyn, std::int64_t spatial) {
+    if (!s) return 0.0;
+    switch (s->kind) {
+      case StmtKind::kFor: {
+        const std::int64_t extent = LoopExtent(s);
+        if (s->ann.IsUnrolled() && UnrollCopies(s, extent) == extent) {
+          // Fully unrolled: body replicated in space, single pipeline slot.
+          loops_.push_back({s->var, extent, 1, /*unrolled=*/true});
+          const double body = Walk(s->body, dyn, spatial * extent);
+          loops_.pop_back();
+          return body;
+        }
+        std::int64_t copies = 1;
+        std::int64_t trips = extent;
+        if (s->ann.unroll > 1) {
+          copies = std::min<std::int64_t>(s->ann.unroll, extent);
+          trips = (extent + copies - 1) / copies;
+        }
+        loops_.push_back({s->var, copies, trips, copies > 1});
+        const bool innermost = IsInnermost(s->body);
+        double body_cycles;
+        if (innermost) {
+          const std::int64_t ii = LoopII(s);
+          stats_.worst_ii = std::max(stats_.worst_ii, ii);
+          if (ii > 1) stats_.has_serial_region = true;
+          Walk(s->body, dyn * static_cast<double>(trips), spatial * copies);
+          body_cycles = static_cast<double>(ii);
+        } else {
+          body_cycles = Walk(s->body, dyn * static_cast<double>(trips),
+                             spatial * copies);
+          body_cycles = std::max(body_cycles, 1.0);
+        }
+        loops_.pop_back();
+        if (trips <= 1) return body_cycles;  // flattened away by AOC
+        return static_cast<double>(kLoopEntryOverheadCycles) +
+               static_cast<double>(trips) * body_cycles;
+      }
+      case StmtKind::kBlock: {
+        // Sequential loops serialize; leaf statements (init stores,
+        // writebacks) issue within the surrounding pipeline and add no
+        // serial cycles of their own.
+        double loops_total = 0.0;
+        bool has_leaf = false;
+        for (const auto& child : s->stmts) {
+          const double c = Walk(child, dyn, spatial);
+          if (child->kind == StmtKind::kStore ||
+              child->kind == StmtKind::kWriteChannel ||
+              child->kind == StmtKind::kIf) {
+            has_leaf = true;
+          } else {
+            loops_total += c;
+          }
+        }
+        return loops_total > 0.0 ? loops_total : (has_leaf ? 1.0 : 0.0);
+      }
+      case StmtKind::kIf: {
+        CountExpr(s->cond, dyn, spatial);
+        const double t = Walk(s->then_body, dyn, spatial);
+        const double e = Walk(s->else_body, dyn, spatial);
+        return std::max({t, e, 1.0});
+      }
+      case StmtKind::kStore: {
+        RecordAccess(s->buffer, s->indices, /*is_store=*/true, dyn, spatial);
+        CountExpr(s->value, dyn, spatial);
+        return 1.0;
+      }
+      case StmtKind::kWriteChannel: {
+        stats_.channel_writes += dyn * static_cast<double>(spatial);
+        CountExpr(s->value, dyn, spatial);
+        return 1.0;
+      }
+    }
+    return 0.0;
+  }
+
+  void CountExpr(const Expr& e, double dyn, std::int64_t spatial) {
+    if (!e) return;
+    // A shared subexpression is one hardware value: count each node once
+    // per syntactic site even when the expression DAG reuses it.
+    std::unordered_set<const ExprNode*> visited;
+    VisitExprsIn(e, [&](const Expr& node) {
+      if (!visited.insert(node.get()).second) return;
+      if (node->kind == ExprKind::kBinary &&
+          node->dtype == ScalarType::kFloat32) {
+        switch (node->op) {
+          case BinOp::kMul:
+            stats_.fp_mul_spatial += spatial;
+            break;
+          case BinOp::kAdd:
+          case BinOp::kSub:
+            stats_.fp_add_spatial += spatial;
+            break;
+          case BinOp::kDiv:
+            stats_.fp_complex_spatial += spatial;
+            break;
+          default:
+            break;
+        }
+      }
+      if (node->kind == ExprKind::kCall) {
+        if (node->callee == "read_channel") {
+          stats_.channel_reads += dyn * static_cast<double>(spatial);
+        } else if (node->callee == "exp") {
+          stats_.fp_complex_spatial += spatial;
+        }
+      }
+      if (node->kind == ExprKind::kLoad) {
+        RecordAccess(node->buffer, node->indices, /*is_store=*/false, dyn,
+                     spatial);
+      }
+    });
+  }
+
+  void RecordAccess(const BufferPtr& buffer, const std::vector<Expr>& indices,
+                    bool is_store, double dyn, std::int64_t spatial) {
+    if (buffer->scope != MemScope::kGlobal &&
+        buffer->scope != MemScope::kConstant) {
+      return;  // on-chip accesses are not LSUs
+    }
+    AccessSite site;
+    site.buffer = buffer->name;
+    site.scope = buffer->scope;
+    site.is_store = is_store;
+    (void)spatial;  // traffic is derived from the LSU structure below
+
+    // Flattened index as a symbolic expression; extents/strides stay
+    // symbolic so compile-time coalescing sees exactly what AOC would.
+    Expr flat;
+    if (!buffer->strides.empty()) {
+      CLFLOW_CHECK(buffer->strides.size() == indices.size());
+      flat = IntImm(0);
+      for (std::size_t d = 0; d < indices.size(); ++d) {
+        flat = Add(std::move(flat), Mul(indices[d], buffer->strides[d]));
+      }
+    } else {
+      flat = IntImm(0);
+      for (std::size_t d = 0; d < indices.size(); ++d) {
+        flat = Add(Mul(std::move(flat), buffer->shape[d]), indices[d]);
+      }
+    }
+    flat = Simplify(flat);
+
+    // Chain-coalesce the unrolled loop dimensions (compile-time knowledge
+    // only: no runtime bindings).
+    const Bindings compile_time;
+    struct Dim {
+      std::optional<std::int64_t> coeff;
+      std::int64_t extent;
+    };
+    std::vector<Dim> dims;
+    for (const auto& loop : loops_) {
+      if (!loop.unrolled) continue;
+      dims.push_back({LinearCoeff(flat, loop.var, compile_time), loop.span});
+    }
+    // Span-based coalescing over the unrolled dimensions: a dimension with
+    // stride <= the current span extends the covered span (this admits the
+    // overlapping sliding-window accesses of convolutions, which AOC
+    // serves with one wide unaligned access); a dimension with a larger or
+    // unknown stride replicates the LSU.
+    std::int64_t width = 1;
+    std::vector<bool> used(dims.size(), false);
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t i = 0; i < dims.size(); ++i) {
+        if (used[i] || !dims[i].coeff) continue;
+        const std::int64_t c = *dims[i].coeff;
+        if (c == 0) {
+          // Invariant to this unrolled dim: broadcast, no extra LSU.
+          used[i] = true;
+          progress = true;
+        } else if (c <= width) {
+          width += c * (dims[i].extent - 1);
+          used[i] = true;
+          progress = true;
+        }
+      }
+    }
+    std::int64_t replicas = 1;
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      if (!used[i]) replicas *= dims[i].extent;
+    }
+    site.width_elems = width;
+    site.lsu_count = replicas;
+    site.coalesced = replicas == 1;
+    // Traffic: each dynamic execution moves one width-wide access per
+    // replicated LSU; unrolled dimensions the index is invariant to
+    // (broadcasts) add no traffic.
+    site.elems_per_invocation =
+        dyn * static_cast<double>(width) * static_cast<double>(replicas);
+
+    // Contiguous run length: continue the span chain through the
+    // sequential loops, innermost first. This is what determines how well
+    // the (burst-coalesced) LSU keeps DDR bursts full.
+    std::int64_t run = width;
+    constexpr std::int64_t kRunCap = 1 << 20;
+    for (auto it = loops_.rbegin(); it != loops_.rend() && run < kRunCap;
+         ++it) {
+      if (it->trips <= 1) continue;
+      auto c = LinearCoeff(flat, it->var, compile_time);
+      if (!c) break;
+      if (*c == 0) continue;  // invariant: re-streams the same run
+      // A partially unrolled loop advances by span * stride per trip.
+      const std::int64_t step = *c * it->span;
+      if (step > run) break;
+      run += step * (it->trips - 1);
+    }
+    site.run_elems = std::min(run, kRunCap);
+    site.sequential = site.run_elems * 4 >= 64;
+
+    // Repetitive loads (index invariant to some enclosing sequential loop)
+    // make AOC infer a cached burst-coalesced LSU (SS2.4.3).
+    if (!is_store) {
+      for (const auto& loop : loops_) {
+        if (loop.unrolled) continue;
+        const auto lc = LinearCoeff(flat, loop.var, compile_time);
+        if (lc.has_value() && *lc == 0) {
+          site.cached = true;
+          break;
+        }
+      }
+    }
+
+    const double bytes = site.elems_per_invocation * 4.0;
+    if (is_store) {
+      stats_.global_bytes_written += bytes;
+    } else {
+      stats_.global_bytes_read += bytes;
+    }
+    stats_.accesses.push_back(std::move(site));
+  }
+
+  [[nodiscard]] VarPtr InnermostSequentialVar() const {
+    for (auto it = loops_.rbegin(); it != loops_.rend(); ++it) {
+      if (!it->unrolled) return it->var;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] std::int64_t LoopExtent(const Stmt& loop) const {
+    const auto v = EvalConst(loop->extent, runtime_);
+    CLFLOW_CHECK_MSG(v.has_value(), "loop " + loop->var->name +
+                                        " extent not resolvable at analysis");
+    return std::max<std::int64_t>(*v, 0);
+  }
+
+  [[nodiscard]] static std::int64_t UnrollCopies(const Stmt& loop,
+                                                 std::int64_t extent) {
+    if (loop->ann.unroll == -1 || loop->ann.vectorized) return extent;
+    if (loop->ann.unroll > 1) return std::min(loop->ann.unroll, extent);
+    return 1;
+  }
+
+  [[nodiscard]] static bool IsInnermost(const Stmt& body) {
+    bool has_for = false;
+    VisitStmts(body, [&](const Stmt& s) {
+      if (s->kind == StmtKind::kFor && !s->ann.IsUnrolled()) has_for = true;
+    });
+    return !has_for;
+  }
+
+  /// Initiation interval of an innermost pipelined loop: reductions through
+  /// a global scratchpad cost kGlobalReductionII; everything else achieves
+  /// II = 1.
+  [[nodiscard]] static std::int64_t LoopII(const Stmt& loop) {
+    std::int64_t ii = 1;
+    VisitStmts(loop->body, [&](const Stmt& s) {
+      if (s->kind != StmtKind::kStore) return;
+      if (s->buffer->scope != MemScope::kGlobal &&
+          s->buffer->scope != MemScope::kConstant) {
+        return;
+      }
+      bool reads_self = false;
+      VisitExprsIn(s->value, [&](const Expr& e) {
+        if (e->kind == ExprKind::kLoad && e->buffer == s->buffer) {
+          reads_self = true;
+        }
+      });
+      if (reads_self) ii = std::max(ii, kGlobalReductionII);
+    });
+    return ii;
+  }
+
+  const Kernel& kernel_;
+  const Bindings& runtime_;
+  KernelStats stats_;
+  std::vector<EnclosingLoop> loops_;
+};
+
+}  // namespace
+
+KernelStats AnalyzeKernel(const Kernel& kernel, const Bindings& bindings) {
+  kernel.Validate();
+  Analyzer analyzer(kernel, bindings);
+  return analyzer.Run();
+}
+
+}  // namespace clflow::ir

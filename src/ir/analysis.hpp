@@ -1,0 +1,128 @@
+// Static analyses over scheduled kernels.
+//
+// AnalyzeKernel() performs the analyses Intel's offline compiler (AOC)
+// applies to a single-work-item kernel, as documented in the paper (SS2.4):
+//
+//   * loop pipelining and initiation-interval inference: accumulations into
+//     global-memory scratchpads cannot use the single-cycle accumulator and
+//     get II = 5 (SS5.1.1); private-register accumulations get II = 1;
+//   * spatial parallelism from unrolled/vectorized loops (DSP replication);
+//   * global-memory access sites: LSU replication vs. widening, driven by
+//     the contiguity of the flattened index across unrolled loop variables
+//     -- symbolic-shape strides defeat coalescing exactly as in SS5.3;
+//   * dynamic counts: pipelined cycle estimate, bytes moved, channel ops.
+//
+// The FPGA model (src/fpga) turns these structural facts into area, fmax,
+// and time; keeping the analysis here means it is exercised by IR unit
+// tests independent of any board.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/stmt.hpp"
+
+namespace clflow::ir {
+
+/// Values for symbolic shape parameters (one layer's worth for a
+/// parameterized kernel; empty for constant-shape kernels).
+using Bindings = std::unordered_map<const VarNode*, std::int64_t>;
+
+/// The LSU types Intel's compiler selects between (paper SS2.4.3).
+enum class LsuType {
+  kBurstCoalesced,            ///< default for global access
+  kBurstCoalescedCached,      ///< repetitive reads; BRAM cache
+  kBurstCoalescedNonAligned,  ///< alignment unprovable; extra logic
+  kStreaming,                 ///< in-order reads at a simple offset
+  kPipelined,                 ///< on-chip (local) accesses
+};
+
+[[nodiscard]] std::string_view LsuTypeName(LsuType type);
+
+/// One load/store site to global/constant memory after unrolling.
+struct AccessSite {
+  std::string buffer;
+  MemScope scope = MemScope::kGlobal;
+  bool is_store = false;
+  /// Number of replicated LSUs for this site (1 when coalesced).
+  std::int64_t lsu_count = 1;
+  /// Elements moved per LSU request (unroll width when coalesced).
+  std::int64_t width_elems = 1;
+  /// Whether AOC can prove contiguity across the unrolled iterations.
+  bool coalesced = true;
+  /// Provable contiguous run length, in elements: how many consecutive
+  /// memory elements one access (plus the streaming of the enclosing
+  /// sequential loops) covers before the address stream jumps
+  /// unpredictably. The FPGA model converts this into DDR burst
+  /// efficiency: min(1, run_bytes / burst_size). Div/mod addressing (TVM's
+  /// padding kernels) and unpinned symbolic strides yield run = 1.
+  std::int64_t run_elems = 1;
+  /// Convenience: run covers at least one full external-memory burst.
+  bool sequential = true;
+  /// Whether AOC would infer a *cached* burst-coalesced LSU for this load
+  /// (repetitive access pattern: the flattened index is invariant to some
+  /// enclosing sequential loop). Cached LSUs cost substantial BRAM (SS2.4.3).
+  bool cached = false;
+  /// Total elements this site moves per kernel invocation.
+  double elems_per_invocation = 0.0;
+
+  /// The LSU type AOC would instantiate for this site, derived from the
+  /// fields above per the selection rules of SS2.4.3.
+  [[nodiscard]] LsuType lsu_type() const;
+};
+
+struct KernelStats {
+  /// Pipelined execution estimate for one invocation, in cycles.
+  double compute_cycles = 0.0;
+  /// Worst initiation interval over all innermost loops.
+  std::int64_t worst_ii = 1;
+  /// Peak spatial floating-point multiplies per cycle (DSP demand).
+  std::int64_t fp_mul_spatial = 0;
+  /// Peak spatial floating-point adds per cycle.
+  std::int64_t fp_add_spatial = 0;
+  /// Spatial count of expensive scalar ops (exp, float division).
+  std::int64_t fp_complex_spatial = 0;
+  /// Global/constant memory traffic per invocation, in bytes.
+  double global_bytes_read = 0.0;
+  double global_bytes_written = 0.0;
+  std::vector<AccessSite> accesses;
+  /// Channel elements read/written per invocation.
+  double channel_reads = 0.0;
+  double channel_writes = 0.0;
+  /// Elements of private (register) and local (BRAM) storage.
+  std::int64_t private_elems = 0;
+  std::int64_t local_elems = 0;
+  /// True when some loop nest could not be pipelined at all
+  /// (serialized by a fused-region dependence).
+  bool has_serial_region = false;
+};
+
+/// Initiation interval AOC achieves for a reduction through a global
+/// scratchpad (no single-cycle accumulator; read-modify-write through an
+/// LSU). Matches the II the thesis reports for the naive schedule (SS5.1.1).
+inline constexpr std::int64_t kGlobalReductionII = 5;
+
+/// Cycles of loop-control overhead paid on each entry of a non-unrolled
+/// loop (pipeline fill / drain and bound checks). Degenerate single-trip
+/// loops are free: AOC flattens them.
+inline constexpr std::int64_t kLoopEntryOverheadCycles = 2;
+
+[[nodiscard]] KernelStats AnalyzeKernel(const Kernel& kernel,
+                                        const Bindings& bindings = {});
+
+/// Affine coefficient of `var` in `e` under the bindings, or nullopt when
+/// the expression is not affine in the variable (or the coefficient is
+/// symbolic). The flattened-index coalescing analysis is built on this.
+[[nodiscard]] std::optional<std::int64_t> LinearCoeff(const Expr& e,
+                                                      const VarPtr& var,
+                                                      const Bindings& bindings);
+
+/// Evaluates an index-type expression to a constant under bindings
+/// (loop vars resolved as given in `extra`), or nullopt.
+[[nodiscard]] std::optional<std::int64_t> EvalConst(const Expr& e,
+                                                    const Bindings& bindings);
+
+}  // namespace clflow::ir

@@ -1,0 +1,462 @@
+#include "ir/passes.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace clflow::ir {
+
+namespace {
+
+/// Pre-order rewriter: `fn` may return a replacement for a node (no further
+/// recursion into the replacement) or nullptr to keep rewriting children.
+Stmt RewriteStmt(const Stmt& s,
+                 const std::function<Stmt(const Stmt&)>& fn) {
+  if (!s) return s;
+  if (Stmt replaced = fn(s)) return replaced;
+  auto copy = std::make_shared<StmtNode>(*s);
+  switch (s->kind) {
+    case StmtKind::kFor:
+      copy->body = RewriteStmt(s->body, fn);
+      break;
+    case StmtKind::kBlock:
+      for (auto& child : copy->stmts) child = RewriteStmt(child, fn);
+      break;
+    case StmtKind::kIf:
+      copy->then_body = RewriteStmt(s->then_body, fn);
+      copy->else_body = RewriteStmt(s->else_body, fn);
+      break;
+    default:
+      return s;
+  }
+  return copy;
+}
+
+bool StmtUsesVar(const Stmt& s, const VarPtr& var) {
+  bool used = false;
+  VisitExprs(s, [&](const Expr& e) {
+    if (e->kind == ExprKind::kVar && e->var == var) used = true;
+  });
+  return used;
+}
+
+void CollectReadBuffers(const Stmt& s,
+                        std::unordered_set<const BufferNode*>& out) {
+  VisitExprs(s, [&](const Expr& e) {
+    if (e->kind == ExprKind::kLoad) out.insert(e->buffer.get());
+  });
+}
+
+void CollectWrittenBuffers(const Stmt& s,
+                           std::unordered_set<const BufferNode*>& out) {
+  VisitStmts(s, [&](const Stmt& node) {
+    if (node->kind == StmtKind::kStore) out.insert(node->buffer.get());
+  });
+}
+
+std::int64_t ConstExtentOrThrow(const Stmt& loop, const char* what) {
+  std::int64_t extent = 0;
+  if (!IsConstInt(Simplify(loop->extent), &extent)) {
+    throw ScheduleError(std::string(what) + ": loop " + loop->var->name +
+                        " does not have a constant extent");
+  }
+  return extent;
+}
+
+void RequireZeroMin(const Stmt& loop, const char* what) {
+  std::int64_t min = -1;
+  if (!IsConstInt(Simplify(loop->min), &min) || min != 0) {
+    throw ScheduleError(std::string(what) + ": loop " + loop->var->name +
+                        " must start at 0");
+  }
+}
+
+}  // namespace
+
+Stmt FindLoop(const Stmt& root, const std::string& var_name) {
+  Stmt found;
+  VisitStmts(root, [&](const Stmt& s) {
+    if (s->kind == StmtKind::kFor && s->var->name == var_name) {
+      if (found) {
+        throw ScheduleError("loop variable " + var_name + " is not unique");
+      }
+      found = s;
+    }
+  });
+  if (!found) throw ScheduleError("no loop named " + var_name);
+  return found;
+}
+
+Stmt SplitLoop(const Stmt& root, const std::string& var_name,
+               std::int64_t factor, bool vectorize_inner) {
+  CLFLOW_CHECK_MSG(factor >= 1, "split factor must be >= 1");
+  const Stmt target = FindLoop(root, var_name);
+  const std::int64_t extent = ConstExtentOrThrow(target, "SplitLoop");
+  RequireZeroMin(target, "SplitLoop");
+  if (extent % factor != 0) {
+    // The paper's schedules avoid epilogue loops entirely (SS4.11, req. 2).
+    throw ScheduleError("SplitLoop: extent " + std::to_string(extent) +
+                        " of " + var_name + " not divisible by factor " +
+                        std::to_string(factor));
+  }
+
+  return RewriteStmt(root, [&](const Stmt& s) -> Stmt {
+    if (s != target) return nullptr;
+    VarPtr outer = MakeVar(var_name + "_o");
+    VarPtr inner = MakeVar(var_name + "_i");
+    const Expr fused =
+        Add(Mul(VarRef(outer), IntImm(factor)), VarRef(inner));
+    Stmt body = SubstituteStmt(s->body, s->var, fused);
+    ForAnnotation inner_ann;
+    inner_ann.vectorized = vectorize_inner;
+    if (vectorize_inner) inner_ann.unroll = -1;
+    Stmt inner_loop = For(inner, IntImm(0), IntImm(factor), body, inner_ann);
+    return For(outer, IntImm(0), IntImm(extent / factor), inner_loop);
+  });
+}
+
+Stmt UnrollLoop(const Stmt& root, const std::string& var_name,
+                std::int64_t factor) {
+  CLFLOW_CHECK_MSG(factor == -1 || factor >= 1, "bad unroll factor");
+  const Stmt target = FindLoop(root, var_name);
+  if (factor != 1) {
+    // AOC refuses to fully unroll loops with non-constant bounds (SS4.1);
+    // we enforce the same rule.
+    const std::int64_t extent = ConstExtentOrThrow(target, "UnrollLoop");
+    if (factor > 1 && extent % factor != 0) {
+      throw ScheduleError("UnrollLoop: factor does not divide extent of " +
+                          var_name);
+    }
+  }
+  return RewriteStmt(root, [&](const Stmt& s) -> Stmt {
+    if (s != target) return nullptr;
+    auto copy = std::make_shared<StmtNode>(*s);
+    copy->ann.unroll = factor == 1 ? 0 : factor;
+    return copy;
+  });
+}
+
+Stmt ExplicitUnroll(const Stmt& root, const std::string& var_name) {
+  const Stmt target = FindLoop(root, var_name);
+  const std::int64_t extent = ConstExtentOrThrow(target, "ExplicitUnroll");
+  RequireZeroMin(target, "ExplicitUnroll");
+  CLFLOW_CHECK_MSG(extent <= 4096, "refusing to replicate a huge loop");
+
+  return RewriteStmt(root, [&](const Stmt& s) -> Stmt {
+    if (s != target) return nullptr;
+    std::vector<Stmt> bodies;
+    bodies.reserve(static_cast<std::size_t>(extent));
+    for (std::int64_t i = 0; i < extent; ++i) {
+      bodies.push_back(SubstituteStmt(s->body, s->var, IntImm(i)));
+    }
+    return Block(std::move(bodies));
+  });
+}
+
+Stmt FuseAdjacentLoops(const Stmt& root, const std::string& first_var,
+                       const std::string& second_var) {
+  const Stmt first = FindLoop(root, first_var);
+  const Stmt second = FindLoop(root, second_var);
+  const std::int64_t e1 = ConstExtentOrThrow(first, "FuseAdjacentLoops");
+  const std::int64_t e2 = ConstExtentOrThrow(second, "FuseAdjacentLoops");
+  if (e1 != e2) {
+    throw ScheduleError("FuseAdjacentLoops: extents differ (" +
+                        std::to_string(e1) + " vs " + std::to_string(e2) +
+                        ")");
+  }
+  RequireZeroMin(first, "FuseAdjacentLoops");
+  RequireZeroMin(second, "FuseAdjacentLoops");
+
+  // Legality: for buffers written by loop1 and read by loop2, all accesses
+  // must be at the loop variable itself (element i -> element i), so
+  // iteration i of the fused body sees exactly what it saw before.
+  std::unordered_set<const BufferNode*> written, read;
+  CollectWrittenBuffers(first->body, written);
+  CollectReadBuffers(second->body, read);
+  for (const BufferNode* buf : read) {
+    if (written.find(buf) == written.end()) continue;
+    auto index_is_var = [](const std::vector<Expr>& idx, const VarPtr& v) {
+      return idx.size() == 1 && idx[0]->kind == ExprKind::kVar &&
+             idx[0]->var == v;
+    };
+    bool ok = true;
+    VisitStmts(first->body, [&](const Stmt& s) {
+      if (s->kind == StmtKind::kStore && s->buffer.get() == buf &&
+          !index_is_var(s->indices, first->var)) {
+        ok = false;
+      }
+    });
+    VisitExprs(second->body, [&](const Expr& e) {
+      if (e->kind == ExprKind::kLoad && e->buffer.get() == buf &&
+          !index_is_var(e->indices, second->var)) {
+        ok = false;
+      }
+    });
+    if (!ok) {
+      throw ScheduleError(
+          "FuseAdjacentLoops: backward dependence through buffer " +
+          buf->name);
+    }
+  }
+
+  // Rewrite: locate the Block containing both loops adjacently.
+  bool fused = false;
+  Stmt result = RewriteStmt(root, [&](const Stmt& s) -> Stmt {
+    if (s->kind != StmtKind::kBlock) return nullptr;
+    for (std::size_t i = 0; i + 1 < s->stmts.size(); ++i) {
+      if (s->stmts[i] == first && s->stmts[i + 1] == second) {
+        Stmt body2 = SubstituteStmt(second->body, second->var,
+                                    VarRef(first->var));
+        Stmt merged_body = Block({first->body, body2});
+        auto block = std::make_shared<StmtNode>(*s);
+        block->stmts[i] = For(first->var, first->min, first->extent,
+                              merged_body, first->ann);
+        block->stmts.erase(block->stmts.begin() +
+                           static_cast<std::ptrdiff_t>(i) + 1);
+        fused = true;
+        return block;
+      }
+    }
+    return nullptr;
+  });
+  if (!fused) {
+    throw ScheduleError("FuseAdjacentLoops: loops " + first_var + " and " +
+                        second_var + " are not adjacent");
+  }
+  return result;
+}
+
+Stmt HoistInvariants(const Stmt& root, const std::string& var_name) {
+  const Stmt target = FindLoop(root, var_name);
+  if (target->body->kind != StmtKind::kBlock) {
+    throw ScheduleError("HoistInvariants: loop body is not a block");
+  }
+
+  const auto& stmts = target->body->stmts;
+  std::size_t hoist_count = 0;
+  for (; hoist_count < stmts.size(); ++hoist_count) {
+    const Stmt& s = stmts[hoist_count];
+    if (StmtUsesVar(s, target->var)) break;
+    // The candidate must not read anything the remaining loop body writes
+    // (otherwise later iterations would have changed its inputs).
+    std::unordered_set<const BufferNode*> reads;
+    CollectReadBuffers(s, reads);
+    std::unordered_set<const BufferNode*> writes_inside(reads);  // temp reuse
+    writes_inside.clear();
+    for (std::size_t j = hoist_count + 1; j < stmts.size(); ++j) {
+      CollectWrittenBuffers(stmts[j], writes_inside);
+    }
+    bool conflict = false;
+    for (const BufferNode* b : reads) {
+      if (writes_inside.count(b) != 0) conflict = true;
+    }
+    if (conflict) break;
+  }
+  if (hoist_count == 0) {
+    throw ScheduleError("HoistInvariants: nothing hoistable from " + var_name);
+  }
+
+  return RewriteStmt(root, [&](const Stmt& s) -> Stmt {
+    if (s != target) return nullptr;
+    std::vector<Stmt> hoisted(stmts.begin(),
+                              stmts.begin() + static_cast<std::ptrdiff_t>(
+                                                  hoist_count));
+    std::vector<Stmt> remaining(stmts.begin() + static_cast<std::ptrdiff_t>(
+                                                    hoist_count),
+                                stmts.end());
+    if (remaining.empty()) return Block(std::move(hoisted));
+    hoisted.push_back(
+        For(s->var, s->min, s->extent, Block(std::move(remaining)), s->ann));
+    return Block(std::move(hoisted));
+  });
+}
+
+void CacheWrite(Kernel& kernel, const std::string& buffer_name) {
+  auto it = std::find_if(
+      kernel.buffer_args.begin(), kernel.buffer_args.end(),
+      [&](const BufferPtr& b) { return b->name == buffer_name; });
+  if (it == kernel.buffer_args.end()) {
+    throw ScheduleError("CacheWrite: no global buffer named " + buffer_name +
+                        " in kernel " + kernel.name);
+  }
+  BufferPtr buf = *it;
+  // The result must still reach global memory through some other buffer.
+  bool escapes = false;
+  VisitStmts(kernel.body, [&](const Stmt& s) {
+    if (s->kind == StmtKind::kStore && s->buffer != buf &&
+        (s->buffer->scope == MemScope::kGlobal)) {
+      escapes = true;
+    }
+    if (s->kind == StmtKind::kWriteChannel) escapes = true;
+  });
+  if (!escapes) {
+    throw ScheduleError("CacheWrite: " + buffer_name +
+                        " is the only output of kernel " + kernel.name);
+  }
+  kernel.buffer_args.erase(it);
+  buf->scope = MemScope::kPrivate;
+  buf->is_arg = false;
+  kernel.local_buffers.push_back(buf);
+}
+
+void PinStrideVars(Kernel& kernel, const std::vector<std::string>& vars) {
+  for (const auto& name : vars) {
+    auto it = std::find_if(
+        kernel.scalar_args.begin(), kernel.scalar_args.end(),
+        [&](const VarPtr& v) { return v->name == name; });
+    if (it == kernel.scalar_args.end()) {
+      throw ScheduleError("PinStrideVars: kernel " + kernel.name +
+                          " has no scalar argument " + name);
+    }
+    kernel.body = SubstituteStmt(kernel.body, *it, IntImm(1));
+    for (auto& b : kernel.buffer_args) {
+      for (auto& d : b->shape) d = Substitute(d, *it, IntImm(1));
+      for (auto& s : b->strides) s = Substitute(s, *it, IntImm(1));
+    }
+    kernel.scalar_args.erase(it);
+  }
+  kernel.body = SimplifyStmt(kernel.body);
+}
+
+Stmt ReorderLoops(const Stmt& root, const std::string& outer_var,
+                  const std::string& inner_var) {
+  const Stmt outer = FindLoop(root, outer_var);
+  if (outer->body->kind != StmtKind::kFor ||
+      outer->body->var->name != inner_var) {
+    throw ScheduleError("ReorderLoops: " + inner_var +
+                        " is not perfectly nested directly inside " +
+                        outer_var);
+  }
+  const Stmt inner = outer->body;
+  // Bounds of the inner loop must not depend on the outer variable
+  // (non-rectangular nests cannot be interchanged this way).
+  if (UsesVar(inner->min, outer->var) || UsesVar(inner->extent, outer->var)) {
+    throw ScheduleError("ReorderLoops: inner bounds depend on " + outer_var);
+  }
+  return RewriteStmt(root, [&](const Stmt& s) -> Stmt {
+    if (s != outer) return nullptr;
+    Stmt new_inner =
+        For(outer->var, outer->min, outer->extent, inner->body, outer->ann);
+    return For(inner->var, inner->min, inner->extent, std::move(new_inner),
+               inner->ann);
+  });
+}
+
+void CacheRead(Kernel& kernel, const std::string& buffer_name,
+               MemScope cache_scope) {
+  CLFLOW_CHECK_MSG(cache_scope == MemScope::kLocal ||
+                       cache_scope == MemScope::kPrivate,
+                   "cache must live on chip");
+  auto it = std::find_if(
+      kernel.buffer_args.begin(), kernel.buffer_args.end(),
+      [&](const BufferPtr& b) { return b->name == buffer_name; });
+  if (it == kernel.buffer_args.end()) {
+    throw ScheduleError("CacheRead: no global buffer named " + buffer_name +
+                        " in kernel " + kernel.name);
+  }
+  BufferPtr src = *it;
+  for (const auto& d : src->shape) {
+    if (!IsConstInt(Simplify(d))) {
+      throw ScheduleError("CacheRead: " + buffer_name +
+                          " has a symbolic shape; cannot size the cache");
+    }
+  }
+  bool written = false;
+  VisitStmts(kernel.body, [&](const Stmt& s) {
+    if (s->kind == StmtKind::kStore && s->buffer == src) written = true;
+  });
+  if (written) {
+    throw ScheduleError("CacheRead: " + buffer_name +
+                        " is written by the kernel");
+  }
+
+  BufferPtr cache =
+      MakeBuffer(buffer_name + "_cache", src->shape, cache_scope);
+  kernel.local_buffers.push_back(cache);
+
+  // Fill loop: element-order copy from global to the cache.
+  std::vector<VarPtr> vars;
+  std::vector<Expr> idx;
+  for (std::size_t d = 0; d < src->shape.size(); ++d) {
+    vars.push_back(MakeVar("cr" + std::to_string(d)));
+    idx.push_back(VarRef(vars.back()));
+  }
+  Stmt fill = Store(cache, idx, ir::Load(src, idx));
+  for (std::size_t d = src->shape.size(); d-- > 0;) {
+    fill = For(vars[d], IntImm(0), src->shape[d], std::move(fill));
+  }
+
+  // Redirect every load. Expressions are immutable, so rebuild loads.
+  std::function<Expr(const Expr&)> redirect = [&](const Expr& e) -> Expr {
+    if (!e) return e;
+    auto copy = std::make_shared<ExprNode>(*e);
+    if (copy->kind == ExprKind::kLoad && copy->buffer == src) {
+      copy->buffer = cache;
+    }
+    if (copy->a) copy->a = redirect(copy->a);
+    if (copy->b) copy->b = redirect(copy->b);
+    if (copy->c) copy->c = redirect(copy->c);
+    for (auto& i : copy->indices) i = redirect(i);
+    for (auto& a : copy->args) a = redirect(a);
+    return copy;
+  };
+  std::function<Stmt(const Stmt&)> rewrite = [&](const Stmt& s) -> Stmt {
+    if (!s) return s;
+    auto copy = std::make_shared<StmtNode>(*s);
+    switch (s->kind) {
+      case StmtKind::kFor:
+        copy->min = redirect(s->min);
+        copy->extent = redirect(s->extent);
+        copy->body = rewrite(s->body);
+        break;
+      case StmtKind::kStore:
+        for (auto& i : copy->indices) i = redirect(i);
+        copy->value = redirect(s->value);
+        break;
+      case StmtKind::kBlock:
+        for (auto& child : copy->stmts) child = rewrite(child);
+        break;
+      case StmtKind::kIf:
+        copy->cond = redirect(s->cond);
+        copy->then_body = rewrite(s->then_body);
+        copy->else_body = rewrite(s->else_body);
+        break;
+      case StmtKind::kWriteChannel:
+        copy->value = redirect(s->value);
+        break;
+    }
+    return copy;
+  };
+  kernel.body = Block({std::move(fill), rewrite(kernel.body)});
+}
+
+Stmt SimplifyStmt(const Stmt& root) {
+  if (!root) return root;
+  auto copy = std::make_shared<StmtNode>(*root);
+  switch (root->kind) {
+    case StmtKind::kFor:
+      copy->min = Simplify(root->min);
+      copy->extent = Simplify(root->extent);
+      copy->body = SimplifyStmt(root->body);
+      break;
+    case StmtKind::kStore:
+      for (auto& idx : copy->indices) idx = Simplify(idx);
+      copy->value = Simplify(root->value);
+      break;
+    case StmtKind::kBlock:
+      for (auto& s : copy->stmts) s = SimplifyStmt(s);
+      break;
+    case StmtKind::kIf:
+      copy->cond = Simplify(root->cond);
+      copy->then_body = SimplifyStmt(root->then_body);
+      copy->else_body = SimplifyStmt(root->else_body);
+      break;
+    case StmtKind::kWriteChannel:
+      copy->value = Simplify(root->value);
+      break;
+  }
+  return copy;
+}
+
+}  // namespace clflow::ir

@@ -1,0 +1,3 @@
+namespace clflow {
+// placeholder translation unit; replaced as the module is implemented
+}

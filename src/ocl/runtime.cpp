@@ -1,0 +1,151 @@
+#include "ocl/runtime.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace clflow::ocl {
+
+namespace {
+/// Host cost of issuing one (non-blocking) clEnqueue* call.
+constexpr SimTime kEnqueueCost = SimTime::Us(3.0);
+}  // namespace
+
+Buffer::Buffer(std::int64_t num_floats)
+    : storage_(static_cast<std::size_t>(num_floats), 0.0f),
+      view_(storage_) {
+  CLFLOW_CHECK_MSG(num_floats > 0, "empty buffer");
+}
+
+Runtime::Runtime(fpga::Bitstream bitstream, fpga::CostModel cost_model)
+    : bitstream_(std::move(bitstream)), cost_model_(cost_model) {
+  CLFLOW_CHECK_MSG(bitstream_.ok(),
+                   "cannot create a runtime from a bitstream that did not "
+                   "synthesize: " +
+                       bitstream_.status_detail);
+}
+
+BufferPtr Runtime::CreateBuffer(std::int64_t num_floats) {
+  return std::make_shared<Buffer>(num_floats);
+}
+
+int Runtime::CreateQueue() {
+  queues_.push_back({});
+  return static_cast<int>(queues_.size()) - 1;
+}
+
+int Runtime::num_queues() const { return static_cast<int>(queues_.size()); }
+
+void Runtime::EnqueueWrite(int queue, const BufferPtr& buffer,
+                           std::span<const float> src, std::string label) {
+  CLFLOW_CHECK(queue >= 0 && queue < num_queues());
+  CLFLOW_CHECK_MSG(src.size() <= buffer->view().size(),
+                   "write larger than buffer");
+  // Functional: copy now.
+  std::copy(src.begin(), src.end(), buffer->view().begin());
+
+  host_time_ += kEnqueueCost;
+  QueueState& q = queues_[static_cast<std::size_t>(queue)];
+  const SimTime ready = std::max(host_time_, q.last_end);
+  const SimTime end =
+      ready + fpga::TransferTime(board(),
+                                 static_cast<std::int64_t>(src.size()) * 4,
+                                 /*host_to_device=*/true);
+  q.last_end = end;
+  clock_ = std::max(clock_, end);
+  events_.push_back({std::move(label), CommandKind::kWriteBuffer, queue,
+                     host_time_, ready, end});
+  if (profiling_) host_time_ = end;
+}
+
+void Runtime::EnqueueRead(int queue, const BufferPtr& buffer,
+                          std::span<float> dst, std::string label) {
+  CLFLOW_CHECK(queue >= 0 && queue < num_queues());
+  CLFLOW_CHECK_MSG(dst.size() <= buffer->view().size(),
+                   "read larger than buffer");
+  std::copy_n(buffer->view().begin(), dst.size(), dst.begin());
+
+  host_time_ += kEnqueueCost;
+  QueueState& q = queues_[static_cast<std::size_t>(queue)];
+  const SimTime ready = std::max(host_time_, q.last_end);
+  const SimTime end =
+      ready + fpga::TransferTime(board(),
+                                 static_cast<std::int64_t>(dst.size()) * 4,
+                                 /*host_to_device=*/false);
+  q.last_end = end;
+  clock_ = std::max(clock_, end);
+  events_.push_back({std::move(label), CommandKind::kReadBuffer, queue,
+                     host_time_, ready, end});
+  // Reads block the host by nature (the host consumes the data).
+  host_time_ = end;
+}
+
+SimTime Runtime::KernelReady(const KernelLaunch& launch, SimTime base) const {
+  SimTime ready = base;
+  for (const auto& chan : launch.reads_channels) {
+    auto it = channel_ready_.find(chan);
+    if (it == channel_ready_.end()) {
+      throw RuntimeApiError(
+          "kernel " + launch.name + " reads channel " + chan +
+          " with no enqueued producer: this deadlocks on hardware");
+    }
+    ready = std::max(ready, it->second);
+  }
+  return ready;
+}
+
+void Runtime::RecordKernel(const KernelLaunch& launch, int queue,
+                           bool autorun) {
+  const fpga::KernelDesign* design = bitstream_.Find(launch.name);
+  if (design == nullptr) {
+    throw RuntimeApiError("kernel " + launch.name +
+                          " is not in the programmed bitstream");
+  }
+  if (launch.functional) launch.functional();
+
+  SimTime ready;
+  if (autorun) {
+    // No host dispatch: constrained only by data availability.
+    ready = KernelReady(launch, batch_start_);
+  } else {
+    host_time_ += kEnqueueCost;
+    QueueState& q = queues_[static_cast<std::size_t>(queue)];
+    // Dispatch overhead is paid after the queue frees up; a kernel that is
+    // dispatched early and then blocks on a channel hides it (SS4.8).
+    const SimTime dispatched = std::max(host_time_, q.last_end) +
+                               SimTime::Us(board().kernel_launch_us);
+    ready = KernelReady(launch, dispatched);
+  }
+  const SimTime end =
+      ready + fpga::InvocationTime(launch.stats, board(), fmax_mhz(),
+                                   cost_model_);
+  if (!autorun) queues_[static_cast<std::size_t>(queue)].last_end = end;
+  for (const auto& chan : launch.writes_channels) {
+    channel_ready_[chan] = end;
+    ++channel_writers_[chan];
+  }
+  clock_ = std::max(clock_, end);
+  events_.push_back({launch.name, CommandKind::kKernel, autorun ? -1 : queue,
+                     autorun ? ready : host_time_, ready, end});
+  if (profiling_ && !autorun) host_time_ = end;
+}
+
+void Runtime::EnqueueKernel(int queue, KernelLaunch launch) {
+  CLFLOW_CHECK(queue >= 0 && queue < num_queues());
+  RecordKernel(launch, queue, /*autorun=*/false);
+}
+
+void Runtime::RunAutorun(KernelLaunch launch) {
+  RecordKernel(launch, /*queue=*/0, /*autorun=*/true);
+}
+
+SimTime Runtime::Finish() {
+  const SimTime makespan = clock_ - batch_start_;
+  host_time_ = std::max(host_time_, clock_);
+  batch_start_ = clock_;
+  channel_ready_.clear();
+  channel_writers_.clear();
+  return makespan;
+}
+
+}  // namespace clflow::ocl

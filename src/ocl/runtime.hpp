@@ -1,0 +1,143 @@
+// Simulated OpenCL runtime for FPGA devices.
+//
+// Functionality and timing are deliberately separated:
+//
+//   * functional execution runs eagerly at enqueue time on host memory
+//     (buffers expose a host view; kernel functors compute with the
+//     verified reference operators) so results are real numbers checked
+//     against the oracle;
+//   * timing is a discrete-event schedule over the simulated clock,
+//     reproducing the runtime semantics the paper's Chapter 4 host
+//     optimizations exploit: in-order command queues serialize their
+//     commands; one-queue-per-kernel enables concurrent execution (SS4.8);
+//     channel dependencies chain producers to consumers (SS4.6); autorun
+//     kernels dispatch without host involvement (SS4.7); enabling the
+//     event profiler forces the host to wait on every command, which is
+//     why the paper's Figure 6.2 warns that profiling inflates overheads.
+//
+// Commands must be enqueued in a topological order of their data
+// dependencies (the planner guarantees this); out-of-order enqueue across
+// channels would deadlock real hardware and is rejected here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "fpga/synth.hpp"
+#include "ir/analysis.hpp"
+
+namespace clflow::ocl {
+
+/// A device global-memory object with a host-visible functional view.
+class Buffer {
+ public:
+  explicit Buffer(std::int64_t num_floats);
+
+  [[nodiscard]] std::span<float> view() { return view_; }
+  [[nodiscard]] std::span<const float> view() const { return view_; }
+  [[nodiscard]] std::int64_t size_bytes() const {
+    return static_cast<std::int64_t>(view_.size()) * 4;
+  }
+
+ private:
+  std::vector<float> storage_;
+  std::span<float> view_;
+};
+using BufferPtr = std::shared_ptr<Buffer>;
+
+enum class CommandKind { kWriteBuffer, kReadBuffer, kKernel };
+
+/// Completed-command record, mirroring OpenCL event profiling info.
+struct ProfiledEvent {
+  std::string label;
+  CommandKind kind = CommandKind::kKernel;
+  int queue = 0;
+  SimTime queued, start, end;
+
+  [[nodiscard]] SimTime duration() const { return end - start; }
+};
+
+/// A kernel launch: timing comes from the synthesized design + per-launch
+/// dynamic stats; functionality from an optional functor over buffer views.
+struct KernelLaunch {
+  std::string name;                    ///< must exist in the bitstream
+  ir::KernelStats stats;               ///< dynamic stats for this launch
+  std::function<void()> functional;    ///< may be null (timing-only runs)
+  std::vector<std::string> reads_channels;
+  std::vector<std::string> writes_channels;
+};
+
+class Runtime {
+ public:
+  Runtime(fpga::Bitstream bitstream, fpga::CostModel cost_model = {});
+
+  [[nodiscard]] const fpga::Bitstream& bitstream() const { return bitstream_; }
+  [[nodiscard]] const fpga::BoardSpec& board() const {
+    return bitstream_.board;
+  }
+  [[nodiscard]] double fmax_mhz() const { return bitstream_.fmax_mhz; }
+
+  [[nodiscard]] BufferPtr CreateBuffer(std::int64_t num_floats);
+
+  /// Creates an in-order command queue and returns its id. Queue 0 exists
+  /// from construction.
+  int CreateQueue();
+  [[nodiscard]] int num_queues() const;
+
+  /// When enabled, the host blocks on every command before enqueuing the
+  /// next one (required to collect per-event profiles, SS5.2); this
+  /// disables all cross-command concurrency, as in the paper.
+  void set_profiling(bool enabled) { profiling_ = enabled; }
+  [[nodiscard]] bool profiling() const { return profiling_; }
+
+  void EnqueueWrite(int queue, const BufferPtr& buffer,
+                    std::span<const float> src, std::string label = "write");
+  void EnqueueRead(int queue, const BufferPtr& buffer, std::span<float> dst,
+                   std::string label = "read");
+  void EnqueueKernel(int queue, KernelLaunch launch);
+
+  /// Registers an autorun kernel instance: it participates in channel
+  /// dependency chains with no queue and no launch overhead. Call once per
+  /// logical activation (e.g. per image).
+  void RunAutorun(KernelLaunch launch);
+
+  /// Blocks (in simulated time) until all queues drain; returns the
+  /// makespan of everything enqueued since the previous Finish().
+  SimTime Finish();
+
+  [[nodiscard]] SimTime now() const { return clock_; }
+  [[nodiscard]] const std::vector<ProfiledEvent>& events() const {
+    return events_;
+  }
+  void ClearEvents() { events_.clear(); }
+
+ private:
+  struct QueueState {
+    SimTime last_end;
+  };
+
+  SimTime KernelReady(const KernelLaunch& launch, SimTime base) const;
+  void RecordKernel(const KernelLaunch& launch, int queue, bool autorun);
+
+  fpga::Bitstream bitstream_;
+  fpga::CostModel cost_model_;
+  bool profiling_ = false;
+
+  SimTime clock_;        ///< completion time of everything so far
+  SimTime host_time_;    ///< host thread's enqueue cursor
+  SimTime batch_start_;  ///< for Finish() makespan accounting
+  std::vector<QueueState> queues_{1};
+  /// Latest simulated completion of a writer per channel name.
+  std::unordered_map<std::string, SimTime> channel_ready_;
+  /// Channels written so far in this batch (deadlock detection).
+  std::unordered_map<std::string, int> channel_writers_;
+  std::vector<ProfiledEvent> events_;
+};
+
+}  // namespace clflow::ocl

@@ -1,0 +1,67 @@
+#include "ocl/trace.hpp"
+
+#include <sstream>
+
+namespace clflow::ocl {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+const char* KindName(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::kWriteBuffer:
+      return "write";
+    case CommandKind::kReadBuffer:
+      return "read";
+    case CommandKind::kKernel:
+      return "kernel";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const std::vector<ProfiledEvent>& events,
+                              const std::string& process_name) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{"
+        "\"name\":\""
+     << JsonEscape(process_name) << "\"}}";
+  first = false;
+  for (const auto& ev : events) {
+    if (!first) os << ",";
+    first = false;
+    // Autorun kernels (queue -1) land on tid 0; queue q on tid q+1.
+    const int tid = ev.queue + 1;
+    os << "{\"name\":\"" << JsonEscape(ev.label) << "\",\"cat\":\""
+       << KindName(ev.kind) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << tid
+       << ",\"ts\":" << ev.start.us() << ",\"dur\":" << ev.duration().us()
+       << ",\"args\":{\"queued_us\":" << ev.queued.us() << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace clflow::ocl

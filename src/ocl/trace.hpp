@@ -1,0 +1,22 @@
+// Execution trace export.
+//
+// Converts the runtime's profiled events into Chrome tracing JSON
+// (chrome://tracing / Perfetto "traceEvents" format), with one row per
+// command queue plus a row for autorun kernels -- the visual counterpart
+// of the paper's Figure 6.2 breakdown.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ocl/runtime.hpp"
+
+namespace clflow::ocl {
+
+/// Serializes events as a Chrome trace. Timestamps are the simulated
+/// clock in microseconds; queues map to thread ids (autorun = tid 0).
+[[nodiscard]] std::string ExportChromeTrace(
+    const std::vector<ProfiledEvent>& events,
+    const std::string& process_name = "clflow");
+
+}  // namespace clflow::ocl

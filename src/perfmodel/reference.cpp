@@ -1,0 +1,91 @@
+#include "perfmodel/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace clflow::perfmodel {
+
+namespace {
+
+/// Per-network calibration (anchors from Tables 6.10/6.12/6.15 and the
+/// thread sweeps of Figures 6.4-6.7).
+struct NetCalibration {
+  const char* name;
+  double tf_cpu_fps;      ///< TF-CPU (TF's own thread choice)
+  double tvm_1t_fps;      ///< TVM with 1 thread
+  double tvm_parallel_p;  ///< Amdahl parallel fraction for the TVM sweep
+  double tvm_sync_us;     ///< per-extra-thread synchronization cost
+  double tf_gpu_fps;      ///< TF-cuDNN on the GTX 1060
+};
+
+constexpr NetCalibration kCalibrations[] = {
+    // LeNet parallelizes over output channels; with C2 <= 16 extra threads
+    // only add synchronization (the paper observes FPS *decreasing* with
+    // thread count, Figure 6.4).
+    {"lenet5", 1075.0, 2345.0, 0.02, 1.6, 1604.0},
+    {"mobilenet_v1", 21.6, 15.6, 0.859, 20.0, 43.7},
+    {"resnet18", 16.3, 5.8, 0.915, 20.0, 46.5},
+    {"resnet34", 10.7, 1.2, 0.930, 20.0, 31.7},
+};
+
+const NetCalibration* FindCalibration(const graph::Graph& g) {
+  for (const auto& c : kCalibrations) {
+    if (g.name() == c.name) return &c;
+  }
+  return nullptr;
+}
+
+/// Number of non-trivial operator nodes (dispatch overhead scales with it).
+double CountOps(const graph::Graph& g) {
+  double ops = 0;
+  for (const auto& n : g.nodes()) {
+    if (n.kind != graph::OpKind::kInput &&
+        n.kind != graph::OpKind::kFlatten) {
+      ops += 1;
+    }
+  }
+  return ops;
+}
+
+}  // namespace
+
+double TensorflowCpuFps(const graph::Graph& g) {
+  if (const auto* c = FindCalibration(g)) return c->tf_cpu_fps;
+  // Generic roofline: Xeon 8280 direct-conv efficiency under TF with
+  // framework dispatch per op.
+  const double flops = graph::GraphCost(g).flops;
+  const double seconds = flops / 45e9 + CountOps(g) * 40e-6;
+  return 1.0 / seconds;
+}
+
+double TvmCpuFps(const graph::Graph& g, int threads) {
+  threads = std::max(threads, 1);
+  double t1_seconds;
+  double p;       // Amdahl parallel fraction
+  double sync_s;  // per-extra-thread cost
+  if (const auto* c = FindCalibration(g)) {
+    t1_seconds = 1.0 / c->tvm_1t_fps;
+    p = c->tvm_parallel_p;
+    sync_s = c->tvm_sync_us * 1e-6;
+  } else {
+    const double flops = graph::GraphCost(g).flops;
+    t1_seconds = flops / 17e9 + CountOps(g) * 25e-6;
+    p = 0.85;
+    sync_s = 20e-6;
+  }
+  const double n = static_cast<double>(threads);
+  const double seconds =
+      t1_seconds * ((1.0 - p) + p / n) + sync_s * (n - 1.0);
+  return 1.0 / seconds;
+}
+
+double TensorflowGpuFps(const graph::Graph& g) {
+  if (const auto* c = FindCalibration(g)) return c->tf_gpu_fps;
+  // Batch-1 inference on a GTX 1060: low utilization, per-op launch cost,
+  // PCIe transfer.
+  const double flops = graph::GraphCost(g).flops;
+  const double seconds = flops / 180e9 + CountOps(g) * 30e-6 + 250e-6;
+  return 1.0 / seconds;
+}
+
+}  // namespace clflow::perfmodel

@@ -1,0 +1,31 @@
+// Performance models of the paper's comparison platforms.
+//
+// The evaluation compares the FPGA deployments against Keras/TensorFlow on
+// a 2x28-core Xeon Platinum 8280 (TF-CPU), TVM's LLVM backend with an
+// explicit thread count (TVM-nT), and TensorFlow+cuDNN on a GTX 1060
+// (TF-cuDNN). None of that hardware is available offline, so these are
+// analytical models calibrated to the paper's published measurements
+// (Tables 6.10/6.12/6.15 anchors), with an Amdahl-style thread-scaling law
+// fitted per network for the TVM sweeps of Figures 6.4-6.7 and a
+// dispatch-overhead term that reproduces LeNet's *negative* scaling. The
+// model interface is per-graph so new networks degrade gracefully to a
+// roofline estimate.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace clflow::perfmodel {
+
+/// Keras/TensorFlow CPU performance (the paper's TF-CPU column; TF picks
+/// its own thread count -- 4 for LeNet, 112 for the large nets, SS6.2).
+[[nodiscard]] double TensorflowCpuFps(const graph::Graph& g);
+
+/// TVM LLVM backend with `threads` CPU threads (TVM-nT series).
+[[nodiscard]] double TvmCpuFps(const graph::Graph& g, int threads);
+
+/// TensorFlow + cuDNN on the GTX 1060 (TF-cuDNN).
+[[nodiscard]] double TensorflowGpuFps(const graph::Graph& g);
+
+}  // namespace clflow::perfmodel

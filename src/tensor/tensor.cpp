@@ -1,0 +1,161 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace clflow {
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(std::make_shared<std::vector<float>>(
+          static_cast<std::size_t>(shape_.NumElements()), 0.0f)) {}
+
+Tensor Tensor::FromData(Shape shape, std::vector<float> data) {
+  CLFLOW_CHECK_MSG(shape.NumElements() ==
+                       static_cast<std::int64_t>(data.size()),
+                   "data size does not match shape");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::make_shared<std::vector<float>>(std::move(data));
+  return t;
+}
+
+Tensor Tensor::Random(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : *t.data_) v = rng.Uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::HeNormal(Shape shape, Rng& rng, std::int64_t fan_in) {
+  CLFLOW_CHECK(fan_in > 0);
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  Tensor t(std::move(shape));
+  for (auto& v : *t.data_) v = rng.Normal(0.0f, stddev);
+  return t;
+}
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  std::fill(t.data_->begin(), t.data_->end(), value);
+  return t;
+}
+
+Tensor Tensor::Iota(Shape shape, float start, float step) {
+  Tensor t(std::move(shape));
+  float v = start;
+  for (auto& e : *t.data_) {
+    e = v;
+    v += step;
+  }
+  return t;
+}
+
+std::span<float> Tensor::data() {
+  CLFLOW_CHECK_MSG(defined(), "access to undefined tensor");
+  return {data_->data(), data_->size()};
+}
+
+std::span<const float> Tensor::data() const {
+  CLFLOW_CHECK_MSG(defined(), "access to undefined tensor");
+  return {data_->data(), data_->size()};
+}
+
+float Tensor::at(std::int64_t index) const {
+  CLFLOW_CHECK_MSG(defined() && index >= 0 && index < size(),
+                   "tensor index out of range");
+  return (*data_)[static_cast<std::size_t>(index)];
+}
+
+float& Tensor::at(std::int64_t index) {
+  CLFLOW_CHECK_MSG(defined() && index >= 0 && index < size(),
+                   "tensor index out of range");
+  return (*data_)[static_cast<std::size_t>(index)];
+}
+
+float Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h,
+                  std::int64_t w) const {
+  const auto& s = shape_;
+  CLFLOW_CHECK_MSG(s.rank() == 4, "at4 on non-rank-4 tensor");
+  return at(((n * s[1] + c) * s[2] + h) * s[3] + w);
+}
+
+float& Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h,
+                   std::int64_t w) {
+  const auto& s = shape_;
+  CLFLOW_CHECK_MSG(s.rank() == 4, "at4 on non-rank-4 tensor");
+  return at(((n * s[1] + c) * s[2] + h) * s[3] + w);
+}
+
+Tensor Tensor::Clone() const {
+  CLFLOW_CHECK(defined());
+  Tensor t;
+  t.shape_ = shape_;
+  t.data_ = std::make_shared<std::vector<float>>(*data_);
+  return t;
+}
+
+Tensor Tensor::Reshaped(Shape shape) const {
+  CLFLOW_CHECK_MSG(shape.NumElements() == size(),
+                   "reshape must preserve element count");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = data_;
+  return t;
+}
+
+float Tensor::MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  CLFLOW_CHECK_MSG(a.shape() == b.shape(), "shape mismatch in MaxAbsDiff");
+  float worst = 0.0f;
+  const auto da = a.data(), db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i)
+    worst = std::max(worst, std::fabs(da[i] - db[i]));
+  return worst;
+}
+
+float Tensor::MaxRelDiff(const Tensor& a, const Tensor& b, float eps) {
+  CLFLOW_CHECK_MSG(a.shape() == b.shape(), "shape mismatch in MaxRelDiff");
+  float worst = 0.0f;
+  const auto da = a.data(), db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    const float denom = std::max({std::fabs(da[i]), std::fabs(db[i]), eps});
+    worst = std::max(worst, std::fabs(da[i] - db[i]) / denom);
+  }
+  return worst;
+}
+
+bool Tensor::AllClose(const Tensor& a, const Tensor& b, float rtol,
+                      float atol) {
+  if (a.shape() != b.shape()) return false;
+  const auto da = a.data(), db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    if (std::fabs(da[i] - db[i]) > atol + rtol * std::fabs(db[i])) return false;
+  }
+  return true;
+}
+
+std::int64_t Tensor::ArgMax() const {
+  CLFLOW_CHECK(defined() && size() > 0);
+  const auto d = data();
+  return static_cast<std::int64_t>(
+      std::max_element(d.begin(), d.end()) - d.begin());
+}
+
+std::string Tensor::ToString(std::int64_t max_elements) const {
+  std::ostringstream os;
+  os << "Tensor" << shape_.ToString() << " {";
+  const auto d = data();
+  const std::int64_t n =
+      std::min<std::int64_t>(size(), std::max<std::int64_t>(max_elements, 0));
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << d[static_cast<std::size_t>(i)];
+  }
+  if (n < size()) os << ", ...";
+  os << '}';
+  return os.str();
+}
+
+}  // namespace clflow

@@ -1,0 +1,83 @@
+// Dense float32 tensors.
+//
+// The accelerators in the paper compute in single-precision floating point
+// throughout (§1.1), so Tensor is float-only. Copies share storage
+// (copy-on-nothing semantics; use Clone() for a deep copy), which makes
+// passing activations between pipeline stages cheap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/shape.hpp"
+
+namespace clflow {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Allocates a zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  [[nodiscard]] static Tensor FromData(Shape shape, std::vector<float> data);
+
+  /// Uniform values in [lo, hi).
+  [[nodiscard]] static Tensor Random(Shape shape, Rng& rng, float lo = -1.0f,
+                                     float hi = 1.0f);
+  /// He-style normal initialization with stddev = sqrt(2 / fan_in).
+  [[nodiscard]] static Tensor HeNormal(Shape shape, Rng& rng,
+                                       std::int64_t fan_in);
+  [[nodiscard]] static Tensor Full(Shape shape, float value);
+  /// Values 0, step, 2*step, ... (handy in tests).
+  [[nodiscard]] static Tensor Iota(Shape shape, float start = 0.0f,
+                                   float step = 1.0f);
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::int64_t size() const { return shape_.NumElements(); }
+  [[nodiscard]] std::int64_t size_bytes() const {
+    return size() * static_cast<std::int64_t>(sizeof(float));
+  }
+  [[nodiscard]] bool defined() const { return data_ != nullptr; }
+
+  [[nodiscard]] std::span<float> data();
+  [[nodiscard]] std::span<const float> data() const;
+
+  /// Linear (row-major) element access with bounds checking.
+  [[nodiscard]] float at(std::int64_t index) const;
+  float& at(std::int64_t index);
+
+  /// NCHW element access for rank-4 tensors.
+  [[nodiscard]] float at4(std::int64_t n, std::int64_t c, std::int64_t h,
+                          std::int64_t w) const;
+  float& at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w);
+
+  /// Deep copy with private storage.
+  [[nodiscard]] Tensor Clone() const;
+
+  /// Same storage, different shape; element counts must agree.
+  [[nodiscard]] Tensor Reshaped(Shape shape) const;
+
+  /// Largest |a-b| over all elements; shapes must match.
+  [[nodiscard]] static float MaxAbsDiff(const Tensor& a, const Tensor& b);
+  /// Largest |a-b| / max(|a|, |b|, eps).
+  [[nodiscard]] static float MaxRelDiff(const Tensor& a, const Tensor& b,
+                                        float eps = 1e-6f);
+  /// True when every element pair satisfies |a-b| <= atol + rtol*|b|.
+  [[nodiscard]] static bool AllClose(const Tensor& a, const Tensor& b,
+                                     float rtol = 1e-4f, float atol = 1e-5f);
+
+  /// Index of the largest element (first on ties).
+  [[nodiscard]] std::int64_t ArgMax() const;
+
+  [[nodiscard]] std::string ToString(std::int64_t max_elements = 16) const;
+
+ private:
+  Shape shape_;
+  std::shared_ptr<std::vector<float>> data_;
+};
+
+}  // namespace clflow

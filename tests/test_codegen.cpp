@@ -1,0 +1,140 @@
+// Tests for the OpenCL C emitter: the generated source must carry the
+// Intel-specific constructs the thesis's listings show.
+#include <gtest/gtest.h>
+
+#include "codegen/opencl_codegen.hpp"
+#include "ir/op_kernels.hpp"
+
+namespace clflow::codegen {
+namespace {
+
+using ::testing::Test;
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(EmitExpr, ArithmeticAndIntrinsics) {
+  auto i = ir::MakeVar("i");
+  EXPECT_EQ(EmitExpr(ir::Add(ir::VarRef(i), ir::IntImm(3))), "(i + 3)");
+  EXPECT_EQ(EmitExpr(ir::Max(ir::FloatImm(0.0), ir::FloatImm(1.0))),
+            "fmax(0.0f, 1.0f)");
+  EXPECT_EQ(EmitExpr(ir::Min(ir::IntImm(2), ir::IntImm(4))), "min(2, 4)");
+  EXPECT_EQ(EmitExpr(ir::CallIntrinsic("exp", {ir::FloatImm(1.0)})),
+            "exp(1.0f)");
+}
+
+TEST(EmitExpr, SelectBecomesTernary) {
+  auto i = ir::MakeVar("i");
+  auto e = ir::Select(ir::Binary(ir::BinOp::kGe, ir::VarRef(i), ir::IntImm(2)),
+                      ir::FloatImm(1.0), ir::FloatImm(0.0));
+  EXPECT_EQ(EmitExpr(e), "((i >= 2) ? 1.0f : 0.0f)");
+}
+
+TEST(EmitKernel, NaiveConvLooksLikeListing51) {
+  auto bk = ir::BuildConv2dKernel(
+      {.c1 = 4, .h1 = 8, .w1 = 8, .k = 2, .f = 3, .stride = 1,
+       .has_bias = false, .activation = Activation::kRelu},
+      {}, "conv2d_base");
+  const std::string src = EmitKernel(bk.kernel);
+  EXPECT_TRUE(Contains(src, "__kernel void conv2d_base("));
+  EXPECT_TRUE(Contains(src, "__global float* restrict scratchpad"));
+  EXPECT_TRUE(Contains(src, "__global const float* restrict in_fm"));
+  EXPECT_TRUE(Contains(src, "for (int ax1 = 0; ax1 < 2; ++ax1)"));
+  // Global accesses are linearized to flat pointers.
+  EXPECT_FALSE(Contains(src, "in_fm[rc]["));
+  EXPECT_TRUE(Contains(src, "fmax("));  // relu
+}
+
+TEST(EmitKernel, UnrolledLoopsGetPragmas) {
+  auto bk = ir::BuildConv2dKernel(
+      {.c1 = 4, .h1 = 8, .w1 = 8, .k = 2, .f = 3, .stride = 1,
+       .has_bias = false},
+      {.fuse_activation = true, .cached_writes = true, .unroll_filter = true,
+       .tile_c1 = 2},
+      "conv2d_opt");
+  const std::string src = EmitKernel(bk.kernel);
+  EXPECT_TRUE(Contains(src, "#pragma unroll\n"));
+  // The private accumulator is a plain array declaration.
+  EXPECT_TRUE(Contains(src, "float conv2d_opt_tmp[1][1];"));
+}
+
+TEST(EmitKernel, SymbolicKernelsTakeIntArguments) {
+  auto bk = ir::BuildConv2dKernel(
+      {.f = 3, .stride = 1, .has_bias = false},
+      {.fuse_activation = true, .cached_writes = true, .unroll_filter = true,
+       .symbolic = true},
+      "conv2d_sym");
+  const std::string src = EmitKernel(bk.kernel);
+  EXPECT_TRUE(Contains(src, "int rc_dim"));
+  EXPECT_TRUE(Contains(src, "int xx_dim"));
+  EXPECT_TRUE(Contains(src, "int ff_dim"));
+  EXPECT_TRUE(Contains(src, "int act_sel"));
+  EXPECT_TRUE(Contains(src, "int in_fm_s0"));  // symbolic strides
+}
+
+TEST(EmitKernel, StridePinningRemovesInnermostStrideArg) {
+  auto bk = ir::BuildConv2dKernel(
+      {.f = 3, .stride = 1, .has_bias = false},
+      {.fuse_activation = true, .cached_writes = true, .unroll_filter = true,
+       .symbolic = true, .pin_strides = true},
+      "conv2d_pinned");
+  const std::string src = EmitKernel(bk.kernel);
+  EXPECT_TRUE(Contains(src, "int in_fm_s0"));
+  EXPECT_TRUE(Contains(src, "int in_fm_s1"));
+  EXPECT_FALSE(Contains(src, "int in_fm_s2"));  // pinned to 1 (Listing 5.11)
+}
+
+TEST(EmitProgram, DeclaresChannelsOnce) {
+  auto c0 = ir::MakeBuffer("c0", {ir::IntImm(1)}, ir::MemScope::kChannel);
+  c0->channel_depth = 64;
+  auto producer = ir::BuildCopyKernel(16, "producer", {.input = nullptr, .output = c0});
+  auto consumer = ir::BuildCopyKernel(16, "consumer", {.input = c0, .output = nullptr});
+  const std::string src =
+      EmitProgram({&producer.kernel, &consumer.kernel});
+  EXPECT_TRUE(
+      Contains(src, "#pragma OPENCL EXTENSION cl_intel_channels : enable"));
+  // Declared exactly once, with its depth attribute.
+  const std::string decl = "channel float c0 __attribute__((depth(64)));";
+  const auto first = src.find(decl);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(src.find(decl, first + 1), std::string::npos);
+  EXPECT_TRUE(Contains(src, "write_channel_intel(c0,"));
+  EXPECT_TRUE(Contains(src, "read_channel_intel(c0)"));
+}
+
+TEST(EmitProgram, AutorunAttributesEmitted) {
+  auto cin = ir::MakeBuffer("ci", {ir::IntImm(1)}, ir::MemScope::kChannel);
+  auto cout = ir::MakeBuffer("co", {ir::IntImm(1)}, ir::MemScope::kChannel);
+  auto bk = ir::BuildCopyKernel(8, "passthrough",
+                                {.input = cin, .output = cout});
+  bk.kernel.autorun = true;
+  const std::string src = EmitProgram({&bk.kernel});
+  EXPECT_TRUE(Contains(src, "__attribute__((max_global_work_dim(0)))"));
+  EXPECT_TRUE(Contains(src, "__attribute__((autorun))"));
+}
+
+TEST(EmitProgram, NoChannelsNoExtensionPragma) {
+  auto bk = ir::BuildCopyKernel(8, "plain");
+  const std::string src = EmitProgram({&bk.kernel});
+  EXPECT_FALSE(Contains(src, "cl_intel_channels"));
+}
+
+TEST(EmitKernel, LocalBuffersDeclaredLocal) {
+  auto cin = ir::MakeBuffer("ci", {ir::IntImm(1)}, ir::MemScope::kChannel);
+  auto bk = ir::BuildSoftmaxKernel({.n = 16}, /*optimized=*/true, "sm",
+                                   {.input = cin});
+  const std::string src = EmitKernel(bk.kernel);
+  EXPECT_TRUE(Contains(src, "__local float sm_xcache[16];"));
+}
+
+TEST(EmitKernel, PadUsesDivModAddressing) {
+  auto bk = ir::BuildPadKernel({.c = 2, .h1 = 4, .w1 = 4, .pad = 1}, "pad");
+  const std::string src = EmitKernel(bk.kernel);
+  EXPECT_TRUE(Contains(src, "/"));
+  EXPECT_TRUE(Contains(src, "%"));
+  EXPECT_TRUE(Contains(src, "?"));  // select
+}
+
+}  // namespace
+}  // namespace clflow::codegen

@@ -1,0 +1,92 @@
+// Tests for the common substrate: tables, parallel-for, errors.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/table.hpp"
+
+namespace clflow {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"A", "LongHeader"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "22"});
+  const std::string s = t.ToString();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  EXPECT_NE(s.find("| A      |"), std::string::npos);
+  EXPECT_NE(s.find("| longer |"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"A", "B"});
+  EXPECT_THROW(t.AddRow({"only-one"}), Error);
+  EXPECT_THROW(Table({}), Error);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(3.0, 0), "3");
+  EXPECT_EQ(Table::Speedup(4.567), "4.57x");
+  EXPECT_EQ(Table::Pct(0.37), "37%");
+  EXPECT_EQ(Table::Pct(0.375, 1), "37.5%");
+}
+
+TEST(ParallelFor, CoversAllIndicesExactlyOnce) {
+  constexpr int n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(0, n, 8, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (int i = 0; i < n; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)], 1);
+}
+
+TEST(ParallelFor, SingleThreadRunsInline) {
+  std::vector<int> order;
+  ParallelFor(0, 5, 1, [&](std::int64_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  int calls = 0;
+  ParallelFor(5, 5, 4, [&](std::int64_t) { ++calls; });
+  ParallelFor(7, 3, 4, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(ParallelFor(0, 100, 4,
+                           [](std::int64_t i) {
+                             if (i == 57) throw Error("boom");
+                           }),
+               Error);
+}
+
+TEST(ParallelChunks, ChunksPartitionTheRange) {
+  std::atomic<std::int64_t> total{0};
+  ParallelChunks(0, 1003, 7, [&](std::int64_t lo, std::int64_t hi) {
+    total.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(total.load(), 1003);
+}
+
+TEST(HardwareThreads, AtLeastOne) { EXPECT_GE(HardwareThreads(), 1); }
+
+TEST(Check, ThrowsWithLocation) {
+  try {
+    CLFLOW_CHECK_MSG(false, "context message");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test_common.cpp"), std::string::npos);
+    EXPECT_NE(what.find("context message"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace clflow

@@ -1,0 +1,254 @@
+// Unit tests for the reference CPU operators (the functional oracle).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "cpu/ops.hpp"
+
+namespace clflow::cpu {
+namespace {
+
+TEST(Conv2d, MatchesHandComputedExample) {
+  // Single 2x2 filter over a 3x3 input, stride 1, no pad.
+  auto input = Tensor::FromData(Shape{1, 1, 3, 3},
+                                {1, 2, 3,
+                                 4, 5, 6,
+                                 7, 8, 9});
+  auto w = Tensor::FromData(Shape{1, 1, 2, 2}, {1, 0, 0, 1});
+  auto out = Conv2d(input, w, Tensor(), {.stride = 1, .pad = 0});
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 1 + 5);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 1), 2 + 6);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 1, 0), 4 + 8);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 1, 1), 5 + 9);
+}
+
+TEST(Conv2d, Figure21Example) {
+  // The thesis' Figure 2.1: 2-filter 3x3 conv on a 5x5 input -> 2x3x3.
+  Rng rng(42);
+  auto input = Tensor::Random(Shape{1, 1, 5, 5}, rng);
+  auto w = Tensor::Random(Shape{2, 1, 3, 3}, rng);
+  auto out = Conv2d(input, w, Tensor(), {});
+  ASSERT_EQ(out.shape(), (Shape{1, 2, 3, 3}));
+  // Check y(0,0) = sum_{m,n} I(m,n) W(m,n) for filter 0 (Equation 2.1).
+  float expected = 0.0f;
+  for (int m = 0; m < 3; ++m)
+    for (int n = 0; n < 3; ++n)
+      expected += input.at4(0, 0, m, n) * w.at4(0, 0, m, n);
+  EXPECT_NEAR(out.at4(0, 0, 0, 0), expected, 1e-5f);
+}
+
+TEST(Conv2d, StrideReducesOutput) {
+  Rng rng(1);
+  auto input = Tensor::Random(Shape{1, 3, 8, 8}, rng);
+  auto w = Tensor::Random(Shape{4, 3, 3, 3}, rng);
+  auto out = Conv2d(input, w, Tensor(), {.stride = 2, .pad = 1});
+  EXPECT_EQ(out.shape(), (Shape{1, 4, 4, 4}));
+}
+
+TEST(Conv2d, PaddingContributesZeros) {
+  auto input = Tensor::Full(Shape{1, 1, 2, 2}, 1.0f);
+  auto w = Tensor::Full(Shape{1, 1, 3, 3}, 1.0f);
+  auto out = Conv2d(input, w, Tensor(), {.stride = 1, .pad = 1});
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
+  // Each output sees exactly the 4 ones of the input.
+  for (std::int64_t i = 0; i < out.size(); ++i)
+    EXPECT_FLOAT_EQ(out.at(i), 4.0f);
+}
+
+TEST(Conv2d, BiasAndReluApplied) {
+  auto input = Tensor::Full(Shape{1, 1, 2, 2}, 1.0f);
+  auto w = Tensor::Full(Shape{2, 1, 1, 1}, -1.0f);
+  auto bias = Tensor::FromData(Shape{2}, {0.5f, 2.0f});
+  auto out = Conv2d(input, w, bias,
+                    {.stride = 1, .pad = 0, .activation = Activation::kRelu});
+  // Channel 0: -1 + 0.5 = -0.5 -> relu 0. Channel 1: -1 + 2 = 1.
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out.at4(0, 1, 0, 0), 1.0f);
+}
+
+TEST(Conv2d, ThreadCountDoesNotChangeResult) {
+  Rng rng(9);
+  auto input = Tensor::Random(Shape{1, 8, 14, 14}, rng);
+  auto w = Tensor::Random(Shape{16, 8, 3, 3}, rng);
+  auto bias = Tensor::Random(Shape{16}, rng);
+  const Conv2dParams p{.stride = 1, .pad = 1,
+                       .activation = Activation::kRelu};
+  auto seq = Conv2d(input, w, bias, p, 1);
+  auto par = Conv2d(input, w, bias, p, 8);
+  EXPECT_EQ(Tensor::MaxAbsDiff(seq, par), 0.0f);
+}
+
+TEST(Conv2d, ShapeMismatchThrows) {
+  Rng rng(2);
+  auto input = Tensor::Random(Shape{1, 3, 8, 8}, rng);
+  auto w = Tensor::Random(Shape{4, 2, 3, 3}, rng);  // wrong C1
+  EXPECT_THROW((void)Conv2d(input, w, Tensor(), {}), ShapeError);
+  auto wb = Tensor::Random(Shape{4, 3, 3, 3}, rng);
+  auto bad_bias = Tensor::Random(Shape{5}, rng);
+  EXPECT_THROW((void)Conv2d(input, wb, bad_bias, {}), ShapeError);
+}
+
+TEST(DepthwiseConv2d, FiltersActPerChannel) {
+  // Channel 0 filter = identity-ish, channel 1 filter = x2.
+  auto input = Tensor::FromData(Shape{1, 2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  auto w = Tensor::FromData(Shape{2, 1, 1, 1}, {1.0f, 2.0f});
+  auto out = DepthwiseConv2d(input, w, Tensor(), {});
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 1, 1), 4.0f);
+  EXPECT_FLOAT_EQ(out.at4(0, 1, 1, 1), 16.0f);
+}
+
+TEST(DepthwiseConv2d, MatchesGroupedDirectConv) {
+  // A depthwise conv equals C independent 1-channel convs.
+  Rng rng(3);
+  auto input = Tensor::Random(Shape{1, 4, 6, 6}, rng);
+  auto w = Tensor::Random(Shape{4, 1, 3, 3}, rng);
+  auto out = DepthwiseConv2d(input, w, Tensor(), {.stride = 1, .pad = 1});
+  for (int c = 0; c < 4; ++c) {
+    Tensor one_in(Shape{1, 1, 6, 6});
+    Tensor one_w(Shape{1, 1, 3, 3});
+    for (int h = 0; h < 6; ++h)
+      for (int x = 0; x < 6; ++x)
+        one_in.at4(0, 0, h, x) = input.at4(0, c, h, x);
+    for (int fy = 0; fy < 3; ++fy)
+      for (int fx = 0; fx < 3; ++fx)
+        one_w.at4(0, 0, fy, fx) = w.at4(c, 0, fy, fx);
+    auto ref = Conv2d(one_in, one_w, Tensor(), {.stride = 1, .pad = 1});
+    for (int h = 0; h < 6; ++h)
+      for (int x = 0; x < 6; ++x)
+        EXPECT_NEAR(out.at4(0, c, h, x), ref.at4(0, 0, h, x), 1e-5f);
+  }
+}
+
+TEST(Dense, MatrixVectorWithBias) {
+  auto x = Tensor::FromData(Shape{1, 3}, {1, 2, 3});
+  auto w = Tensor::FromData(Shape{2, 3}, {1, 0, 0, 0, 1, 1});
+  auto bias = Tensor::FromData(Shape{2}, {10, 20});
+  auto y = Dense(x, w, bias, Activation::kNone);
+  EXPECT_FLOAT_EQ(y.at(0), 11.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 25.0f);
+}
+
+TEST(Dense, FlattensInputImplicitly) {
+  Rng rng(4);
+  auto x4 = Tensor::Random(Shape{1, 2, 2, 2}, rng);
+  auto w = Tensor::Random(Shape{3, 8}, rng);
+  auto y1 = Dense(x4, w, Tensor(), Activation::kNone);
+  auto y2 = Dense(x4.Reshaped(Shape{1, 8}), w, Tensor(), Activation::kNone);
+  EXPECT_EQ(Tensor::MaxAbsDiff(y1, y2), 0.0f);
+}
+
+TEST(Dense, ThreadInvariance) {
+  Rng rng(5);
+  auto x = Tensor::Random(Shape{1, 400}, rng);
+  auto w = Tensor::Random(Shape{120, 400}, rng);
+  auto b = Tensor::Random(Shape{120}, rng);
+  auto seq = Dense(x, w, b, Activation::kRelu, 1);
+  auto par = Dense(x, w, b, Activation::kRelu, 8);
+  EXPECT_EQ(Tensor::MaxAbsDiff(seq, par), 0.0f);
+}
+
+TEST(MaxPool2d, TakesWindowMaximum) {
+  auto input = Tensor::FromData(Shape{1, 1, 4, 4},
+                                {1, 2, 5, 6,
+                                 3, 4, 7, 8,
+                                 -1, -2, 0, 0,
+                                 -3, -4, 0, 9});
+  auto out = MaxPool2d(input, {.window = 2, .stride = 2});
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 1), 8.0f);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 1, 0), -1.0f);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 1, 1), 9.0f);
+}
+
+TEST(AvgPool2d, GlobalPoolAverages) {
+  auto input = Tensor::Iota(Shape{1, 2, 2, 2});  // ch0: 0..3, ch1: 4..7
+  auto out = AvgPool2d(input, {.window = 2, .stride = 1});
+  ASSERT_EQ(out.shape(), (Shape{1, 2, 1, 1}));
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(out.at4(0, 1, 0, 0), 5.5f);
+}
+
+TEST(Pad2d, InsertsZeroBorder) {
+  auto input = Tensor::Full(Shape{1, 1, 2, 2}, 3.0f);
+  auto out = Pad2d(input, 1);
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 4, 4}));
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 1, 1), 3.0f);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 3, 3), 0.0f);
+  // pad = 0 is the identity.
+  EXPECT_EQ(Tensor::MaxAbsDiff(Pad2d(input, 0), input), 0.0f);
+}
+
+TEST(Activate, Relu6ClampsBothSides) {
+  auto x = Tensor::FromData(Shape{4}, {-2.0f, 0.5f, 6.0f, 9.0f});
+  auto y = Activate(x, Activation::kRelu6);
+  EXPECT_FLOAT_EQ(y.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 0.5f);
+  EXPECT_FLOAT_EQ(y.at(2), 6.0f);
+  EXPECT_FLOAT_EQ(y.at(3), 6.0f);
+}
+
+TEST(Add, ResidualSumWithRelu) {
+  auto a = Tensor::FromData(Shape{3}, {1, -5, 2});
+  auto b = Tensor::FromData(Shape{3}, {1, 2, -3});
+  auto y = Add(a, b, Activation::kRelu);
+  EXPECT_FLOAT_EQ(y.at(0), 2.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(2), 0.0f);
+  EXPECT_THROW((void)Add(a, Tensor::Full(Shape{4}, 0.0f)), ShapeError);
+}
+
+TEST(Softmax, SumsToOneAndOrdersPreserved) {
+  auto x = Tensor::FromData(Shape{4}, {1.0f, 3.0f, 2.0f, -1.0f});
+  auto y = Softmax(x);
+  float sum = 0;
+  for (float v : y.data()) sum += v;
+  EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  EXPECT_GT(y.at(1), y.at(2));
+  EXPECT_GT(y.at(2), y.at(0));
+  EXPECT_GT(y.at(0), y.at(3));
+}
+
+TEST(Softmax, StableUnderLargeInputs) {
+  // Without max subtraction exp(1000) would overflow to inf.
+  auto x = Tensor::FromData(Shape{3}, {1000.0f, 1001.0f, 999.0f});
+  auto y = Softmax(x);
+  for (float v : y.data()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_GT(y.at(1), y.at(0));
+}
+
+TEST(FoldBatchNorm, EquivalentToExplicitBn) {
+  Rng rng(6);
+  auto input = Tensor::Random(Shape{1, 3, 5, 5}, rng);
+  auto w = Tensor::Random(Shape{4, 3, 3, 3}, rng);
+  auto bias = Tensor::Random(Shape{4}, rng);
+  auto gamma = Tensor::Random(Shape{4}, rng, 0.5f, 1.5f);
+  auto beta = Tensor::Random(Shape{4}, rng);
+  auto mean = Tensor::Random(Shape{4}, rng);
+  auto variance = Tensor::Random(Shape{4}, rng, 0.25f, 2.0f);
+
+  auto folded = FoldBatchNorm(w, bias, gamma, beta, mean, variance);
+  auto fused = Conv2d(input, folded.weights, folded.bias, {.pad = 1});
+
+  // Reference: conv then explicit batch norm.
+  auto raw = Conv2d(input, w, bias, {.pad = 1});
+  Tensor expect(raw.shape());
+  for (int c = 0; c < 4; ++c) {
+    const float scale =
+        gamma.at(c) / std::sqrt(variance.at(c) + 1e-5f);
+    for (int h = 0; h < 5; ++h)
+      for (int x = 0; x < 5; ++x)
+        expect.at4(0, c, h, x) =
+            (raw.at4(0, c, h, x) - mean.at(c)) * scale + beta.at(c);
+  }
+  EXPECT_LT(Tensor::MaxRelDiff(fused, expect, 1e-3f), 1e-3f);
+}
+
+}  // namespace
+}  // namespace clflow::cpu

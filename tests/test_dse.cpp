@@ -1,0 +1,105 @@
+// Tests for the tiling design-space explorer (the paper's SS4.11
+// future-work item).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/dse.hpp"
+#include "nets/nets.hpp"
+
+namespace clflow::core {
+namespace {
+
+class DseTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(42);
+    net_ = new graph::Graph(nets::BuildMobileNetV1(rng));
+  }
+  static void TearDownTestSuite() { delete net_; }
+  static graph::Graph* net_;
+};
+graph::Graph* DseTest::net_ = nullptr;
+
+TEST_F(DseTest, FindsFeasibleConfigurations) {
+  DseOptions opts;
+  opts.c1_factors = {1, 4};
+  opts.w2_factors = {1, 7};
+  opts.c2_factors = {1, 8, 16};
+  const auto result = ExploreFoldedTilings(*net_, fpga::Stratix10SX(), opts);
+  ASSERT_FALSE(result.ranked.empty());
+  EXPECT_EQ(result.considered, 12u);
+  // Ranked best-first.
+  for (std::size_t i = 1; i < result.ranked.size(); ++i) {
+    EXPECT_GE(result.ranked[i - 1].predicted_fps,
+              result.ranked[i].predicted_fps);
+  }
+  // Every surviving candidate synthesized.
+  for (const auto& c : result.ranked) {
+    EXPECT_EQ(c.status, fpga::SynthStatus::kOk);
+    EXPECT_GT(c.fmax_mhz, 0.0);
+    EXPECT_GT(c.dsps, 0);
+  }
+}
+
+TEST_F(DseTest, RejectsNonDividingFactors) {
+  DseOptions opts;
+  opts.c1_factors = {3};  // 3 does not divide MobileNet's 1x1 C1 values
+  opts.w2_factors = {1};
+  opts.c2_factors = {1};
+  const auto result = ExploreFoldedTilings(*net_, fpga::Stratix10SX(), opts);
+  EXPECT_EQ(result.rejected_divisibility, 1u);
+  EXPECT_TRUE(result.ranked.empty());
+  EXPECT_THROW((void)result.best(), Error);
+}
+
+TEST_F(DseTest, BandwidthRuleBindsOnSingleHbmChannel) {
+  // The S10MX's single pseudo-channel (12.8 GB/s) rejects wide streamed
+  // dimensions that pass on the S10SX (SS4.11 requirement 1).
+  DseOptions opts;
+  opts.c1_factors = {4};
+  opts.w2_factors = {7};
+  opts.c2_factors = {4};
+  const auto on_mx = ExploreFoldedTilings(*net_, fpga::Stratix10MX(), opts);
+  const auto on_sx = ExploreFoldedTilings(*net_, fpga::Stratix10SX(), opts);
+  EXPECT_EQ(on_mx.rejected_bandwidth, 1u);
+  EXPECT_EQ(on_sx.rejected_bandwidth, 0u);
+}
+
+TEST_F(DseTest, BestRecipeDeploysAndMatchesHandPicked) {
+  DseOptions opts;  // defaults: the full sweep
+  const auto result = ExploreFoldedTilings(*net_, fpga::Stratix10SX(), opts);
+  ASSERT_FALSE(result.ranked.empty());
+
+  DeployOptions dep;
+  dep.mode = ExecutionMode::kFolded;
+  dep.recipe = result.BestRecipe("test");
+  dep.board = fpga::Stratix10SX();
+  auto best = Deployment::Compile(*net_, dep);
+  ASSERT_TRUE(best.ok());
+
+  dep.recipe = FoldedMobileNet("s10sx");
+  auto hand = Deployment::Compile(*net_, dep);
+  Tensor probe = Tensor::Full(Shape{1, 3, 224, 224}, 0.0f);
+  // The explorer must do at least ~as well as the hand-picked config.
+  EXPECT_GE(best.EstimateFps(probe), 0.95 * hand.EstimateFps(probe));
+}
+
+TEST_F(DseTest, RouteFailuresAreCounted) {
+  DseOptions opts;
+  opts.c1_factors = {8};
+  opts.w2_factors = {7};
+  opts.c2_factors = {16};  // the 7/16/8 configuration: fails on S10SX
+  const auto result = ExploreFoldedTilings(*net_, fpga::Stratix10SX(), opts);
+  EXPECT_EQ(result.rejected_route, 1u);
+  EXPECT_TRUE(result.ranked.empty());
+}
+
+TEST_F(DseTest, MaxCandidatesBounds) {
+  DseOptions opts;
+  opts.max_candidates = 3;
+  const auto result = ExploreFoldedTilings(*net_, fpga::Stratix10SX(), opts);
+  EXPECT_LE(result.considered, 3u);
+}
+
+}  // namespace
+}  // namespace clflow::core

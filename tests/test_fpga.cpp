@@ -1,0 +1,230 @@
+// Tests for the FPGA board specs and the AOC synthesis model.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "fpga/synth.hpp"
+#include "ir/op_kernels.hpp"
+
+namespace clflow::fpga {
+namespace {
+
+TEST(Board, EvaluationBoardsMatchTable61) {
+  const auto& boards = EvaluationBoards();
+  ASSERT_EQ(boards.size(), 3u);
+  EXPECT_EQ(boards[0].key, "s10mx");
+  EXPECT_EQ(boards[1].key, "s10sx");
+  EXPECT_EQ(boards[2].key, "a10");
+
+  // Table 6.2 resource totals.
+  EXPECT_EQ(Arria10().dsps, 1518);
+  EXPECT_EQ(Stratix10SX().dsps, 5760);
+  EXPECT_EQ(Stratix10MX().dsps, 3960);
+  EXPECT_EQ(Arria10().brams, 2336);
+  EXPECT_EQ(Stratix10SX().brams, 11254);
+
+  // The S10MX uses a single HBM pseudo-channel (12.8 GB/s), SS6.2.
+  EXPECT_DOUBLE_EQ(Stratix10MX().ext_bw_gbps, 12.8);
+  EXPECT_DOUBLE_EQ(Stratix10SX().ext_bw_gbps, 76.8);
+  EXPECT_DOUBLE_EQ(Arria10().ext_bw_gbps, 34.1);
+}
+
+TEST(Board, StaticPartitionReducesUsable) {
+  const auto& a10 = Arria10();
+  EXPECT_LT(a10.usable_aluts(), a10.aluts);
+  EXPECT_NEAR(static_cast<double>(a10.usable_aluts()),
+              static_cast<double>(a10.aluts) * 0.85, 1.0);
+}
+
+TEST(Board, BytesPerCycleMatchesPaperExample) {
+  // SS4.11: the A10's 34.1 GB/s at 250 MHz supports ~136.4 bytes/cycle.
+  EXPECT_NEAR(Arria10().BytesPerCycle(250.0), 136.4, 0.1);
+}
+
+TEST(Board, LookupByKey) {
+  EXPECT_EQ(BoardByKey("a10").name, "Arria 10 GX");
+  EXPECT_THROW((void)BoardByKey("virtex"), Error);
+}
+
+// --- Synthesis ----------------------------------------------------------------
+
+ir::BuiltKernel SmallConv(const ir::ConvSchedule& sched, std::int64_t c1 = 8,
+                          std::int64_t k = 8) {
+  return ir::BuildConv2dKernel(
+      {.c1 = c1, .h1 = 16, .w1 = 16, .k = k, .f = 3, .stride = 1,
+       .has_bias = true, .activation = Activation::kRelu},
+      sched, "conv_synth");
+}
+
+Bitstream SynthOne(const ir::Kernel& k, const BoardSpec& board,
+                   AocOptions opts = {}) {
+  return Synthesize({{&k, {}}}, board, opts);
+}
+
+TEST(Synthesize, SmallKernelFitsEverywhere) {
+  auto bk = SmallConv({.fuse_activation = true, .cached_writes = true,
+                       .unroll_filter = true});
+  for (const auto& board : EvaluationBoards()) {
+    const auto bs = SynthOne(bk.kernel, board);
+    EXPECT_TRUE(bs.ok()) << board.key << ": " << bs.status_detail;
+    EXPECT_GT(bs.fmax_mhz, 100.0);
+    EXPECT_LT(bs.fmax_mhz, board.base_fmax_mhz + 1);
+    EXPECT_EQ(bs.kernels.size(), 1u);
+  }
+}
+
+TEST(Synthesize, UnrollingMultipliesDsps) {
+  auto base = SmallConv({.fuse_activation = true, .cached_writes = true});
+  auto unrolled = SmallConv({.fuse_activation = true, .cached_writes = true,
+                             .unroll_filter = true});
+  const auto bs0 = SynthOne(base.kernel, Stratix10SX());
+  const auto bs1 = SynthOne(unrolled.kernel, Stratix10SX());
+  EXPECT_EQ(bs1.totals.dsps, bs0.totals.dsps * 9);
+}
+
+TEST(Synthesize, WithoutFpRelaxedAddersGoToLogic) {
+  auto bk = SmallConv({.fuse_activation = true, .cached_writes = true,
+                       .unroll_filter = true});
+  const auto relaxed = SynthOne(bk.kernel, Stratix10SX(), {.fp_relaxed = true});
+  const auto strict =
+      SynthOne(bk.kernel, Stratix10SX(), {.fp_relaxed = false});
+  EXPECT_GT(strict.totals.aluts, relaxed.totals.aluts);
+}
+
+TEST(Synthesize, FitFailureReportsResources) {
+  // A massively tiled conv cannot fit the Arria 10's DSP budget.
+  auto bk = ir::BuildConv2dKernel(
+      {.c1 = 256, .h1 = 56, .w1 = 56, .k = 256, .f = 1, .stride = 1},
+      {.fuse_activation = true, .cached_writes = true, .tile_c1 = 16,
+       .tile_w2 = 8, .tile_c2 = 16},
+      "huge");
+  const auto bs = SynthOne(bk.kernel, Arria10());
+  EXPECT_EQ(bs.status, SynthStatus::kFitError);
+  EXPECT_NE(bs.status_detail.find("DSP"), std::string::npos);
+  EXPECT_FALSE(bs.ok());
+}
+
+TEST(Synthesize, KernelDspConcentrationFailsRoutingOnS10) {
+  // ~900 DSPs in one compute unit: routes on the A10 (degraded fmax),
+  // fails on the Stratix 10 SX -- the paper's 7/16/8 observation (SS6.5).
+  auto bk = ir::BuildConv2dKernel(
+      {.c1 = 64, .h1 = 56, .w1 = 56, .k = 64, .f = 1, .stride = 1},
+      {.fuse_activation = true, .cached_writes = true, .tile_c1 = 8,
+       .tile_w2 = 7, .tile_c2 = 16},
+      "fat1x1");
+  const auto on_a10 = SynthOne(bk.kernel, Arria10());
+  const auto on_s10 = SynthOne(bk.kernel, Stratix10SX());
+  EXPECT_TRUE(on_a10.ok()) << on_a10.status_detail;
+  EXPECT_LT(on_a10.fmax_mhz, Arria10().base_fmax_mhz * 0.8);
+  EXPECT_EQ(on_s10.status, SynthStatus::kRouteError);
+}
+
+TEST(Synthesize, PressureLowersFmaxMonotonically) {
+  double last_fmax = 1e9;
+  for (std::int64_t tile_c2 : {1, 4, 8, 16}) {
+    auto bk = ir::BuildConv2dKernel(
+        {.c1 = 32, .h1 = 28, .w1 = 28, .k = 64, .f = 1, .stride = 1},
+        {.fuse_activation = true, .cached_writes = true, .tile_c1 = 4,
+         .tile_w2 = 7, .tile_c2 = tile_c2},
+        "sweep");
+    const auto bs = SynthOne(bk.kernel, Arria10());
+    ASSERT_TRUE(bs.ok()) << bs.status_detail;
+    EXPECT_LT(bs.fmax_mhz, last_fmax);
+    last_fmax = bs.fmax_mhz;
+  }
+}
+
+TEST(Synthesize, CachedLoadsCostBram) {
+  // A dense kernel re-reads its input vector: cached LSU -> BRAM.
+  auto with_reuse = ir::BuildDenseKernel({.c1 = 256, .c2 = 64},
+                                         {.cached_writes = true}, "d1");
+  auto staged = ir::BuildDenseKernel(
+      {.c1 = 256, .c2 = 64}, {.cached_writes = true, .input_cache = true},
+      "d2");
+  const auto bs1 = SynthOne(with_reuse.kernel, Stratix10SX());
+  const auto bs2 = SynthOne(staged.kernel, Stratix10SX());
+  EXPECT_GT(bs1.totals.brams, 0);
+  EXPECT_GT(bs2.totals.brams, 0);
+}
+
+TEST(Synthesize, ChannelsReduceLsuCount) {
+  const ir::ConvSpec spec{.c1 = 4, .h1 = 12, .w1 = 12, .k = 4, .f = 3,
+                          .stride = 1, .has_bias = true,
+                          .activation = Activation::kRelu};
+  const ir::ConvSchedule sched{.fuse_activation = true, .cached_writes = true,
+                               .unroll_filter = true};
+  auto global_io = ir::BuildConv2dKernel(spec, sched, "cg");
+  auto cin = ir::MakeBuffer("ci", {ir::IntImm(1)}, ir::MemScope::kChannel);
+  auto cout = ir::MakeBuffer("co", {ir::IntImm(1)}, ir::MemScope::kChannel);
+  auto chan_io = ir::BuildConv2dKernel(spec, sched, "cc",
+                                       {.input = cin, .output = cout});
+  const auto bs_g = SynthOne(global_io.kernel, Stratix10SX());
+  const auto bs_c = SynthOne(chan_io.kernel, Stratix10SX());
+  EXPECT_LT(bs_c.kernels[0].lsu_count, bs_g.kernels[0].lsu_count);
+}
+
+// --- Timing -------------------------------------------------------------------
+
+TEST(InvocationCycles, MemoryBoundKernelsChargeBandwidth) {
+  ir::KernelStats stats;
+  stats.compute_cycles = 1000;
+  ir::AccessSite site;
+  site.buffer = "x";
+  site.elems_per_invocation = 1e6;  // 4 MB
+  site.run_elems = 1024;            // fully sequential
+  stats.accesses.push_back(site);
+  // 4 MB at the S10MX's 12.8 GB/s single PC and 300 MHz:
+  // bytes/cycle = 42.7 -> ~94K cycles, memory bound.
+  const double cycles = InvocationCycles(stats, Stratix10MX(), 300.0);
+  EXPECT_NEAR(cycles, 4e6 / (12.8e9 / 300e6), 1e3);
+}
+
+TEST(InvocationCycles, ShortRunsPayBurstPenalty) {
+  ir::KernelStats stats;
+  stats.compute_cycles = 1.0;
+  ir::AccessSite site;
+  site.elems_per_invocation = 1e5;
+  site.run_elems = 1;  // random 4-byte accesses: 16x penalty at 64B bursts
+  stats.accesses.push_back(site);
+  const double penalized = InvocationCycles(stats, Stratix10SX(), 200.0);
+  site.run_elems = 1024;
+  stats.accesses[0] = site;
+  const double clean = InvocationCycles(stats, Stratix10SX(), 200.0);
+  EXPECT_NEAR(penalized / clean, 16.0, 0.01);
+}
+
+TEST(InvocationCycles, CachedSitesDiscountTraffic) {
+  ir::KernelStats stats;
+  stats.compute_cycles = 1.0;
+  ir::AccessSite site;
+  site.elems_per_invocation = 1e6;
+  site.run_elems = 1024;
+  stats.accesses.push_back(site);
+  const double uncached = InvocationCycles(stats, Stratix10SX(), 200.0);
+  stats.accesses[0].cached = true;
+  const double cached = InvocationCycles(stats, Stratix10SX(), 200.0);
+  CostModel m;
+  EXPECT_NEAR(uncached / cached, m.cached_lsu_reuse, 0.01);
+}
+
+TEST(TransferTime, LatencyPlusBandwidth) {
+  const auto& s10sx = Stratix10SX();
+  const SimTime t0 = TransferTime(s10sx, 0, true);
+  EXPECT_NEAR(t0.us(), s10sx.h2d_latency_us, 0.1);
+  const SimTime t1 = TransferTime(s10sx, 11'000'000, true);  // ~1 ms at 11 GB/s
+  EXPECT_NEAR(t1.us() - t0.us(), 1000.0, 1.0);
+  // The S10MX's writes are far slower than its reads (Figure 6.2).
+  const auto& s10mx = Stratix10MX();
+  EXPECT_GT(TransferTime(s10mx, 1 << 20, true).us(),
+            TransferTime(s10mx, 1 << 20, false).us());
+}
+
+TEST(SimTime, UnitConversions) {
+  EXPECT_EQ(SimTime::Us(1.0).ps(), 1'000'000);
+  EXPECT_DOUBLE_EQ(SimTime::Ms(2.5).ms(), 2.5);
+  EXPECT_NEAR(SimTime::Cycles(250, 250.0).us(), 1.0, 1e-9);
+  EXPECT_LT(SimTime::Us(1), SimTime::Ms(1));
+  EXPECT_EQ((SimTime::Us(1) + SimTime::Us(2)).us(), 3.0);
+}
+
+}  // namespace
+}  // namespace clflow::fpga

@@ -1,0 +1,151 @@
+// Tests for the graph IR: shape inference, fusion, cost accounting,
+// execution.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace clflow::graph {
+namespace {
+
+Graph TinyConvNet(Rng& rng) {
+  Graph g;
+  g.set_name("tiny");
+  NodeId x = g.AddInput(Shape{1, 2, 8, 8});
+  x = g.AddConv2d(x, Tensor::HeNormal(Shape{4, 2, 3, 3}, rng, 18),
+                  Tensor::Random(Shape{4}, rng), 1, "c1");
+  x = g.AddActivation(x, Activation::kRelu, "c1_relu");
+  x = g.AddMaxPool(x, 2, 2, "p1");
+  x = g.AddFlatten(x, "flat");
+  x = g.AddDense(x, Tensor::HeNormal(Shape{5, 36}, rng, 36),
+                 Tensor::Random(Shape{5}, rng), "fc");
+  g.AddSoftmax(x, "sm");
+  return g;
+}
+
+TEST(Graph, ShapeInference) {
+  Rng rng(1);
+  Graph g = TinyConvNet(rng);
+  EXPECT_EQ(g.node(1).output_shape, (Shape{1, 4, 6, 6}));  // conv
+  EXPECT_EQ(g.node(3).output_shape, (Shape{1, 4, 3, 3}));  // pool
+  EXPECT_EQ(g.node(4).output_shape, (Shape{1, 36}));       // flatten
+  EXPECT_EQ(g.node(g.output_id()).output_shape, (Shape{1, 5}));
+}
+
+TEST(Graph, RejectsBadShapes) {
+  Rng rng(2);
+  Graph g;
+  NodeId x = g.AddInput(Shape{1, 3, 8, 8});
+  EXPECT_THROW(
+      (void)g.AddConv2d(x, Tensor::HeNormal(Shape{4, 2, 3, 3}, rng, 18),
+                        Tensor(), 1, "bad"),
+      ShapeError);
+  NodeId a = g.AddConv2d(x, Tensor::HeNormal(Shape{4, 3, 3, 3}, rng, 27),
+                         Tensor(), 1, "ok");
+  EXPECT_THROW((void)g.AddResidual(a, x, "bad_add"), ShapeError);
+}
+
+TEST(Graph, PadChangesSpatialOnly) {
+  Graph g;
+  NodeId x = g.AddInput(Shape{1, 3, 10, 10});
+  NodeId p = g.AddPad(x, 2, "pad");
+  EXPECT_EQ(g.node(p).output_shape, (Shape{1, 3, 14, 14}));
+  EXPECT_THROW((void)g.AddPad(x, 0, "bad"), Error);
+}
+
+TEST(FuseOperators, FoldsActivationIntoConv) {
+  Rng rng(3);
+  Graph g = TinyConvNet(rng);
+  Graph fused = FuseOperators(g);
+  // The standalone relu disappears...
+  int act_nodes = 0;
+  for (const auto& n : fused.nodes()) {
+    if (n.kind == OpKind::kActivation) ++act_nodes;
+  }
+  EXPECT_EQ(act_nodes, 0);
+  EXPECT_EQ(fused.nodes().size(), g.nodes().size() - 1);
+  // ...and the conv carries it.
+  bool conv_has_act = false;
+  for (const auto& n : fused.nodes()) {
+    if (n.kind == OpKind::kConv2d && n.activation == Activation::kRelu) {
+      conv_has_act = true;
+    }
+  }
+  EXPECT_TRUE(conv_has_act);
+}
+
+TEST(FuseOperators, PreservesSemantics) {
+  Rng rng(4);
+  Graph g = TinyConvNet(rng);
+  Graph fused = FuseOperators(g);
+  Rng data_rng(5);
+  Tensor input = Tensor::Random(Shape{1, 2, 8, 8}, data_rng);
+  Tensor a = Execute(g, input);
+  Tensor b = Execute(fused, input);
+  EXPECT_LT(Tensor::MaxRelDiff(a, b), 1e-6f);
+}
+
+TEST(FuseOperators, DoesNotFuseSharedProducer) {
+  // conv feeds both an activation and a residual add: must not fuse.
+  Rng rng(6);
+  Graph g;
+  NodeId x = g.AddInput(Shape{1, 2, 4, 4});
+  NodeId c = g.AddConv2d(x, Tensor::HeNormal(Shape{2, 2, 1, 1}, rng, 2),
+                         Tensor(), 1, "c");
+  NodeId r = g.AddActivation(c, Activation::kRelu, "r");
+  g.AddResidual(c, r, "res");
+  Graph fused = FuseOperators(g);
+  int act_nodes = 0;
+  for (const auto& n : fused.nodes()) {
+    if (n.kind == OpKind::kActivation) ++act_nodes;
+  }
+  EXPECT_EQ(act_nodes, 1);  // kept
+}
+
+TEST(GraphCost, CountsFlopsAsTwiceMacs) {
+  Rng rng(7);
+  Graph g;
+  NodeId x = g.AddInput(Shape{1, 2, 6, 6});
+  g.AddConv2d(x, Tensor::HeNormal(Shape{3, 2, 3, 3}, rng, 18), Tensor(), 1,
+              "c");
+  const OpCost cost = GraphCost(g);
+  // out 3x4x4, macs = 3*4*4*2*9 = 864 -> 1728 flops; params = 54.
+  EXPECT_DOUBLE_EQ(cost.flops, 1728.0);
+  EXPECT_EQ(cost.params, 54);
+}
+
+TEST(Execute, EndToEndTinyNet) {
+  Rng rng(8);
+  Graph g = TinyConvNet(rng);
+  Rng data_rng(9);
+  Tensor input = Tensor::Random(Shape{1, 2, 8, 8}, data_rng);
+  std::unordered_map<NodeId, Tensor> acts;
+  Tensor out = Execute(g, input, /*num_threads=*/2, &acts);
+  ASSERT_EQ(out.shape(), (Shape{1, 5}));
+  float sum = 0;
+  for (float v : out.data()) sum += v;
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);          // softmax output
+  EXPECT_EQ(acts.size(), g.nodes().size());  // every node recorded
+}
+
+TEST(Execute, RejectsWrongInputShape) {
+  Rng rng(10);
+  Graph g = TinyConvNet(rng);
+  EXPECT_THROW((void)Execute(g, Tensor(Shape{1, 2, 9, 9})), Error);
+}
+
+TEST(Graph, ConsumerMap) {
+  Rng rng(11);
+  Graph g;
+  NodeId x = g.AddInput(Shape{1, 2, 4, 4});
+  NodeId c = g.AddConv2d(x, Tensor::HeNormal(Shape{2, 2, 1, 1}, rng, 2),
+                         Tensor(), 1, "c");
+  g.AddResidual(c, x, "res");
+  const auto consumers = g.ConsumerMap();
+  EXPECT_EQ(consumers[0].size(), 2u);  // input feeds conv and add
+  EXPECT_EQ(consumers[1].size(), 1u);
+}
+
+}  // namespace
+}  // namespace clflow::graph

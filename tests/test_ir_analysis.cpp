@@ -1,0 +1,269 @@
+// Tests for the AOC-style static analyses: initiation interval, spatial
+// parallelism, LSU coalescing/replication, cached-LSU inference, and the
+// symbolic-shape coalescing failure + stride-pinning fix of SS5.3.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ir/analysis.hpp"
+#include "ir/op_kernels.hpp"
+
+namespace clflow::ir {
+namespace {
+
+const AccessSite* FindSite(const KernelStats& stats, const std::string& buffer,
+                           bool is_store) {
+  for (const auto& site : stats.accesses) {
+    if (site.buffer == buffer && site.is_store == is_store) return &site;
+  }
+  return nullptr;
+}
+
+KernelStats AnalyzeConv(const ConvSpec& spec, const ConvSchedule& sched,
+                        Bindings extra = {}) {
+  auto bk = BuildConv2dKernel(spec, sched, "conv_a");
+  Bindings b = std::move(extra);
+  for (const auto& [name, var] : bk.params) {
+    (void)name;
+    if (b.find(var.get()) == b.end()) {
+      // Bind leftover symbolic params (strides) to plausible values; the
+      // *compile-time* analysis must not depend on them.
+      b[var.get()] = 1;
+    }
+  }
+  return AnalyzeKernel(bk.kernel, b);
+}
+
+TEST(LinearCoeff, AffineBasics) {
+  auto i = MakeVar("i");
+  auto j = MakeVar("j");
+  // 3*i + j + 7 -> coeff(i) = 3, coeff(j) = 1.
+  auto e = Add(Add(Mul(IntImm(3), VarRef(i)), VarRef(j)), IntImm(7));
+  EXPECT_EQ(LinearCoeff(e, i, {}).value(), 3);
+  EXPECT_EQ(LinearCoeff(e, j, {}).value(), 1);
+}
+
+TEST(LinearCoeff, SymbolicCoefficientIsUnknown) {
+  auto i = MakeVar("i");
+  auto n = MakeVar("n", VarKind::kShapeParam);
+  auto e = Mul(VarRef(i), VarRef(n));  // stride n unknown at compile time
+  EXPECT_FALSE(LinearCoeff(e, i, {}).has_value());
+  // ...but known once bound.
+  Bindings b{{n.get(), 16}};
+  EXPECT_EQ(LinearCoeff(e, i, b).value(), 16);
+}
+
+TEST(LinearCoeff, NonAffineIsUnknown) {
+  auto i = MakeVar("i");
+  EXPECT_FALSE(LinearCoeff(Mul(VarRef(i), VarRef(i)), i, {}).has_value());
+  EXPECT_FALSE(LinearCoeff(Mod(VarRef(i), IntImm(4)), i, {}).has_value());
+  EXPECT_EQ(LinearCoeff(Mod(IntImm(9), IntImm(4)), i, {}).value(), 0);
+}
+
+TEST(EvalConst, FoldsWithBindings) {
+  auto n = MakeVar("n", VarKind::kShapeParam);
+  auto e = Add(Mul(VarRef(n), IntImm(2)), IntImm(3));
+  EXPECT_FALSE(EvalConst(e, {}).has_value());
+  Bindings b{{n.get(), 10}};
+  EXPECT_EQ(EvalConst(e, b).value(), 23);
+}
+
+// --- Initiation interval ------------------------------------------------------
+
+TEST(AnalyzeKernel, NaiveConvHasGlobalReductionII) {
+  const auto stats = AnalyzeConv(
+      {.c1 = 4, .h1 = 8, .w1 = 8, .k = 8, .f = 3, .stride = 1}, {});
+  EXPECT_EQ(stats.worst_ii, kGlobalReductionII);
+  EXPECT_TRUE(stats.has_serial_region);
+}
+
+TEST(AnalyzeKernel, OptimizedConvAchievesIIOne) {
+  const auto stats = AnalyzeConv(
+      {.c1 = 4, .h1 = 8, .w1 = 8, .k = 8, .f = 3, .stride = 1},
+      {.fuse_activation = true, .cached_writes = true, .unroll_filter = true});
+  EXPECT_EQ(stats.worst_ii, 1);
+  EXPECT_FALSE(stats.has_serial_region);
+}
+
+TEST(AnalyzeKernel, OptimizedConvNeedsFewerCycles) {
+  const ConvSpec spec{.c1 = 16, .h1 = 16, .w1 = 16, .k = 16, .f = 3,
+                      .stride = 1};
+  const auto naive = AnalyzeConv(spec, {});
+  const auto opt = AnalyzeConv(spec, {.fuse_activation = true,
+                                      .cached_writes = true,
+                                      .unroll_filter = true,
+                                      .tile_c1 = 4});
+  // II 5 -> 1 and 9x fewer trips from the filter unroll, 4x from tiling:
+  // expect far more than an order of magnitude.
+  EXPECT_GT(naive.compute_cycles / opt.compute_cycles, 20.0);
+}
+
+// --- Spatial parallelism / DSP demand ----------------------------------------
+
+TEST(AnalyzeKernel, UnrollMultipliesDspDemand) {
+  const ConvSpec spec{.c1 = 8, .h1 = 8, .w1 = 8, .k = 8, .f = 3, .stride = 1};
+  const auto base = AnalyzeConv(spec, {.fuse_activation = true,
+                                       .cached_writes = true});
+  const auto unrolled = AnalyzeConv(spec, {.fuse_activation = true,
+                                           .cached_writes = true,
+                                           .unroll_filter = true});
+  // Filter unroll replicates the MAC 9x.
+  EXPECT_EQ(unrolled.fp_mul_spatial, base.fp_mul_spatial * 9);
+
+  const auto tiled = AnalyzeConv(spec, {.fuse_activation = true,
+                                        .cached_writes = true,
+                                        .unroll_filter = true,
+                                        .tile_c1 = 4,
+                                        .tile_w2 = 2});
+  EXPECT_EQ(tiled.fp_mul_spatial, base.fp_mul_spatial * 9 * 4 * 2);
+}
+
+TEST(AnalyzeKernel, SoftmaxCountsComplexOps) {
+  auto bk = BuildSoftmaxKernel({.n = 10}, /*optimized=*/true, "sm");
+  const auto stats = AnalyzeKernel(bk.kernel);
+  // exp + fp division.
+  EXPECT_GE(stats.fp_complex_spatial, 2);
+}
+
+// --- LSU structure ------------------------------------------------------------
+
+TEST(AnalyzeKernel, ConstantShapeUnrollCoalesces) {
+  // Listing 4.2-style behaviour: consecutive accesses across the unrolled
+  // dimension widen the LSU instead of replicating it.
+  const auto stats = AnalyzeConv(
+      {.c1 = 8, .h1 = 10, .w1 = 10, .k = 8, .f = 1, .stride = 1},
+      {.fuse_activation = true, .cached_writes = true, .tile_w2 = 4});
+  const auto* in = FindSite(stats, "in_fm", /*is_store=*/false);
+  ASSERT_NE(in, nullptr);
+  EXPECT_TRUE(in->coalesced);
+  EXPECT_EQ(in->width_elems, 4);
+  EXPECT_EQ(in->lsu_count, 1);
+}
+
+TEST(AnalyzeKernel, ChannelTilingReplicatesInputLsus) {
+  // Unrolling along the input-channel dimension cannot coalesce IFM reads
+  // (stride H*W), so AOC replicates the LSU (SS5.1.1).
+  const auto stats = AnalyzeConv(
+      {.c1 = 8, .h1 = 10, .w1 = 10, .k = 8, .f = 1, .stride = 1},
+      {.fuse_activation = true, .cached_writes = true, .tile_c1 = 4});
+  const auto* in = FindSite(stats, "in_fm", /*is_store=*/false);
+  ASSERT_NE(in, nullptr);
+  EXPECT_FALSE(in->coalesced);
+  EXPECT_EQ(in->lsu_count, 4);
+  // Weight reads along the same dimension *are* contiguous.
+  const auto* w = FindSite(stats, "wt", false);
+  ASSERT_NE(w, nullptr);
+  EXPECT_TRUE(w->coalesced);
+  EXPECT_EQ(w->width_elems, 4);
+}
+
+TEST(AnalyzeKernel, SymbolicShapesDefeatCoalescing) {
+  // SS5.3: with symbolic strides AOC cannot prove contiguity.
+  const ConvSpec spec{.f = 3, .stride = 1};
+  const auto unpinned =
+      AnalyzeConv(spec,
+                  {.fuse_activation = true, .cached_writes = true,
+                   .unroll_filter = true, .tile_w2 = 7, .symbolic = true},
+                  /*extra=*/{});
+  const auto* in_u = FindSite(unpinned, "in_fm", false);
+  ASSERT_NE(in_u, nullptr);
+  EXPECT_FALSE(in_u->coalesced);
+  EXPECT_FALSE(in_u->sequential);
+
+  // Listing 5.11: pinning the innermost stride to 1 restores coalescing.
+  const auto pinned =
+      AnalyzeConv(spec,
+                  {.fuse_activation = true, .cached_writes = true,
+                   .unroll_filter = true, .tile_w2 = 7, .symbolic = true,
+                   .pin_strides = true},
+                  /*extra=*/{});
+  const auto* in_p = FindSite(pinned, "in_fm", false);
+  ASSERT_NE(in_p, nullptr);
+  EXPECT_GE(in_p->width_elems, 7);
+  EXPECT_GT(in_p->run_elems, in_u->run_elems);
+}
+
+TEST(AnalyzeKernel, PadKernelIsNonSequential) {
+  auto bk = BuildPadKernel({.c = 8, .h1 = 14, .w1 = 14, .pad = 1}, "pad_a");
+  const auto stats = AnalyzeKernel(bk.kernel);
+  const auto* in = FindSite(stats, "in_fm", false);
+  ASSERT_NE(in, nullptr);
+  // Div/mod addressing: AOC cannot prove streaming order.
+  EXPECT_FALSE(in->sequential);
+}
+
+TEST(AnalyzeKernel, RepeatedLoadsInferCachedLsu) {
+  // The dense input vector is re-read for every output neuron -> cached
+  // burst-coalesced LSU (BRAM cost in the board model).
+  auto bk = BuildDenseKernel({.c1 = 64, .c2 = 16}, {}, "dense_a");
+  const auto stats = AnalyzeKernel(bk.kernel);
+  const auto* x = FindSite(stats, "in_vec", false);
+  ASSERT_NE(x, nullptr);
+  EXPECT_TRUE(x->cached);
+  // Weight rows are streamed exactly once -> no cache.
+  const auto* w = FindSite(stats, "wt", false);
+  ASSERT_NE(w, nullptr);
+  EXPECT_FALSE(w->cached);
+}
+
+// --- Traffic accounting --------------------------------------------------------
+
+TEST(AnalyzeKernel, TrafficMatchesHandCount) {
+  // 1x1 conv, C1=8, K=4, 6x6 output: reads = K*H*W*C1 (input) +
+  // K*H*W*C1 (weights) + K (bias); writes = K*H*W.
+  const auto stats = AnalyzeConv(
+      {.c1 = 8, .h1 = 6, .w1 = 6, .k = 4, .f = 1, .stride = 1},
+      {.fuse_activation = true, .cached_writes = true});
+  const double khw = 4 * 6 * 6;
+  EXPECT_DOUBLE_EQ(stats.global_bytes_written, khw * 4.0);
+  EXPECT_DOUBLE_EQ(stats.global_bytes_read, (khw * 8 * 2 + khw) * 4.0);
+}
+
+TEST(AnalyzeKernel, ChannelCountsForPipelinedConv) {
+  auto cin = MakeBuffer("cin", {IntImm(1)}, MemScope::kChannel);
+  auto cout = MakeBuffer("cout", {IntImm(1)}, MemScope::kChannel);
+  auto bk = BuildConv2dKernel(
+      {.c1 = 2, .h1 = 6, .w1 = 6, .k = 3, .f = 3, .stride = 1},
+      {.fuse_activation = true, .cached_writes = true, .unroll_filter = true},
+      "conv_chan_a", {.input = cin, .output = cout});
+  const auto stats = AnalyzeKernel(bk.kernel);
+  EXPECT_DOUBLE_EQ(stats.channel_reads, 2 * 6 * 6);
+  EXPECT_DOUBLE_EQ(stats.channel_writes, 3 * 4 * 4);
+  // The staged IFM lives in local BRAM.
+  EXPECT_EQ(stats.local_elems, 2 * 6 * 6);
+}
+
+TEST(AnalyzeKernel, PrivateElemsTrackAccumulatorTile) {
+  const auto stats = AnalyzeConv(
+      {.c1 = 8, .h1 = 10, .w1 = 10, .k = 8, .f = 1, .stride = 1},
+      {.fuse_activation = true, .cached_writes = true, .tile_w2 = 5,
+       .tile_c2 = 2});
+  EXPECT_EQ(stats.private_elems, 5 * 2);
+}
+
+TEST(AnalyzeKernel, SymbolicBindingsScaleDynamicCounts) {
+  const ConvSchedule sched{.fuse_activation = true, .cached_writes = true,
+                           .unroll_filter = true, .symbolic = true,
+                           .pin_strides = true};
+  auto bk = BuildConv2dKernel({.f = 3, .stride = 1, .has_bias = false}, sched,
+                              "conv_sym_a");
+  auto bind = [&](std::int64_t c1, std::int64_t hw, std::int64_t k) {
+    Bindings b;
+    b[bk.params.at("C1").get()] = c1;
+    b[bk.params.at("HW").get()] = hw;
+    b[bk.params.at("K").get()] = k;
+    for (const auto& [name, var] : bk.params) {
+      if (name.find("_s") != std::string::npos) b[var.get()] = 1;
+    }
+    return AnalyzeKernel(bk.kernel, b);
+  };
+  const auto small = bind(4, 8, 4);
+  const auto large = bind(8, 8, 8);
+  EXPECT_GT(large.compute_cycles, 2.5 * small.compute_cycles);
+  EXPECT_GT(large.global_bytes_read, 3.0 * small.global_bytes_read);
+  // Hardware structure (spatial ops) is identical: same bitstream.
+  EXPECT_EQ(large.fp_mul_spatial, small.fp_mul_spatial);
+}
+
+}  // namespace
+}  // namespace clflow::ir

@@ -1,0 +1,209 @@
+// Tests for the simulated OpenCL runtime: queue semantics, channels,
+// autorun, concurrent execution, profiling, and the functional layer.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ir/op_kernels.hpp"
+#include "ocl/runtime.hpp"
+
+namespace clflow::ocl {
+namespace {
+
+/// A bitstream with `n` trivial kernels named k0..k(n-1).
+struct TestDesign {
+  std::vector<ir::BuiltKernel> built;
+  fpga::Bitstream bitstream;
+};
+
+TestDesign MakeDesign(int n, const fpga::BoardSpec& board) {
+  TestDesign d;
+  std::vector<fpga::SynthInput> inputs;
+  d.built.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    d.built.push_back(
+        ir::BuildCopyKernel(1024, "k" + std::to_string(i)));
+  }
+  for (const auto& b : d.built) inputs.push_back({&b.kernel, {}});
+  d.bitstream = fpga::Synthesize(inputs, board);
+  return d;
+}
+
+ir::KernelStats FixedCycles(double cycles) {
+  ir::KernelStats stats;
+  stats.compute_cycles = cycles;
+  return stats;
+}
+
+TEST(Runtime, RejectsFailedBitstream) {
+  fpga::Bitstream bad;
+  bad.status = fpga::SynthStatus::kFitError;
+  EXPECT_THROW(Runtime rt(bad), Error);
+}
+
+TEST(Runtime, WriteKernelReadOrdering) {
+  TestDesign d = MakeDesign(1, fpga::Stratix10SX());
+  Runtime rt(d.bitstream);
+  auto buf = rt.CreateBuffer(1024);
+  std::vector<float> src(1024, 2.5f), dst(1024, 0.0f);
+
+  rt.EnqueueWrite(0, buf, src);
+  rt.EnqueueKernel(0, {.name = "k0", .stats = FixedCycles(1000), .functional = {}, .reads_channels = {}, .writes_channels = {}});
+  rt.EnqueueRead(0, buf, dst);
+  const SimTime t = rt.Finish();
+
+  // Functional copy happened.
+  EXPECT_FLOAT_EQ(dst[7], 2.5f);
+  // Events are ordered: write < kernel < read.
+  const auto& ev = rt.events();
+  ASSERT_EQ(ev.size(), 3u);
+  EXPECT_LE(ev[0].end, ev[1].start);
+  EXPECT_LE(ev[1].end, ev[2].start);
+  EXPECT_EQ(t.ps(), ev[2].end.ps());
+}
+
+TEST(Runtime, InOrderQueueSerializesAndPaysLaunch) {
+  TestDesign d = MakeDesign(2, fpga::Stratix10SX());
+  Runtime rt(d.bitstream);
+  rt.EnqueueKernel(0, {.name = "k0", .stats = FixedCycles(10000), .functional = {}, .reads_channels = {}, .writes_channels = {}});
+  rt.EnqueueKernel(0, {.name = "k1", .stats = FixedCycles(10000), .functional = {}, .reads_channels = {}, .writes_channels = {}});
+  rt.Finish();
+  const auto& ev = rt.events();
+  ASSERT_EQ(ev.size(), 2u);
+  // Second kernel starts at least launch-overhead after the first ends.
+  const double gap_us = (ev[1].start - ev[0].end).us();
+  EXPECT_NEAR(gap_us, fpga::Stratix10SX().kernel_launch_us, 1.0);
+}
+
+TEST(Runtime, ConcurrentQueuesOverlap) {
+  TestDesign d = MakeDesign(2, fpga::Stratix10SX());
+  Runtime rt(d.bitstream);
+  const int q1 = rt.CreateQueue();
+  rt.EnqueueKernel(0, {.name = "k0", .stats = FixedCycles(100000), .functional = {}, .reads_channels = {}, .writes_channels = {}});
+  rt.EnqueueKernel(q1, {.name = "k1", .stats = FixedCycles(100000), .functional = {}, .reads_channels = {}, .writes_channels = {}});
+  const SimTime t = rt.Finish();
+  const auto& ev = rt.events();
+  // Independent kernels on separate queues overlap almost entirely.
+  EXPECT_LT(ev[1].start, ev[0].end);
+  EXPECT_LT(t.us(), 2.0 * ev[0].duration().us());
+}
+
+TEST(Runtime, ChannelsChainProducerToConsumer) {
+  TestDesign d = MakeDesign(2, fpga::Stratix10SX());
+  Runtime rt(d.bitstream);
+  const int q1 = rt.CreateQueue();
+  rt.EnqueueKernel(0, {.name = "k0", .stats = FixedCycles(50000),
+                       .functional = {},
+                       .reads_channels = {},
+                       .writes_channels = {"ch"}});
+  rt.EnqueueKernel(q1, {.name = "k1", .stats = FixedCycles(50000),
+                        .functional = {},
+                        .reads_channels = {"ch"},
+                        .writes_channels = {}});
+  rt.Finish();
+  const auto& ev = rt.events();
+  EXPECT_GE(ev[1].start, ev[0].end);
+}
+
+TEST(Runtime, ChannelWithoutProducerThrows) {
+  TestDesign d = MakeDesign(1, fpga::Stratix10SX());
+  Runtime rt(d.bitstream);
+  EXPECT_THROW(rt.EnqueueKernel(0, {.name = "k0",
+                                    .stats = FixedCycles(10),
+                                    .functional = {},
+                                    .reads_channels = {"nope"},
+                                    .writes_channels = {}}),
+               RuntimeApiError);
+}
+
+TEST(Runtime, AutorunSkipsDispatchOverhead) {
+  TestDesign d = MakeDesign(3, fpga::Stratix10SX());
+  Runtime rt(d.bitstream);
+  rt.EnqueueKernel(0, {.name = "k0", .stats = FixedCycles(50000),
+                       .functional = {}, .reads_channels = {},
+                       .writes_channels = {"a"}});
+  rt.RunAutorun({.name = "k1", .stats = FixedCycles(50000), .functional = {},
+                 .reads_channels = {"a"}, .writes_channels = {"b"}});
+  rt.EnqueueKernel(0, {.name = "k2", .stats = FixedCycles(50000),
+                       .functional = {}, .reads_channels = {"b"},
+                       .writes_channels = {}});
+  rt.Finish();
+  const auto& ev = rt.events();
+  ASSERT_EQ(ev.size(), 3u);
+  // The autorun kernel starts the moment its channel is ready: no gap.
+  EXPECT_EQ(ev[1].start.ps(), ev[0].end.ps());
+  EXPECT_EQ(ev[1].queue, -1);
+}
+
+TEST(Runtime, UnknownKernelRejected) {
+  TestDesign d = MakeDesign(1, fpga::Stratix10SX());
+  Runtime rt(d.bitstream);
+  EXPECT_THROW(
+      rt.EnqueueKernel(0, {.name = "ghost", .stats = FixedCycles(10), .functional = {},
+       .reads_channels = {}, .writes_channels = {}}),
+      RuntimeApiError);
+}
+
+TEST(Runtime, ProfilingSerializesHost) {
+  TestDesign d = MakeDesign(2, fpga::Stratix10SX());
+
+  auto run = [&](bool profiling) {
+    Runtime rt(d.bitstream);
+    rt.set_profiling(profiling);
+    const int q1 = rt.CreateQueue();
+    rt.EnqueueKernel(0, {.name = "k0", .stats = FixedCycles(100000), .functional = {}, .reads_channels = {}, .writes_channels = {}});
+    rt.EnqueueKernel(q1, {.name = "k1", .stats = FixedCycles(100000), .functional = {}, .reads_channels = {}, .writes_channels = {}});
+    return rt.Finish();
+  };
+  // With the event profiler on, the host waits per command: no overlap.
+  EXPECT_GT(run(true).us(), 1.8 * run(false).us() * 0.5);
+  EXPECT_GT(run(true).us(), run(false).us());
+}
+
+TEST(Runtime, FinishResetsBatchAccounting) {
+  TestDesign d = MakeDesign(1, fpga::Stratix10SX());
+  Runtime rt(d.bitstream);
+  rt.EnqueueKernel(0, {.name = "k0", .stats = FixedCycles(100000), .functional = {}, .reads_channels = {}, .writes_channels = {}});
+  const SimTime first = rt.Finish();
+  rt.EnqueueKernel(0, {.name = "k0", .stats = FixedCycles(100000), .functional = {}, .reads_channels = {}, .writes_channels = {}});
+  const SimTime second = rt.Finish();
+  EXPECT_NEAR(first.us(), second.us(), 5.0);
+  EXPECT_GE(rt.now(), first + second - SimTime::Us(1));
+}
+
+TEST(Runtime, FunctionalFunctorRuns) {
+  TestDesign d = MakeDesign(1, fpga::Stratix10SX());
+  Runtime rt(d.bitstream);
+  int calls = 0;
+  rt.EnqueueKernel(0, {.name = "k0", .stats = FixedCycles(10),
+                       .functional = [&calls] { ++calls; },
+                       .reads_channels = {}, .writes_channels = {}});
+  rt.EnqueueKernel(0, {.name = "k0", .stats = FixedCycles(10), .functional = {},
+                       .reads_channels = {}, .writes_channels = {}});
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Runtime, WriteLargerThanBufferRejected) {
+  TestDesign d = MakeDesign(1, fpga::Stratix10SX());
+  Runtime rt(d.bitstream);
+  auto buf = rt.CreateBuffer(16);
+  std::vector<float> big(32, 0.0f);
+  EXPECT_THROW(rt.EnqueueWrite(0, buf, big), Error);
+}
+
+TEST(Runtime, S10mxWritesAreSlow) {
+  // The paper's Figure 6.2: the S10MX spends most of its time on buffer
+  // writes. Same transfer on both boards; S10MX must be much slower.
+  TestDesign dmx = MakeDesign(1, fpga::Stratix10MX());
+  TestDesign dsx = MakeDesign(1, fpga::Stratix10SX());
+  Runtime rt_mx(dmx.bitstream);
+  Runtime rt_sx(dsx.bitstream);
+  auto bmx = rt_mx.CreateBuffer(1024);
+  auto bsx = rt_sx.CreateBuffer(1024);
+  std::vector<float> src(1024, 1.0f);
+  rt_mx.EnqueueWrite(0, bmx, src);
+  rt_sx.EnqueueWrite(0, bsx, src);
+  EXPECT_GT(rt_mx.Finish().us(), 5.0 * rt_sx.Finish().us());
+}
+
+}  // namespace
+}  // namespace clflow::ocl

@@ -1,0 +1,110 @@
+// Tests for the comparison-platform performance models: anchor
+// reproduction (the published Tables 6.10/6.12/6.15 numbers) and sane
+// scaling behaviour for unseen networks.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nets/nets.hpp"
+#include "perfmodel/reference.hpp"
+
+namespace clflow::perfmodel {
+namespace {
+
+class Anchors : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(5);
+    lenet_ = new graph::Graph(nets::BuildLeNet5(rng));
+    mobilenet_ = new graph::Graph(nets::BuildMobileNetV1(rng));
+    resnet18_ = new graph::Graph(nets::BuildResNet(18, rng));
+    resnet34_ = new graph::Graph(nets::BuildResNet(34, rng));
+  }
+  static void TearDownTestSuite() {
+    delete lenet_;
+    delete mobilenet_;
+    delete resnet18_;
+    delete resnet34_;
+  }
+  static graph::Graph *lenet_, *mobilenet_, *resnet18_, *resnet34_;
+};
+
+graph::Graph* Anchors::lenet_ = nullptr;
+graph::Graph* Anchors::mobilenet_ = nullptr;
+graph::Graph* Anchors::resnet18_ = nullptr;
+graph::Graph* Anchors::resnet34_ = nullptr;
+
+TEST_F(Anchors, TensorflowCpu) {
+  EXPECT_NEAR(TensorflowCpuFps(*lenet_), 1075.0, 1.0);
+  EXPECT_NEAR(TensorflowCpuFps(*mobilenet_), 21.6, 0.1);
+  EXPECT_NEAR(TensorflowCpuFps(*resnet18_), 16.3, 0.1);
+  EXPECT_NEAR(TensorflowCpuFps(*resnet34_), 10.7, 0.1);
+}
+
+TEST_F(Anchors, TensorflowGpu) {
+  EXPECT_NEAR(TensorflowGpuFps(*lenet_), 1604.0, 1.0);
+  EXPECT_NEAR(TensorflowGpuFps(*mobilenet_), 43.7, 0.1);
+  EXPECT_NEAR(TensorflowGpuFps(*resnet18_), 46.5, 0.1);
+  EXPECT_NEAR(TensorflowGpuFps(*resnet34_), 31.7, 0.1);
+}
+
+TEST_F(Anchors, TvmSingleThread) {
+  EXPECT_NEAR(TvmCpuFps(*lenet_, 1), 2345.0, 5.0);
+  EXPECT_NEAR(TvmCpuFps(*mobilenet_, 1), 15.6, 0.2);
+  EXPECT_NEAR(TvmCpuFps(*resnet18_, 1), 5.8, 0.1);
+  EXPECT_NEAR(TvmCpuFps(*resnet34_, 1), 1.2, 0.05);
+}
+
+TEST_F(Anchors, TvmManyThreadsNearPaperSweeps) {
+  // Figures 6.5-6.7 peaks (within 15%).
+  EXPECT_NEAR(TvmCpuFps(*mobilenet_, 56), 90.1, 0.15 * 90.1);
+  EXPECT_NEAR(TvmCpuFps(*resnet18_, 56), 54.3, 0.15 * 54.3);
+  EXPECT_NEAR(TvmCpuFps(*resnet34_, 56), 13.7, 0.15 * 13.7);
+}
+
+TEST_F(Anchors, LeNetScalesNegativelyWithThreads) {
+  // Figure 6.4: more threads make LeNet slower under TVM.
+  EXPECT_GT(TvmCpuFps(*lenet_, 1), TvmCpuFps(*lenet_, 16));
+  EXPECT_GT(TvmCpuFps(*lenet_, 16), TvmCpuFps(*lenet_, 56));
+}
+
+TEST_F(Anchors, LargeNetsScaleMonotonically) {
+  for (const graph::Graph* g : {mobilenet_, resnet18_, resnet34_}) {
+    double last = 0.0;
+    for (int threads : {1, 2, 4, 8, 16, 32, 56}) {
+      const double fps = TvmCpuFps(*g, threads);
+      EXPECT_GT(fps, last);
+      last = fps;
+    }
+  }
+}
+
+TEST(GenericFallback, UnknownNetworkGetsRooflineEstimate) {
+  Rng rng(6);
+  graph::Graph g;
+  auto x = g.AddInput(Shape{1, 64, 128, 128});
+  g.AddConv2d(x, Tensor::HeNormal(Shape{64, 64, 3, 3}, rng, 576), Tensor(), 1,
+              "c");
+  g.set_name("custom_net");
+  const double tf = TensorflowCpuFps(g);
+  const double tvm1 = TvmCpuFps(g, 1);
+  const double tvm8 = TvmCpuFps(g, 8);
+  const double gpu = TensorflowGpuFps(g);
+  EXPECT_GT(tf, 0.0);
+  EXPECT_GT(tvm8, tvm1);
+  EXPECT_GT(gpu, 0.0);
+  // A tiny conv net should be dispatch-bound: thousands of FPS, not millions.
+  EXPECT_LT(tf, 1e6);
+}
+
+TEST(GenericFallback, ThreadCountClamped) {
+  Rng rng(7);
+  graph::Graph g;
+  auto x = g.AddInput(Shape{1, 4, 16, 16});
+  g.AddConv2d(x, Tensor::HeNormal(Shape{4, 4, 3, 3}, rng, 36), Tensor(), 1,
+              "c");
+  EXPECT_DOUBLE_EQ(TvmCpuFps(g, 0), TvmCpuFps(g, 1));
+  EXPECT_DOUBLE_EQ(TvmCpuFps(g, -5), TvmCpuFps(g, 1));
+}
+
+}  // namespace
+}  // namespace clflow::perfmodel

@@ -1,0 +1,189 @@
+// Tests for the int8 quantization extension (paper SS8.1 future work):
+// tensor-level round-trips, operator correctness against the float
+// reference, graph calibration/execution, and the precision-aware FPGA
+// model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "cpu/ops.hpp"
+#include "common/rng.hpp"
+#include "fpga/synth.hpp"
+#include "ir/op_kernels.hpp"
+#include "nets/nets.hpp"
+#include "quant/quantize.hpp"
+
+namespace clflow::quant {
+namespace {
+
+TEST(QTensor, RoundTripWithinOneStep) {
+  Rng rng(1);
+  Tensor t = Tensor::Random(Shape{256}, rng, -3.0f, 3.0f);
+  QTensor q = QuantizeAuto(t);
+  Tensor back = Dequantize(q);
+  // Max error is half a quantization step.
+  EXPECT_LE(Tensor::MaxAbsDiff(t, back), q.scale * 0.5f + 1e-6f);
+  EXPECT_GT(SqnrDb(t, back), 30.0);
+}
+
+TEST(QTensor, ScaleCoversMaxValue) {
+  Tensor t = Tensor::FromData(Shape{3}, {-0.4f, 2.54f, 1.0f});
+  QTensor q = QuantizeAuto(t);
+  EXPECT_NEAR(q.scale, 2.54f / 127.0f, 1e-6f);
+  EXPECT_EQ(q.data[1], 127);
+}
+
+TEST(QTensor, ZeroTensorDoesNotDivideByZero) {
+  Tensor t = Tensor::Full(Shape{4}, 0.0f);
+  QTensor q = QuantizeAuto(t);
+  for (auto v : q.data) EXPECT_EQ(v, 0);
+}
+
+TEST(QConv2d, TracksFloatReference) {
+  Rng rng(2);
+  Tensor input = Tensor::Random(Shape{1, 4, 10, 10}, rng);
+  Tensor w = Tensor::HeNormal(Shape{8, 4, 3, 3}, rng, 36);
+  Tensor bias = Tensor::Random(Shape{8}, rng, -0.2f, 0.2f);
+  Tensor expected = clflow::cpu::Conv2d(input, w, bias,
+                                {.stride = 1, .activation = Activation::kRelu});
+
+  QTensor qin = QuantizeAuto(input);
+  QTensor qw = QuantizeAuto(w);
+  std::vector<std::int32_t> qbias(8);
+  for (int i = 0; i < 8; ++i) {
+    qbias[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(
+        std::lround(bias.at(i) / (qin.scale * qw.scale)));
+  }
+  const float out_scale = ChooseScale(expected);
+  QTensor out = QConv2d(qin, qw, qbias,
+                        {.stride = 1, .activation = Activation::kRelu,
+                         .out_scale = out_scale},
+                        2);
+  EXPECT_GT(SqnrDb(expected, Dequantize(out)), 25.0);
+}
+
+TEST(QDense, TracksFloatReference) {
+  Rng rng(3);
+  Tensor x = Tensor::Random(Shape{1, 64}, rng);
+  Tensor w = Tensor::HeNormal(Shape{16, 64}, rng, 64);
+  Tensor expected = clflow::cpu::Dense(x, w, Tensor(), Activation::kNone);
+
+  QTensor qx = QuantizeAuto(x.Reshaped(Shape{1, 64}));
+  QTensor qw = QuantizeAuto(w);
+  QTensor out = QDense(qx, qw, {}, Activation::kNone, ChooseScale(expected));
+  EXPECT_GT(SqnrDb(expected, Dequantize(out).Reshaped(expected.shape())),
+            25.0);
+}
+
+TEST(QMaxPool, ExactlyMatchesIntSemantics) {
+  Rng rng(4);
+  Tensor t = Tensor::Random(Shape{1, 2, 6, 6}, rng);
+  QTensor q = QuantizeAuto(t);
+  QTensor pooled = QMaxPool2d(q, 2, 2);
+  // Max pooling in int8 equals quantize(maxpool(dequantized)) exactly:
+  // max commutes with the monotonic quantization.
+  Tensor ref = clflow::cpu::MaxPool2d(Dequantize(q), {.window = 2, .stride = 2});
+  EXPECT_EQ(Tensor::MaxAbsDiff(ref, Dequantize(pooled)), 0.0f);
+  EXPECT_EQ(pooled.scale, q.scale);
+}
+
+TEST(QPad, InsertsExactZeros) {
+  Rng rng(5);
+  QTensor q = QuantizeAuto(Tensor::Random(Shape{1, 2, 3, 3}, rng));
+  QTensor padded = QPad2d(q, 1);
+  EXPECT_EQ(padded.shape, (Shape{1, 2, 5, 5}));
+  EXPECT_EQ(padded.data[0], 0);
+  EXPECT_EQ(padded.data[padded.data.size() - 1], 0);
+}
+
+TEST(QAdd, RequantizesMixedScales) {
+  QTensor a;
+  a.shape = Shape{2};
+  a.scale = 0.5f;
+  a.data = {10, -10};  // 5.0, -5.0
+  QTensor b;
+  b.shape = Shape{2};
+  b.scale = 0.25f;
+  b.data = {4, 4};  // 1.0, 1.0
+  QTensor out = QAdd(a, b, Activation::kRelu, 0.1f);
+  EXPECT_EQ(out.data[0], 60);  // 6.0 / 0.1
+  EXPECT_EQ(out.data[1], 0);   // relu(-4.0)
+}
+
+TEST(QuantizedGraph, LeNetAgreesWithFloat) {
+  Rng rng(6);
+  graph::Graph lenet = graph::FuseOperators(nets::BuildLeNet5(rng));
+  std::vector<Tensor> calib;
+  for (int i = 0; i < 4; ++i) calib.push_back(nets::SyntheticMnistImage(rng));
+  auto q = QuantizedGraph::Calibrate(lenet, calib, 2);
+
+  std::vector<Tensor> eval;
+  for (int i = 0; i < 8; ++i) eval.push_back(nets::SyntheticMnistImage(rng));
+  const double agreement = Top1Agreement(lenet, q, eval, 2);
+  EXPECT_GE(agreement, 0.75);  // int8 keeps the argmax most of the time
+
+  // Output distributions stay close.
+  const Tensor f = graph::Execute(lenet, eval[0], 2);
+  const Tensor i8 = q.Execute(eval[0], 2).Reshaped(f.shape());
+  EXPECT_GT(SqnrDb(f, i8), 10.0);
+}
+
+TEST(QuantizedGraph, ParameterBytesAreQuartered) {
+  Rng rng(7);
+  graph::Graph lenet = graph::FuseOperators(nets::BuildLeNet5(rng));
+  std::vector<Tensor> calib{nets::SyntheticMnistImage(rng)};
+  auto q = QuantizedGraph::Calibrate(lenet, calib);
+  const auto cost = graph::GraphCost(lenet);
+  // int8 weights + int32 biases vs 4 bytes/param in float.
+  EXPECT_LT(q.parameter_bytes(), cost.params * 2);
+  EXPECT_GT(q.parameter_bytes(), cost.params);  // weights are there
+}
+
+TEST(QuantizedGraph, CalibrationRequiresInputs) {
+  Rng rng(8);
+  graph::Graph lenet = graph::FuseOperators(nets::BuildLeNet5(rng));
+  EXPECT_THROW((void)QuantizedGraph::Calibrate(lenet, {}), Error);
+}
+
+// --- Precision-aware device model ---------------------------------------------
+
+TEST(PrecisionModel, Int8HalvesDspsAndShrinksLsus) {
+  auto bk = ir::BuildConv2dKernel(
+      {.c1 = 16, .h1 = 28, .w1 = 28, .k = 16, .f = 1, .stride = 1},
+      {.fuse_activation = true, .cached_writes = true, .tile_c1 = 4,
+       .tile_w2 = 7, .tile_c2 = 4},
+      "qconv");
+  fpga::CostModel fp32;
+  fpga::CostModel int8;
+  int8.data_bytes = 1.0;
+  int8.ops_per_dsp = 2;
+  const auto bs32 = fpga::Synthesize({{&bk.kernel, {}}},
+                                     fpga::Stratix10SX(), {}, fp32);
+  const auto bs8 = fpga::Synthesize({{&bk.kernel, {}}},
+                                    fpga::Stratix10SX(), {}, int8);
+  EXPECT_EQ(bs8.totals.dsps, (bs32.totals.dsps + 1) / 2);
+  EXPECT_LT(bs8.totals.aluts, bs32.totals.aluts);
+  EXPECT_LE(bs8.kernels[0].lsu_width_bits, bs32.kernels[0].lsu_width_bits / 2);
+}
+
+TEST(PrecisionModel, Int8ReducesMemoryTime) {
+  ir::KernelStats stats;
+  stats.compute_cycles = 1.0;
+  ir::AccessSite site;
+  site.elems_per_invocation = 1e6;
+  site.run_elems = 4096;
+  stats.accesses.push_back(site);
+  fpga::CostModel fp32;
+  fpga::CostModel int8;
+  int8.data_bytes = 1.0;
+  const double c32 =
+      fpga::InvocationCycles(stats, fpga::Stratix10SX(), 200.0, fp32);
+  const double c8 =
+      fpga::InvocationCycles(stats, fpga::Stratix10SX(), 200.0, int8);
+  EXPECT_NEAR(c32 / c8, 4.0, 0.01);
+}
+
+}  // namespace
+}  // namespace clflow::quant
