@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_folded.dir/bench_ablation_folded.cpp.o"
+  "CMakeFiles/bench_ablation_folded.dir/bench_ablation_folded.cpp.o.d"
+  "bench_ablation_folded"
+  "bench_ablation_folded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_folded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

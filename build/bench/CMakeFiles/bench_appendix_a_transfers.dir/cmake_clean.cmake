@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_a_transfers.dir/bench_appendix_a_transfers.cpp.o"
+  "CMakeFiles/bench_appendix_a_transfers.dir/bench_appendix_a_transfers.cpp.o.d"
+  "bench_appendix_a_transfers"
+  "bench_appendix_a_transfers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_a_transfers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

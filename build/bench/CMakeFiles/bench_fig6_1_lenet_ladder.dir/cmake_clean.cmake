@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_1_lenet_ladder.dir/bench_fig6_1_lenet_ladder.cpp.o"
+  "CMakeFiles/bench_fig6_1_lenet_ladder.dir/bench_fig6_1_lenet_ladder.cpp.o.d"
+  "bench_fig6_1_lenet_ladder"
+  "bench_fig6_1_lenet_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_1_lenet_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quantized_mobilenet.dir/bench_quantized_mobilenet.cpp.o"
+  "CMakeFiles/bench_quantized_mobilenet.dir/bench_quantized_mobilenet.cpp.o.d"
+  "bench_quantized_mobilenet"
+  "bench_quantized_mobilenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quantized_mobilenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

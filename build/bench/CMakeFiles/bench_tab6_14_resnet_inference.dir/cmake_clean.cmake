@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab6_14_resnet_inference.dir/bench_tab6_14_resnet_inference.cpp.o"
+  "CMakeFiles/bench_tab6_14_resnet_inference.dir/bench_tab6_14_resnet_inference.cpp.o.d"
+  "bench_tab6_14_resnet_inference"
+  "bench_tab6_14_resnet_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab6_14_resnet_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

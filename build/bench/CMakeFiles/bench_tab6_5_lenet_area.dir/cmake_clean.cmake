@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab6_5_lenet_area.dir/bench_tab6_5_lenet_area.cpp.o"
+  "CMakeFiles/bench_tab6_5_lenet_area.dir/bench_tab6_5_lenet_area.cpp.o.d"
+  "bench_tab6_5_lenet_area"
+  "bench_tab6_5_lenet_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab6_5_lenet_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_flow_inspector.dir/flow_inspector.cpp.o"
+  "CMakeFiles/example_flow_inspector.dir/flow_inspector.cpp.o.d"
+  "example_flow_inspector"
+  "example_flow_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_flow_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mobilenet_folded.dir/mobilenet_folded.cpp.o"
+  "CMakeFiles/example_mobilenet_folded.dir/mobilenet_folded.cpp.o.d"
+  "example_mobilenet_folded"
+  "example_mobilenet_folded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mobilenet_folded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_mobilenet_folded.
+# This may be replaced when dependencies are built.

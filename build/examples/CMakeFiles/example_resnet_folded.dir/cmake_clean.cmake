@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_resnet_folded.dir/resnet_folded.cpp.o"
+  "CMakeFiles/example_resnet_folded.dir/resnet_folded.cpp.o.d"
+  "example_resnet_folded"
+  "example_resnet_folded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_resnet_folded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

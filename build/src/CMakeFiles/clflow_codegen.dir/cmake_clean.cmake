@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clflow_codegen.dir/codegen/opencl_codegen.cpp.o"
+  "CMakeFiles/clflow_codegen.dir/codegen/opencl_codegen.cpp.o.d"
+  "libclflow_codegen.a"
+  "libclflow_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clflow_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clflow_common.dir/common/error.cpp.o"
+  "CMakeFiles/clflow_common.dir/common/error.cpp.o.d"
+  "CMakeFiles/clflow_common.dir/common/parallel.cpp.o"
+  "CMakeFiles/clflow_common.dir/common/parallel.cpp.o.d"
+  "CMakeFiles/clflow_common.dir/common/table.cpp.o"
+  "CMakeFiles/clflow_common.dir/common/table.cpp.o.d"
+  "libclflow_common.a"
+  "libclflow_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clflow_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

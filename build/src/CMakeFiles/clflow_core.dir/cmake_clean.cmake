@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clflow_core.dir/core/deployment.cpp.o"
+  "CMakeFiles/clflow_core.dir/core/deployment.cpp.o.d"
+  "CMakeFiles/clflow_core.dir/core/dse.cpp.o"
+  "CMakeFiles/clflow_core.dir/core/dse.cpp.o.d"
+  "CMakeFiles/clflow_core.dir/core/host_codegen.cpp.o"
+  "CMakeFiles/clflow_core.dir/core/host_codegen.cpp.o.d"
+  "CMakeFiles/clflow_core.dir/core/recipes.cpp.o"
+  "CMakeFiles/clflow_core.dir/core/recipes.cpp.o.d"
+  "libclflow_core.a"
+  "libclflow_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clflow_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

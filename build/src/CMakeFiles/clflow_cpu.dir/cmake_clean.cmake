@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clflow_cpu.dir/cpu/ops.cpp.o"
+  "CMakeFiles/clflow_cpu.dir/cpu/ops.cpp.o.d"
+  "libclflow_cpu.a"
+  "libclflow_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clflow_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

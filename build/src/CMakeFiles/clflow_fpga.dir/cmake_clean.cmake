@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clflow_fpga.dir/fpga/board.cpp.o"
+  "CMakeFiles/clflow_fpga.dir/fpga/board.cpp.o.d"
+  "CMakeFiles/clflow_fpga.dir/fpga/report.cpp.o"
+  "CMakeFiles/clflow_fpga.dir/fpga/report.cpp.o.d"
+  "CMakeFiles/clflow_fpga.dir/fpga/synth.cpp.o"
+  "CMakeFiles/clflow_fpga.dir/fpga/synth.cpp.o.d"
+  "libclflow_fpga.a"
+  "libclflow_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clflow_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

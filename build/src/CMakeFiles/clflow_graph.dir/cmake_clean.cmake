@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clflow_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/clflow_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/clflow_graph.dir/graph/params_io.cpp.o"
+  "CMakeFiles/clflow_graph.dir/graph/params_io.cpp.o.d"
+  "libclflow_graph.a"
+  "libclflow_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clflow_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/analysis.cpp" "src/CMakeFiles/clflow_ir.dir/ir/analysis.cpp.o" "gcc" "src/CMakeFiles/clflow_ir.dir/ir/analysis.cpp.o.d"
+  "/root/repo/src/ir/expr.cpp" "src/CMakeFiles/clflow_ir.dir/ir/expr.cpp.o" "gcc" "src/CMakeFiles/clflow_ir.dir/ir/expr.cpp.o.d"
+  "/root/repo/src/ir/interp.cpp" "src/CMakeFiles/clflow_ir.dir/ir/interp.cpp.o" "gcc" "src/CMakeFiles/clflow_ir.dir/ir/interp.cpp.o.d"
+  "/root/repo/src/ir/op_kernels.cpp" "src/CMakeFiles/clflow_ir.dir/ir/op_kernels.cpp.o" "gcc" "src/CMakeFiles/clflow_ir.dir/ir/op_kernels.cpp.o.d"
+  "/root/repo/src/ir/passes.cpp" "src/CMakeFiles/clflow_ir.dir/ir/passes.cpp.o" "gcc" "src/CMakeFiles/clflow_ir.dir/ir/passes.cpp.o.d"
+  "/root/repo/src/ir/placeholder_ir.cpp" "src/CMakeFiles/clflow_ir.dir/ir/placeholder_ir.cpp.o" "gcc" "src/CMakeFiles/clflow_ir.dir/ir/placeholder_ir.cpp.o.d"
+  "/root/repo/src/ir/stmt.cpp" "src/CMakeFiles/clflow_ir.dir/ir/stmt.cpp.o" "gcc" "src/CMakeFiles/clflow_ir.dir/ir/stmt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/clflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clflow_ir.dir/ir/analysis.cpp.o"
+  "CMakeFiles/clflow_ir.dir/ir/analysis.cpp.o.d"
+  "CMakeFiles/clflow_ir.dir/ir/expr.cpp.o"
+  "CMakeFiles/clflow_ir.dir/ir/expr.cpp.o.d"
+  "CMakeFiles/clflow_ir.dir/ir/interp.cpp.o"
+  "CMakeFiles/clflow_ir.dir/ir/interp.cpp.o.d"
+  "CMakeFiles/clflow_ir.dir/ir/op_kernels.cpp.o"
+  "CMakeFiles/clflow_ir.dir/ir/op_kernels.cpp.o.d"
+  "CMakeFiles/clflow_ir.dir/ir/passes.cpp.o"
+  "CMakeFiles/clflow_ir.dir/ir/passes.cpp.o.d"
+  "CMakeFiles/clflow_ir.dir/ir/placeholder_ir.cpp.o"
+  "CMakeFiles/clflow_ir.dir/ir/placeholder_ir.cpp.o.d"
+  "CMakeFiles/clflow_ir.dir/ir/stmt.cpp.o"
+  "CMakeFiles/clflow_ir.dir/ir/stmt.cpp.o.d"
+  "libclflow_ir.a"
+  "libclflow_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clflow_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libclflow_ir.a"
+)

@@ -1,0 +1,2 @@
+src/CMakeFiles/clflow_ir.dir/ir/placeholder_ir.cpp.o: \
+ /root/repo/src/ir/placeholder_ir.cpp /usr/include/stdc-predef.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clflow_nets.dir/nets/nets.cpp.o"
+  "CMakeFiles/clflow_nets.dir/nets/nets.cpp.o.d"
+  "libclflow_nets.a"
+  "libclflow_nets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clflow_nets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

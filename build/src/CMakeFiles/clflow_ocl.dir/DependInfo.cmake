@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ocl/runtime.cpp" "src/CMakeFiles/clflow_ocl.dir/ocl/runtime.cpp.o" "gcc" "src/CMakeFiles/clflow_ocl.dir/ocl/runtime.cpp.o.d"
+  "/root/repo/src/ocl/trace.cpp" "src/CMakeFiles/clflow_ocl.dir/ocl/trace.cpp.o" "gcc" "src/CMakeFiles/clflow_ocl.dir/ocl/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/clflow_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clflow_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clflow_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clflow_ocl.dir/ocl/runtime.cpp.o"
+  "CMakeFiles/clflow_ocl.dir/ocl/runtime.cpp.o.d"
+  "CMakeFiles/clflow_ocl.dir/ocl/trace.cpp.o"
+  "CMakeFiles/clflow_ocl.dir/ocl/trace.cpp.o.d"
+  "libclflow_ocl.a"
+  "libclflow_ocl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clflow_ocl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clflow_perfmodel.dir/perfmodel/reference.cpp.o"
+  "CMakeFiles/clflow_perfmodel.dir/perfmodel/reference.cpp.o.d"
+  "libclflow_perfmodel.a"
+  "libclflow_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clflow_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

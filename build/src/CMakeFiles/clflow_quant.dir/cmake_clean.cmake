@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clflow_quant.dir/quant/quantize.cpp.o"
+  "CMakeFiles/clflow_quant.dir/quant/quantize.cpp.o.d"
+  "libclflow_quant.a"
+  "libclflow_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clflow_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

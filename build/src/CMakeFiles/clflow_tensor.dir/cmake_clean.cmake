@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clflow_tensor.dir/tensor/shape.cpp.o"
+  "CMakeFiles/clflow_tensor.dir/tensor/shape.cpp.o.d"
+  "CMakeFiles/clflow_tensor.dir/tensor/tensor.cpp.o"
+  "CMakeFiles/clflow_tensor.dir/tensor/tensor.cpp.o.d"
+  "libclflow_tensor.a"
+  "libclflow_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clflow_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

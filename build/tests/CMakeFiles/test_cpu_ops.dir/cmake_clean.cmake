@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_ops.dir/test_cpu_ops.cpp.o"
+  "CMakeFiles/test_cpu_ops.dir/test_cpu_ops.cpp.o.d"
+  "test_cpu_ops"
+  "test_cpu_ops.pdb"
+  "test_cpu_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

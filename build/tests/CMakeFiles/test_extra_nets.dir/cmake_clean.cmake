@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extra_nets.dir/test_extra_nets.cpp.o"
+  "CMakeFiles/test_extra_nets.dir/test_extra_nets.cpp.o.d"
+  "test_extra_nets"
+  "test_extra_nets.pdb"
+  "test_extra_nets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extra_nets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

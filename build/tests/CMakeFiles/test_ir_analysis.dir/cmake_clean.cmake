@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir_analysis.dir/test_ir_analysis.cpp.o"
+  "CMakeFiles/test_ir_analysis.dir/test_ir_analysis.cpp.o.d"
+  "test_ir_analysis"
+  "test_ir_analysis.pdb"
+  "test_ir_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

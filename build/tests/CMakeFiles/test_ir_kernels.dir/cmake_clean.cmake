@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir_kernels.dir/test_ir_kernels.cpp.o"
+  "CMakeFiles/test_ir_kernels.dir/test_ir_kernels.cpp.o.d"
+  "test_ir_kernels"
+  "test_ir_kernels.pdb"
+  "test_ir_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir_passes.dir/test_ir_passes.cpp.o"
+  "CMakeFiles/test_ir_passes.dir/test_ir_passes.cpp.o.d"
+  "test_ir_passes"
+  "test_ir_passes.pdb"
+  "test_ir_passes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ocl_runtime.dir/test_ocl_runtime.cpp.o"
+  "CMakeFiles/test_ocl_runtime.dir/test_ocl_runtime.cpp.o.d"
+  "test_ocl_runtime"
+  "test_ocl_runtime.pdb"
+  "test_ocl_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ocl_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_reports.cpp" "tests/CMakeFiles/test_reports.dir/test_reports.cpp.o" "gcc" "tests/CMakeFiles/test_reports.dir/test_reports.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/clflow_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clflow_nets.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clflow_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clflow_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clflow_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clflow_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clflow_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clflow_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clflow_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clflow_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clflow_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

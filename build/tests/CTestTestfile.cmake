@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_codegen[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_deployment[1]_include.cmake")
+include("/root/repo/build/tests/test_dse[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_extra_nets[1]_include.cmake")
+include("/root/repo/build/tests/test_fpga[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_ir_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_ir_core[1]_include.cmake")
+include("/root/repo/build/tests/test_ir_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_ir_passes[1]_include.cmake")
+include("/root/repo/build/tests/test_nets[1]_include.cmake")
+include("/root/repo/build/tests/test_ocl_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_perfmodel[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_quant[1]_include.cmake")
+include("/root/repo/build/tests/test_reports[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
