@@ -7,13 +7,18 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/deployment.hpp"
 #include "nets/nets.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "perfmodel/reference.hpp"
 
 namespace clflow::bench {
@@ -56,5 +61,54 @@ inline void Banner(const char* what, const char* paper_ref) {
               "'paper' columns quote the thesis.\n\n",
               paper_ref);
 }
+
+/// Machine-readable bench output: accumulates scalar result values and an
+/// optional obs::Registry metrics snapshot, then writes
+/// `BENCH_<name>.json` next to the binary so runs can be diffed/plotted
+/// without scraping the printed tables.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void Value(const std::string& key, double v) { values_.emplace_back(key, v); }
+
+  /// Embeds a full metrics snapshot (counters/gauges/histograms) under
+  /// `metrics.<label>` in the output document.
+  void Metrics(const std::string& label, const obs::Registry& registry) {
+    metrics_.emplace_back(label, registry.ToJson());
+  }
+
+  /// Writes BENCH_<name>.json; prints the path on success.
+  void Write() const {
+    std::string out = "{\"bench\":\"" + obs::JsonEscape(name_) + "\"";
+    out += ",\"values\":{";
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"" + obs::JsonEscape(values_[i].first) +
+             "\":" + obs::JsonNum(values_[i].second);
+    }
+    out += "},\"metrics\":{";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"" + obs::JsonEscape(metrics_[i].first) +
+             "\":" + metrics_[i].second;
+    }
+    out += "}}";
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream f(path);
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    f << out << "\n";
+    std::printf("\nwrote %s (%zu values, %zu metric snapshots)\n",
+                path.c_str(), values_.size(), metrics_.size());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> values_;
+  std::vector<std::pair<std::string, std::string>> metrics_;  // label -> json
+};
 
 }  // namespace clflow::bench

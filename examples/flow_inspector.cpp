@@ -3,18 +3,31 @@
 // custom host program (SS5.2), and the fit report -- so the whole
 // compilation can be inspected file by file.
 //
+// With --report it additionally runs one image and prints the
+// observability layer's view of the flow: per-phase compile timings,
+// IR-pass statistics, synthesis area, per-queue occupancy/stall metrics,
+// per-kernel predicted-vs-observed divergence, and the perfmodel
+// comparison. With --trace-out FILE it writes a merged Chrome/Perfetto
+// trace (compile-phase spans on one process row, the simulated runtime
+// schedule on another).
+//
 // usage: example_flow_inspector [lenet|mobilenet|resnet18|resnet34]
 //                               [a10|s10sx|s10mx] [pipelined|folded]
-//                               [outdir]
+//                               [outdir] [--report] [--trace-out FILE]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
+#include "common/table.hpp"
 #include "core/dse.hpp"
 #include "core/host_codegen.hpp"
 #include "fpga/report.hpp"
 #include "nets/nets.hpp"
+#include "obs/json.hpp"
+#include "ocl/trace.hpp"
+#include "perfmodel/reference.hpp"
 
 namespace {
 
@@ -28,14 +41,53 @@ void WriteFile(const std::string& path, const std::string& contents) {
   std::printf("wrote %-28s (%zu bytes)\n", path.c_str(), contents.size());
 }
 
+/// Per-phase compile timings from the tracer: top-level phases plus one
+/// indented level, with the IR-pass spam left to the aggregated pass table.
+void PrintCompilePhases(const clflow::obs::Tracer& tracer) {
+  clflow::Table table({"Phase", "Wall us", "Detail"});
+  for (const auto& span : tracer.spans()) {
+    if (span.depth > 1) continue;
+    std::string detail;
+    for (const auto& [key, value] : span.args) {
+      if (!detail.empty()) detail += " ";
+      detail += key + "=" + value;
+    }
+    table.AddRow({std::string(static_cast<std::size_t>(span.depth) * 2, ' ') +
+                      span.name,
+                  clflow::Table::Num(static_cast<double>(span.dur_us), 0),
+                  detail});
+  }
+  table.Print();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace clflow;
-  const std::string net_name = argc > 1 ? argv[1] : "lenet";
-  const std::string board_key = argc > 2 ? argv[2] : "s10sx";
-  const std::string mode_name = argc > 3 ? argv[3] : "";
-  const std::string outdir = argc > 4 ? argv[4] : ".";
+  std::vector<std::string> positional;
+  bool report = false;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--report") {
+      report = true;
+    } else if (arg == "--trace-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--trace-out requires a file argument\n");
+        return 1;
+      }
+      trace_out = argv[++i];
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::strlen("--trace-out="));
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  const std::string net_name = positional.size() > 0 ? positional[0] : "lenet";
+  const std::string board_key = positional.size() > 1 ? positional[1]
+                                                      : "s10sx";
+  const std::string mode_name = positional.size() > 2 ? positional[2] : "";
+  const std::string outdir = positional.size() > 3 ? positional[3] : ".";
 
   Rng rng(17);
   graph::Graph net;
@@ -80,6 +132,12 @@ int main(int argc, char** argv) {
   if (!d.ok()) {
     std::printf("design does not synthesize: %s\n",
                 d.bitstream().status_detail.c_str());
+    if (report) {
+      std::printf("\n--- compile phases (wall clock) ---\n");
+      PrintCompilePhases(d.telemetry().tracer);
+      std::printf("\n--- compile metrics ---\n");
+      d.telemetry().registry.SummaryTable().Print();
+    }
     return 0;
   }
   WriteFile(base + ".cl", d.GeneratedSource());
@@ -89,5 +147,69 @@ int main(int argc, char** argv) {
   std::printf("\nfmax %.0f MHz, %zu kernels, %zu invocations/pass\n",
               d.bitstream().fmax_mhz, d.kernels().size(),
               d.invocations().size());
+
+  if (!report && trace_out.empty()) return 0;
+
+  // One timing-only image drives the runtime-side metrics and the trace.
+  const Shape& in_shape = net.node(net.input_id()).output_shape;
+  Tensor image = Tensor::Random(in_shape, rng, 0.0f, 1.0f);
+  const auto run = d.Run(image, /*functional=*/false);
+  const double fps = 1.0 / run.latency.seconds();
+
+  if (report) {
+    std::printf("\n--- compile phases (wall clock) ---\n");
+    PrintCompilePhases(d.telemetry().tracer);
+
+    std::printf("\n--- compile & pass metrics ---\n");
+    d.telemetry().registry.SummaryTable().Print();
+
+    std::printf("\n--- runtime metrics (one image, simulated) ---\n");
+    std::printf("latency %.1f us (%.1f fps)\n", run.latency.us(), fps);
+    Table queues({"Queue", "Busy us", "Idle us", "Occupancy"});
+    auto& rt = d.runtime();
+    for (int q = 0; q < rt.num_queues(); ++q) {
+      const auto usage = rt.queue_usage(q);
+      const SimTime span = usage.busy + usage.idle;
+      queues.AddRow({std::to_string(q), Table::Num(usage.busy.us(), 1),
+                     Table::Num(usage.idle.us(), 1),
+                     Table::Pct(span > kSimTimeZero
+                                    ? usage.busy.seconds() / span.seconds()
+                                    : 0.0)});
+    }
+    queues.Print();
+    if (!rt.channel_stall().empty()) {
+      std::printf("\n");
+      Table stalls({"Channel", "Stall us"});
+      for (const auto& [chan, t] : rt.channel_stall()) {
+        stalls.AddRow({chan, Table::Num(t.us(), 1)});
+      }
+      stalls.Print();
+    }
+
+    obs::Registry runtime_registry;
+    d.ExportRuntimeMetrics(runtime_registry);
+    runtime_registry.gauge("perf.fps").Set(fps);
+    runtime_registry.gauge("perf.ref.tf_cpu_fps")
+        .Set(perfmodel::TensorflowCpuFps(net));
+    runtime_registry.gauge("perf.ref.tvm4_fps")
+        .Set(perfmodel::TvmCpuFps(net, 4));
+    runtime_registry.gauge("perf.ref.tf_gpu_fps")
+        .Set(perfmodel::TensorflowGpuFps(net));
+    runtime_registry.gauge("perf.speedup_vs_tf_cpu")
+        .Set(fps / perfmodel::TensorflowCpuFps(net));
+    std::printf("\n--- runtime & perfmodel metrics ---\n");
+    runtime_registry.SummaryTable().Print();
+
+    WriteFile(base + "_metrics.json",
+              "{\"compile\":" + d.telemetry().registry.ToJson() +
+                  ",\"runtime\":" + runtime_registry.ToJson() + "}");
+  }
+
+  if (!trace_out.empty()) {
+    WriteFile(trace_out,
+              ocl::ExportChromeTrace(d.runtime().events(),
+                                     d.telemetry().tracer.spans(),
+                                     net.name() + "@" + board_key));
+  }
   return 0;
 }

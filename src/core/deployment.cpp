@@ -73,14 +73,43 @@ Deployment Deployment::Compile(const graph::Graph& g,
                                const DeployOptions& options) {
   Deployment d;
   d.options_ = options;
-  d.fused_ = graph::FuseOperators(g);
-  if (options.mode == ExecutionMode::kPipelined) {
-    d.PlanPipelined(options.recipe);
-  } else {
-    d.PlanFolded(options.recipe);
+  d.telemetry_ = std::make_shared<obs::Telemetry>();
+  // Route Registry::Current()/Tracer::Current() -- and with them every IR
+  // pass applied while lowering -- into this deployment's telemetry.
+  obs::ScopedTelemetry scoped(d.telemetry_.get());
+  obs::Tracer* tracer = &d.telemetry_->tracer;
+  {
+    obs::ScopedSpan span(tracer, "fusion");
+    const auto before = static_cast<std::int64_t>(g.nodes().size());
+    d.fused_ = graph::FuseOperators(g);
+    const auto after = static_cast<std::int64_t>(d.fused_.nodes().size());
+    span.Arg("nodes_before", before);
+    span.Arg("nodes_after", after);
+    d.telemetry_->registry.counter("compile.nodes_fused")
+        .Add(static_cast<double>(before - after));
   }
-  d.SynthesizeAll();
-  if (d.ok()) d.PrepareRuntime();
+  {
+    obs::ScopedSpan span(tracer, "lowering");
+    if (options.mode == ExecutionMode::kPipelined) {
+      d.PlanPipelined(options.recipe);
+    } else {
+      d.PlanFolded(options.recipe);
+    }
+    span.Arg("kernels", static_cast<std::int64_t>(d.kernels_.size()));
+    span.Arg("invocations",
+             static_cast<std::int64_t>(d.invocations_.size()));
+  }
+  {
+    obs::ScopedSpan span(tracer, "synthesis");
+    d.SynthesizeAll();
+    span.Arg("status",
+             std::string(fpga::SynthStatusName(d.bitstream_.status)));
+  }
+  d.RecordCompileMetrics();
+  if (d.ok()) {
+    obs::ScopedSpan span(tracer, "prepare_runtime");
+    d.PrepareRuntime();
+  }
   return d;
 }
 
@@ -133,6 +162,7 @@ void Deployment::PlanPipelined(const OptimizationRecipe& recipe) {
     const Shape& in_shape = src.output_shape;
     PlannedKernel pk;
     const std::string kname = "k_" + n.name;
+    obs::ScopedSpan lower_span("lower:" + kname, "lower");
     const bool implicit_unroll =
         naive && options_.board.auto_unrolls_small_loops;
 
@@ -287,6 +317,7 @@ void Deployment::PlanFolded(const OptimizationRecipe& recipe) {
     const Shape& in_shape = src.output_shape;
     PlannedInvocation inv;
     inv.node = n.id;
+    obs::ScopedSpan lower_span("lower:" + n.name, "lower");
 
     auto intern = [&](const std::string& key,
                       const std::function<PlannedKernel()>& make) {
@@ -532,6 +563,34 @@ void Deployment::SynthesizeAll() {
                                 options_.cost_model);
 }
 
+void Deployment::RecordCompileMetrics() {
+  obs::Registry& reg = telemetry_->registry;
+  reg.gauge("compile.kernels").Set(static_cast<double>(kernels_.size()));
+  reg.gauge("compile.invocations")
+      .Set(static_cast<double>(invocations_.size()));
+  reg.gauge("synth.ok").Set(ok() ? 1.0 : 0.0);
+  reg.gauge("synth.fmax_mhz").Set(bitstream_.fmax_mhz);
+  reg.gauge("synth.routing_pressure").Set(bitstream_.routing_pressure);
+  const fpga::ResourceTotals& t = bitstream_.totals;
+  reg.gauge("synth.aluts").Set(static_cast<double>(t.aluts));
+  reg.gauge("synth.ffs").Set(static_cast<double>(t.ffs));
+  reg.gauge("synth.brams").Set(static_cast<double>(t.brams));
+  reg.gauge("synth.dsps").Set(static_cast<double>(t.dsps));
+  reg.gauge("synth.alut_frac").Set(t.alut_frac);
+  reg.gauge("synth.bram_frac").Set(t.bram_frac);
+  reg.gauge("synth.dsp_frac").Set(t.dsp_frac);
+  std::int64_t lsus = 0, nonseq = 0;
+  for (const auto& k : bitstream_.kernels) {
+    lsus += k.lsu_count;
+    nonseq += k.nonseq_lsu_count;
+    reg.histogram("synth.kernel.aluts").Observe(static_cast<double>(k.aluts));
+    reg.histogram("synth.kernel.brams").Observe(static_cast<double>(k.brams));
+    reg.histogram("synth.kernel.dsps").Observe(static_cast<double>(k.dsps));
+  }
+  reg.gauge("synth.lsu_count").Set(static_cast<double>(lsus));
+  reg.gauge("synth.nonseq_lsu_count").Set(static_cast<double>(nonseq));
+}
+
 void Deployment::PrepareRuntime() {
   runtime_ = std::make_unique<ocl::Runtime>(bitstream_, options_.cost_model);
   input_buffer_ = runtime_->CreateBuffer(
@@ -696,10 +755,50 @@ EventBreakdown Deployment::ProfileEvents(const Tensor& input) {
 }
 
 std::string Deployment::GeneratedSource() const {
+  obs::ScopedSpan span(&telemetry_->tracer, "codegen");
   std::vector<const ir::Kernel*> kernels;
   kernels.reserve(kernels_.size());
   for (const auto& pk : kernels_) kernels.push_back(&pk.built.kernel);
-  return codegen::EmitProgram(kernels);
+  std::string source = codegen::EmitProgram(kernels);
+  span.Arg("bytes", static_cast<std::int64_t>(source.size()));
+  return source;
+}
+
+ocl::Runtime& Deployment::runtime() const {
+  if (!runtime_) {
+    throw RuntimeApiError("deployment did not synthesize: " +
+                          bitstream_.status_detail);
+  }
+  return *runtime_;
+}
+
+void Deployment::ExportRuntimeMetrics(obs::Registry& registry,
+                                      const obs::Labels& base_labels) const {
+  runtime().ExportMetrics(registry, base_labels);
+  // Predicted-vs-observed divergence: the synthesis-time estimate uses one
+  // representative binding per kernel; the schedule re-analyzes every
+  // invocation, so parameterized (folded) kernels diverge when layer
+  // shapes differ from the representative.
+  for (const auto& kd : bitstream_.kernels) {
+    auto it = runtime_->kernel_usage().find(kd.name);
+    if (it == runtime_->kernel_usage().end() ||
+        it->second.invocations == 0) {
+      continue;
+    }
+    const SimTime predicted = fpga::InvocationTime(
+        kd.static_stats, bitstream_.board, bitstream_.fmax_mhz,
+        options_.cost_model);
+    const double observed_us =
+        it->second.total.us() / static_cast<double>(it->second.invocations);
+    obs::Labels labels = base_labels;
+    labels["kernel"] = kd.name;
+    registry.gauge("perf.kernel.predicted_us", labels).Set(predicted.us());
+    registry.gauge("perf.kernel.observed_us", labels).Set(observed_us);
+    if (predicted > kSimTimeZero) {
+      registry.gauge("perf.kernel.divergence", labels)
+          .Set(observed_us / predicted.us());
+    }
+  }
 }
 
 }  // namespace clflow::core

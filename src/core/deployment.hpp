@@ -19,6 +19,7 @@
 #include "fpga/synth.hpp"
 #include "graph/graph.hpp"
 #include "ir/op_kernels.hpp"
+#include "obs/span.hpp"
 #include "ocl/runtime.hpp"
 
 namespace clflow::core {
@@ -106,17 +107,35 @@ class Deployment {
   /// The generated OpenCL C translation unit for the whole design.
   [[nodiscard]] std::string GeneratedSource() const;
 
+  /// Compile-side telemetry: per-phase wall-clock spans (fusion, lowering,
+  /// every IR pass, synthesis) and pass/synthesis metrics. Populated by
+  /// Compile(); always present.
+  [[nodiscard]] obs::Telemetry& telemetry() const { return *telemetry_; }
+
+  /// The live simulated runtime (valid when ok()); exposes the profiled
+  /// event stream and accumulated queue/channel/transfer metrics.
+  [[nodiscard]] ocl::Runtime& runtime() const;
+
+  /// Exports runtime-side metrics into `registry`: everything
+  /// ocl::Runtime::ExportMetrics emits plus per-kernel predicted-vs-
+  /// observed time divergence (synthesis-time static estimate against the
+  /// per-invocation dynamic schedule).
+  void ExportRuntimeMetrics(obs::Registry& registry,
+                            const obs::Labels& base_labels = {}) const;
+
  private:
   Deployment() = default;
 
   void PlanPipelined(const OptimizationRecipe& recipe);
   void PlanFolded(const OptimizationRecipe& recipe);
   void SynthesizeAll();
+  void RecordCompileMetrics();
   void PrepareRuntime();
   [[nodiscard]] ocl::KernelLaunch MakeLaunch(const PlannedInvocation& inv,
                                              bool functional);
 
   DeployOptions options_;
+  std::shared_ptr<obs::Telemetry> telemetry_;
   graph::Graph fused_;
   std::vector<PlannedKernel> kernels_;
   std::vector<PlannedInvocation> invocations_;

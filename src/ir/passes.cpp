@@ -4,10 +4,22 @@
 #include <unordered_set>
 
 #include "common/error.hpp"
+#include "obs/span.hpp"
 
 namespace clflow::ir {
 
 namespace {
+
+/// Counts one successful application of a schedule primitive (and the
+/// number of statements it rewrote) on the current telemetry registry.
+/// Callers invoke this after validation so failed applications (which
+/// throw ScheduleError) are not counted.
+void RecordPass(const char* pass, double stmts_rewritten = 1) {
+  obs::Registry* reg = obs::Registry::Current();
+  reg->counter("ir.pass.applied", {{"pass", pass}}).Add(1);
+  reg->counter("ir.pass.stmts_rewritten", {{"pass", pass}})
+      .Add(stmts_rewritten);
+}
 
 /// Pre-order rewriter: `fn` may return a replacement for a node (no further
 /// recursion into the replacement) or nullptr to keep rewriting children.
@@ -90,6 +102,9 @@ Stmt FindLoop(const Stmt& root, const std::string& var_name) {
 
 Stmt SplitLoop(const Stmt& root, const std::string& var_name,
                std::int64_t factor, bool vectorize_inner) {
+  obs::ScopedSpan span("pass:SplitLoop", "ir-pass");
+  span.Arg("var", var_name);
+  span.Arg("factor", factor);
   CLFLOW_CHECK_MSG(factor >= 1, "split factor must be >= 1");
   const Stmt target = FindLoop(root, var_name);
   const std::int64_t extent = ConstExtentOrThrow(target, "SplitLoop");
@@ -100,6 +115,7 @@ Stmt SplitLoop(const Stmt& root, const std::string& var_name,
                         " of " + var_name + " not divisible by factor " +
                         std::to_string(factor));
   }
+  RecordPass("SplitLoop");
 
   return RewriteStmt(root, [&](const Stmt& s) -> Stmt {
     if (s != target) return nullptr;
@@ -118,6 +134,9 @@ Stmt SplitLoop(const Stmt& root, const std::string& var_name,
 
 Stmt UnrollLoop(const Stmt& root, const std::string& var_name,
                 std::int64_t factor) {
+  obs::ScopedSpan span("pass:UnrollLoop", "ir-pass");
+  span.Arg("var", var_name);
+  span.Arg("factor", factor);
   CLFLOW_CHECK_MSG(factor == -1 || factor >= 1, "bad unroll factor");
   const Stmt target = FindLoop(root, var_name);
   if (factor != 1) {
@@ -129,6 +148,7 @@ Stmt UnrollLoop(const Stmt& root, const std::string& var_name,
                           var_name);
     }
   }
+  RecordPass("UnrollLoop");
   return RewriteStmt(root, [&](const Stmt& s) -> Stmt {
     if (s != target) return nullptr;
     auto copy = std::make_shared<StmtNode>(*s);
@@ -138,10 +158,13 @@ Stmt UnrollLoop(const Stmt& root, const std::string& var_name,
 }
 
 Stmt ExplicitUnroll(const Stmt& root, const std::string& var_name) {
+  obs::ScopedSpan span("pass:ExplicitUnroll", "ir-pass");
+  span.Arg("var", var_name);
   const Stmt target = FindLoop(root, var_name);
   const std::int64_t extent = ConstExtentOrThrow(target, "ExplicitUnroll");
   RequireZeroMin(target, "ExplicitUnroll");
   CLFLOW_CHECK_MSG(extent <= 4096, "refusing to replicate a huge loop");
+  RecordPass("ExplicitUnroll", static_cast<double>(extent));
 
   return RewriteStmt(root, [&](const Stmt& s) -> Stmt {
     if (s != target) return nullptr;
@@ -156,6 +179,9 @@ Stmt ExplicitUnroll(const Stmt& root, const std::string& var_name) {
 
 Stmt FuseAdjacentLoops(const Stmt& root, const std::string& first_var,
                        const std::string& second_var) {
+  obs::ScopedSpan span("pass:FuseAdjacentLoops", "ir-pass");
+  span.Arg("first", first_var);
+  span.Arg("second", second_var);
   const Stmt first = FindLoop(root, first_var);
   const Stmt second = FindLoop(root, second_var);
   const std::int64_t e1 = ConstExtentOrThrow(first, "FuseAdjacentLoops");
@@ -224,10 +250,13 @@ Stmt FuseAdjacentLoops(const Stmt& root, const std::string& first_var,
     throw ScheduleError("FuseAdjacentLoops: loops " + first_var + " and " +
                         second_var + " are not adjacent");
   }
+  RecordPass("FuseAdjacentLoops", 2);
   return result;
 }
 
 Stmt HoistInvariants(const Stmt& root, const std::string& var_name) {
+  obs::ScopedSpan span("pass:HoistInvariants", "ir-pass");
+  span.Arg("var", var_name);
   const Stmt target = FindLoop(root, var_name);
   if (target->body->kind != StmtKind::kBlock) {
     throw ScheduleError("HoistInvariants: loop body is not a block");
@@ -256,6 +285,7 @@ Stmt HoistInvariants(const Stmt& root, const std::string& var_name) {
   if (hoist_count == 0) {
     throw ScheduleError("HoistInvariants: nothing hoistable from " + var_name);
   }
+  RecordPass("HoistInvariants", static_cast<double>(hoist_count));
 
   return RewriteStmt(root, [&](const Stmt& s) -> Stmt {
     if (s != target) return nullptr;
@@ -273,6 +303,8 @@ Stmt HoistInvariants(const Stmt& root, const std::string& var_name) {
 }
 
 void CacheWrite(Kernel& kernel, const std::string& buffer_name) {
+  obs::ScopedSpan span("pass:CacheWrite", "ir-pass");
+  span.Arg("buffer", buffer_name);
   auto it = std::find_if(
       kernel.buffer_args.begin(), kernel.buffer_args.end(),
       [&](const BufferPtr& b) { return b->name == buffer_name; });
@@ -294,6 +326,7 @@ void CacheWrite(Kernel& kernel, const std::string& buffer_name) {
     throw ScheduleError("CacheWrite: " + buffer_name +
                         " is the only output of kernel " + kernel.name);
   }
+  RecordPass("CacheWrite");
   kernel.buffer_args.erase(it);
   buf->scope = MemScope::kPrivate;
   buf->is_arg = false;
@@ -301,6 +334,9 @@ void CacheWrite(Kernel& kernel, const std::string& buffer_name) {
 }
 
 void PinStrideVars(Kernel& kernel, const std::vector<std::string>& vars) {
+  obs::ScopedSpan span("pass:PinStrideVars", "ir-pass");
+  span.Arg("vars", static_cast<std::int64_t>(vars.size()));
+  RecordPass("PinStrideVars", static_cast<double>(vars.size()));
   for (const auto& name : vars) {
     auto it = std::find_if(
         kernel.scalar_args.begin(), kernel.scalar_args.end(),
@@ -321,6 +357,9 @@ void PinStrideVars(Kernel& kernel, const std::vector<std::string>& vars) {
 
 Stmt ReorderLoops(const Stmt& root, const std::string& outer_var,
                   const std::string& inner_var) {
+  obs::ScopedSpan span("pass:ReorderLoops", "ir-pass");
+  span.Arg("outer", outer_var);
+  span.Arg("inner", inner_var);
   const Stmt outer = FindLoop(root, outer_var);
   if (outer->body->kind != StmtKind::kFor ||
       outer->body->var->name != inner_var) {
@@ -334,6 +373,7 @@ Stmt ReorderLoops(const Stmt& root, const std::string& outer_var,
   if (UsesVar(inner->min, outer->var) || UsesVar(inner->extent, outer->var)) {
     throw ScheduleError("ReorderLoops: inner bounds depend on " + outer_var);
   }
+  RecordPass("ReorderLoops", 2);
   return RewriteStmt(root, [&](const Stmt& s) -> Stmt {
     if (s != outer) return nullptr;
     Stmt new_inner =
@@ -345,6 +385,8 @@ Stmt ReorderLoops(const Stmt& root, const std::string& outer_var,
 
 void CacheRead(Kernel& kernel, const std::string& buffer_name,
                MemScope cache_scope) {
+  obs::ScopedSpan span("pass:CacheRead", "ir-pass");
+  span.Arg("buffer", buffer_name);
   CLFLOW_CHECK_MSG(cache_scope == MemScope::kLocal ||
                        cache_scope == MemScope::kPrivate,
                    "cache must live on chip");
@@ -371,6 +413,7 @@ void CacheRead(Kernel& kernel, const std::string& buffer_name,
                         " is written by the kernel");
   }
 
+  RecordPass("CacheRead");
   BufferPtr cache =
       MakeBuffer(buffer_name + "_cache", src->shape, cache_scope);
   kernel.local_buffers.push_back(cache);

@@ -1,0 +1,248 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "obs/json.hpp"
+
+namespace clflow::obs {
+
+namespace detail {
+// Shared with span.cpp (ScopedTelemetry installs it).
+thread_local Registry* g_current_registry = nullptr;
+}  // namespace detail
+
+void Counter::Add(double delta) {
+  std::lock_guard lock(mu_);
+  value_ += delta;
+}
+
+double Counter::value() const {
+  std::lock_guard lock(mu_);
+  return value_;
+}
+
+void Gauge::Set(double value) {
+  std::lock_guard lock(mu_);
+  value_ = value;
+}
+
+void Gauge::Add(double delta) {
+  std::lock_guard lock(mu_);
+  value_ += delta;
+}
+
+double Gauge::value() const {
+  std::lock_guard lock(mu_);
+  return value_;
+}
+
+void Histogram::Observe(double value) {
+  std::lock_guard lock(mu_);
+  samples_.push_back(value);
+}
+
+namespace {
+
+/// Nearest-rank percentile over an ascending-sorted sample vector.
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(p * n));
+  rank = std::min(std::max<std::size_t>(rank, 1), sorted.size());
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::vector<double> sorted;
+  {
+    std::lock_guard lock(mu_);
+    sorted = samples_;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  Snapshot s;
+  s.count = static_cast<std::int64_t>(sorted.size());
+  if (sorted.empty()) return s;
+  for (double v : sorted) s.sum += v;
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p50 = Percentile(sorted, 0.50);
+  s.p95 = Percentile(sorted, 0.95);
+  return s;
+}
+
+std::string SeriesKey(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string key = name + "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) key += ",";
+    first = false;
+    key += k + "=" + v;
+  }
+  key += "}";
+  return key;
+}
+
+template <typename M>
+M& Registry::Intern(std::map<std::string, Entry<M>>& series,
+                    const std::string& name, const Labels& labels) {
+  std::lock_guard lock(mu_);
+  const std::string key = SeriesKey(name, labels);
+  auto it = series.find(key);
+  if (it == series.end()) {
+    it = series.emplace(key, Entry<M>{name, labels, std::make_unique<M>()})
+             .first;
+  }
+  return *it->second.metric;
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels) {
+  return Intern(counters_, name, labels);
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
+  return Intern(gauges_, name, labels);
+}
+
+Histogram& Registry::histogram(const std::string& name, const Labels& labels) {
+  return Intern(histograms_, name, labels);
+}
+
+namespace {
+
+std::string LabelsJson(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(k) + "\":\"" + JsonEscape(v) + "\"";
+  }
+  return out + "}";
+}
+
+std::string LabelsCsv(const Labels& labels) {
+  std::string out;
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ";";
+    first = false;
+    out += k + "=" + v;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Registry::ToJson() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream os;
+  os << "{\"counters\":[";
+  bool first = true;
+  for (const auto& [key, e] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << JsonEscape(e.name) << "\",\"labels\":"
+       << LabelsJson(e.labels) << ",\"value\":" << JsonNum(e.metric->value())
+       << "}";
+  }
+  os << "],\"gauges\":[";
+  first = true;
+  for (const auto& [key, e] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << JsonEscape(e.name) << "\",\"labels\":"
+       << LabelsJson(e.labels) << ",\"value\":" << JsonNum(e.metric->value())
+       << "}";
+  }
+  os << "],\"histograms\":[";
+  first = true;
+  for (const auto& [key, e] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    const Histogram::Snapshot s = e.metric->snapshot();
+    os << "{\"name\":\"" << JsonEscape(e.name) << "\",\"labels\":"
+       << LabelsJson(e.labels) << ",\"count\":" << s.count
+       << ",\"sum\":" << JsonNum(s.sum) << ",\"min\":" << JsonNum(s.min)
+       << ",\"max\":" << JsonNum(s.max) << ",\"p50\":" << JsonNum(s.p50)
+       << ",\"p95\":" << JsonNum(s.p95) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string Registry::ToCsv() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream os;
+  os << "kind,name,labels,stat,value\n";
+  for (const auto& [key, e] : counters_) {
+    os << "counter," << e.name << "," << LabelsCsv(e.labels) << ",value,"
+       << JsonNum(e.metric->value()) << "\n";
+  }
+  for (const auto& [key, e] : gauges_) {
+    os << "gauge," << e.name << "," << LabelsCsv(e.labels) << ",value,"
+       << JsonNum(e.metric->value()) << "\n";
+  }
+  for (const auto& [key, e] : histograms_) {
+    const Histogram::Snapshot s = e.metric->snapshot();
+    const std::string prefix =
+        "histogram," + e.name + "," + LabelsCsv(e.labels) + ",";
+    os << prefix << "count," << s.count << "\n";
+    os << prefix << "sum," << JsonNum(s.sum) << "\n";
+    os << prefix << "min," << JsonNum(s.min) << "\n";
+    os << prefix << "max," << JsonNum(s.max) << "\n";
+    os << prefix << "p50," << JsonNum(s.p50) << "\n";
+    os << prefix << "p95," << JsonNum(s.p95) << "\n";
+  }
+  return os.str();
+}
+
+Table Registry::SummaryTable() const {
+  std::lock_guard lock(mu_);
+  Table table({"Metric", "Kind", "Value", "p50", "p95", "Max"});
+  for (const auto& [key, e] : counters_) {
+    table.AddRow({key, "counter", Table::Num(e.metric->value(), 0), "", "",
+                  ""});
+  }
+  for (const auto& [key, e] : gauges_) {
+    table.AddRow({key, "gauge", Table::Num(e.metric->value(), 2), "", "",
+                  ""});
+  }
+  for (const auto& [key, e] : histograms_) {
+    const Histogram::Snapshot s = e.metric->snapshot();
+    table.AddRow({key, "histogram",
+                  "n=" + std::to_string(s.count),
+                  Table::Num(s.p50, 2), Table::Num(s.p95, 2),
+                  Table::Num(s.max, 2)});
+  }
+  return table;
+}
+
+void Registry::Clear() {
+  std::lock_guard lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+bool Registry::empty() const {
+  std::lock_guard lock(mu_);
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+Registry& Registry::Default() {
+  static Registry* instance = new Registry();  // leaked: outlives all users
+  return *instance;
+}
+
+Registry* Registry::Current() {
+  return detail::g_current_registry != nullptr ? detail::g_current_registry
+                                               : &Default();
+}
+
+}  // namespace clflow::obs

@@ -1,0 +1,136 @@
+// Label-aware metrics registry (the "obs" half of the paper's evaluation
+// chapter: per-op profiles, stall/occupancy attribution, area totals).
+//
+// Three instrument kinds, all identified by a name plus an ordered label
+// set (so `ocl.queue.busy_us{queue=1}` and `{queue=2}` are distinct
+// series):
+//
+//   * Counter   - monotone accumulation (pass applications, bytes moved);
+//   * Gauge     - last-write-wins level (area totals, fmax, occupancy);
+//   * Histogram - full-sample distribution with p50/p95/max (span
+//                 durations, per-kernel cycle counts).
+//
+// A Registry owns its instruments and exports them as JSON (machine
+// consumption: bench snapshots), CSV (spreadsheets), and an aligned text
+// table (humans, via common/table). Instrument references returned by
+// counter()/gauge()/histogram() stay valid for the registry's lifetime.
+//
+// Code that cannot be plumbed a registry (the IR passes, deep inside
+// kernel builders) records through Registry::Current(), a thread-local
+// pointer that scoped instrumentation (core::Deployment::Compile) swaps to
+// its own registry; outside any scope it falls back to a process-wide
+// default so nothing is silently dropped.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace clflow {
+class Table;
+}
+
+namespace clflow::obs {
+
+/// Ordered key=value labels; ordering makes series keys deterministic.
+using Labels = std::map<std::string, std::string>;
+
+class Counter {
+ public:
+  void Add(double delta = 1.0);
+  [[nodiscard]] double value() const;
+
+ private:
+  mutable std::mutex mu_;
+  double value_ = 0.0;
+};
+
+class Gauge {
+ public:
+  void Set(double value);
+  void Add(double delta);
+  [[nodiscard]] double value() const;
+
+ private:
+  mutable std::mutex mu_;
+  double value_ = 0.0;
+};
+
+class Histogram {
+ public:
+  struct Snapshot {
+    std::int64_t count = 0;
+    double sum = 0.0, min = 0.0, max = 0.0;
+    double p50 = 0.0, p95 = 0.0;
+  };
+
+  void Observe(double value);
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  [[nodiscard]] Counter& counter(const std::string& name,
+                                 const Labels& labels = {});
+  [[nodiscard]] Gauge& gauge(const std::string& name,
+                             const Labels& labels = {});
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     const Labels& labels = {});
+
+  /// {"counters":[{name,labels,value}...],"gauges":[...],
+  ///  "histograms":[{name,labels,count,sum,min,max,p50,p95}...]}
+  [[nodiscard]] std::string ToJson() const;
+
+  /// kind,name,labels,stat,value rows (histograms expand to one row per
+  /// statistic).
+  [[nodiscard]] std::string ToCsv() const;
+
+  /// Human-readable summary, one instrument per row.
+  [[nodiscard]] Table SummaryTable() const;
+
+  void Clear();
+  [[nodiscard]] bool empty() const;
+
+  /// Process-wide fallback registry.
+  [[nodiscard]] static Registry& Default();
+  /// The registry instrumentation should record into on this thread:
+  /// the innermost ScopedTelemetry's, else Default(). Never null.
+  [[nodiscard]] static Registry* Current();
+
+ private:
+  friend class ScopedTelemetry;
+
+  template <typename M>
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<M> metric;
+  };
+
+  template <typename M>
+  M& Intern(std::map<std::string, Entry<M>>& series, const std::string& name,
+            const Labels& labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry<Counter>> counters_;
+  std::map<std::string, Entry<Gauge>> gauges_;
+  std::map<std::string, Entry<Histogram>> histograms_;
+};
+
+/// "name{k=v,...}" -- the series key used by the registry and the CSV /
+/// table exporters.
+[[nodiscard]] std::string SeriesKey(const std::string& name,
+                                    const Labels& labels);
+
+}  // namespace clflow::obs

@@ -47,14 +47,17 @@ void Runtime::EnqueueWrite(int queue, const BufferPtr& buffer,
   host_time_ += kEnqueueCost;
   QueueState& q = queues_[static_cast<std::size_t>(queue)];
   const SimTime ready = std::max(host_time_, q.last_end);
+  const std::int64_t bytes = static_cast<std::int64_t>(src.size()) * 4;
   const SimTime end =
-      ready + fpga::TransferTime(board(),
-                                 static_cast<std::int64_t>(src.size()) * 4,
-                                 /*host_to_device=*/true);
+      ready + fpga::TransferTime(board(), bytes, /*host_to_device=*/true);
+  q.idle += ready - std::max(q.last_end, batch_start_);
+  q.busy += end - ready;
   q.last_end = end;
   clock_ = std::max(clock_, end);
+  bytes_h2d_ += bytes;
+  xfer_h2d_time_ += end - ready;
   events_.push_back({std::move(label), CommandKind::kWriteBuffer, queue,
-                     host_time_, ready, end});
+                     host_time_, ready, end, kSimTimeZero, bytes});
   if (profiling_) host_time_ = end;
 }
 
@@ -68,19 +71,22 @@ void Runtime::EnqueueRead(int queue, const BufferPtr& buffer,
   host_time_ += kEnqueueCost;
   QueueState& q = queues_[static_cast<std::size_t>(queue)];
   const SimTime ready = std::max(host_time_, q.last_end);
+  const std::int64_t bytes = static_cast<std::int64_t>(dst.size()) * 4;
   const SimTime end =
-      ready + fpga::TransferTime(board(),
-                                 static_cast<std::int64_t>(dst.size()) * 4,
-                                 /*host_to_device=*/false);
+      ready + fpga::TransferTime(board(), bytes, /*host_to_device=*/false);
+  q.idle += ready - std::max(q.last_end, batch_start_);
+  q.busy += end - ready;
   q.last_end = end;
   clock_ = std::max(clock_, end);
+  bytes_d2h_ += bytes;
+  xfer_d2h_time_ += end - ready;
   events_.push_back({std::move(label), CommandKind::kReadBuffer, queue,
-                     host_time_, ready, end});
+                     host_time_, ready, end, kSimTimeZero, bytes});
   // Reads block the host by nature (the host consumes the data).
   host_time_ = end;
 }
 
-SimTime Runtime::KernelReady(const KernelLaunch& launch, SimTime base) const {
+SimTime Runtime::KernelReady(const KernelLaunch& launch, SimTime base) {
   SimTime ready = base;
   for (const auto& chan : launch.reads_channels) {
     auto it = channel_ready_.find(chan);
@@ -89,6 +95,7 @@ SimTime Runtime::KernelReady(const KernelLaunch& launch, SimTime base) const {
           "kernel " + launch.name + " reads channel " + chan +
           " with no enqueued producer: this deadlocks on hardware");
     }
+    if (it->second > base) channel_stall_[chan] += it->second - base;
     ready = std::max(ready, it->second);
   }
   return ready;
@@ -104,29 +111,40 @@ void Runtime::RecordKernel(const KernelLaunch& launch, int queue,
   if (launch.functional) launch.functional();
 
   SimTime ready;
+  SimTime dispatch_base;  ///< when the kernel could run absent channel waits
   if (autorun) {
     // No host dispatch: constrained only by data availability.
-    ready = KernelReady(launch, batch_start_);
+    dispatch_base = batch_start_;
+    ready = KernelReady(launch, dispatch_base);
   } else {
     host_time_ += kEnqueueCost;
     QueueState& q = queues_[static_cast<std::size_t>(queue)];
     // Dispatch overhead is paid after the queue frees up; a kernel that is
     // dispatched early and then blocks on a channel hides it (SS4.8).
-    const SimTime dispatched = std::max(host_time_, q.last_end) +
-                               SimTime::Us(board().kernel_launch_us);
-    ready = KernelReady(launch, dispatched);
+    dispatch_base = std::max(host_time_, q.last_end) +
+                    SimTime::Us(board().kernel_launch_us);
+    ready = KernelReady(launch, dispatch_base);
   }
+  const SimTime stall = ready - dispatch_base;
   const SimTime end =
       ready + fpga::InvocationTime(launch.stats, board(), fmax_mhz(),
                                    cost_model_);
-  if (!autorun) queues_[static_cast<std::size_t>(queue)].last_end = end;
+  if (!autorun) {
+    QueueState& q = queues_[static_cast<std::size_t>(queue)];
+    q.idle += ready - std::max(q.last_end, batch_start_);
+    q.busy += end - ready;
+    q.last_end = end;
+  }
   for (const auto& chan : launch.writes_channels) {
     channel_ready_[chan] = end;
     ++channel_writers_[chan];
   }
   clock_ = std::max(clock_, end);
+  KernelUsage& usage = kernel_usage_[launch.name];
+  usage.total += end - ready;
+  ++usage.invocations;
   events_.push_back({launch.name, CommandKind::kKernel, autorun ? -1 : queue,
-                     autorun ? ready : host_time_, ready, end});
+                     autorun ? ready : host_time_, ready, end, stall, 0});
   if (profiling_ && !autorun) host_time_ = end;
 }
 
@@ -141,11 +159,71 @@ void Runtime::RunAutorun(KernelLaunch launch) {
 
 SimTime Runtime::Finish() {
   const SimTime makespan = clock_ - batch_start_;
+  // Close out per-queue idle accounting: a queue that went quiet before
+  // the makespan's end idles until every queue drains.
+  for (QueueState& q : queues_) {
+    q.idle += clock_ - std::max(q.last_end, batch_start_);
+  }
   host_time_ = std::max(host_time_, clock_);
   batch_start_ = clock_;
   channel_ready_.clear();
   channel_writers_.clear();
   return makespan;
+}
+
+Runtime::QueueUsage Runtime::queue_usage(int queue) const {
+  CLFLOW_CHECK(queue >= 0 && queue < num_queues());
+  const QueueState& q = queues_[static_cast<std::size_t>(queue)];
+  return {q.busy, q.idle};
+}
+
+SimTime Runtime::total_channel_stall() const {
+  SimTime total;
+  for (const auto& [_, t] : channel_stall_) total += t;
+  return total;
+}
+
+void Runtime::ExportMetrics(obs::Registry& registry,
+                            const obs::Labels& base_labels) const {
+  auto with = [&base_labels](obs::Labels extra) {
+    extra.insert(base_labels.begin(), base_labels.end());
+    return extra;
+  };
+  for (int i = 0; i < num_queues(); ++i) {
+    const QueueState& q = queues_[static_cast<std::size_t>(i)];
+    const obs::Labels l = with({{"queue", std::to_string(i)}});
+    registry.gauge("ocl.queue.busy_us", l).Set(q.busy.us());
+    registry.gauge("ocl.queue.idle_us", l).Set(q.idle.us());
+    const SimTime span = q.busy + q.idle;
+    registry.gauge("ocl.queue.occupancy", l)
+        .Set(span > kSimTimeZero ? q.busy.seconds() / span.seconds() : 0.0);
+  }
+  for (const auto& [chan, t] : channel_stall_) {
+    registry.gauge("ocl.channel.stall_us", with({{"channel", chan}}))
+        .Set(t.us());
+  }
+  registry.gauge("ocl.channel.stall_total_us", base_labels)
+      .Set(total_channel_stall().us());
+  registry.gauge("ocl.xfer.h2d_bytes", base_labels)
+      .Set(static_cast<double>(bytes_h2d_));
+  registry.gauge("ocl.xfer.d2h_bytes", base_labels)
+      .Set(static_cast<double>(bytes_d2h_));
+  if (xfer_h2d_time_ > kSimTimeZero) {
+    registry.gauge("ocl.xfer.h2d_gbps", base_labels)
+        .Set(static_cast<double>(bytes_h2d_) / xfer_h2d_time_.seconds() /
+             1e9);
+  }
+  if (xfer_d2h_time_ > kSimTimeZero) {
+    registry.gauge("ocl.xfer.d2h_gbps", base_labels)
+        .Set(static_cast<double>(bytes_d2h_) / xfer_d2h_time_.seconds() /
+             1e9);
+  }
+  for (const auto& [name, usage] : kernel_usage_) {
+    const obs::Labels l = with({{"kernel", name}});
+    registry.gauge("ocl.kernel.total_us", l).Set(usage.total.us());
+    registry.gauge("ocl.kernel.invocations", l)
+        .Set(static_cast<double>(usage.invocations));
+  }
 }
 
 }  // namespace clflow::ocl

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
@@ -31,6 +32,7 @@
 #include "common/sim_time.hpp"
 #include "fpga/synth.hpp"
 #include "ir/analysis.hpp"
+#include "obs/metrics.hpp"
 
 namespace clflow::ocl {
 
@@ -59,6 +61,11 @@ struct ProfiledEvent {
   CommandKind kind = CommandKind::kKernel;
   int queue = 0;
   SimTime queued, start, end;
+  /// Time this command spent blocked waiting for channel data (kernels
+  /// only): start minus the moment it was otherwise ready to run.
+  SimTime stall;
+  /// Payload size for transfer commands; 0 for kernels.
+  std::int64_t bytes = 0;
 
   [[nodiscard]] SimTime duration() const { return end - start; }
 };
@@ -117,12 +124,52 @@ class Runtime {
   }
   void ClearEvents() { events_.clear(); }
 
+  // --- Observability accessors (accumulated across batches; persist
+  // --- through ClearEvents) ---
+
+  /// Per-queue utilization: busy is the sum of command durations, idle the
+  /// sum of gaps (host latency, launch overhead, channel stalls) between
+  /// them. After Finish(), busy + idle equals the sum of batch makespans
+  /// for every queue.
+  struct QueueUsage {
+    SimTime busy, idle;
+  };
+  [[nodiscard]] QueueUsage queue_usage(int queue) const;
+
+  /// Total time kernels spent blocked on each channel (for autorun
+  /// kernels: time from batch start until the channel's data arrived).
+  [[nodiscard]] const std::map<std::string, SimTime>& channel_stall() const {
+    return channel_stall_;
+  }
+  [[nodiscard]] SimTime total_channel_stall() const;
+
+  [[nodiscard]] std::int64_t bytes_h2d() const { return bytes_h2d_; }
+  [[nodiscard]] std::int64_t bytes_d2h() const { return bytes_d2h_; }
+
+  /// Per-kernel accumulated execution time and launch count.
+  struct KernelUsage {
+    SimTime total;
+    std::int64_t invocations = 0;
+  };
+  [[nodiscard]] const std::map<std::string, KernelUsage>& kernel_usage()
+      const {
+    return kernel_usage_;
+  }
+
+  /// Writes the accumulated runtime metrics (queue occupancy/idle, channel
+  /// stalls, transfer volume/bandwidth, per-kernel time) into `registry`,
+  /// merging `base_labels` into every series so several runtimes can share
+  /// one registry.
+  void ExportMetrics(obs::Registry& registry,
+                     const obs::Labels& base_labels = {}) const;
+
  private:
   struct QueueState {
     SimTime last_end;
+    SimTime busy, idle;
   };
 
-  SimTime KernelReady(const KernelLaunch& launch, SimTime base) const;
+  SimTime KernelReady(const KernelLaunch& launch, SimTime base);
   void RecordKernel(const KernelLaunch& launch, int queue, bool autorun);
 
   fpga::Bitstream bitstream_;
@@ -138,6 +185,11 @@ class Runtime {
   /// Channels written so far in this batch (deadlock detection).
   std::unordered_map<std::string, int> channel_writers_;
   std::vector<ProfiledEvent> events_;
+  /// Cumulative blocked-on-channel time, per channel.
+  std::map<std::string, SimTime> channel_stall_;
+  std::map<std::string, KernelUsage> kernel_usage_;
+  std::int64_t bytes_h2d_ = 0, bytes_d2h_ = 0;
+  SimTime xfer_h2d_time_, xfer_d2h_time_;
 };
 
 }  // namespace clflow::ocl

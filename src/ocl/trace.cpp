@@ -2,30 +2,13 @@
 
 #include <sstream>
 
+#include "obs/json.hpp"
+
 namespace clflow::ocl {
 
 namespace {
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += c;
-    }
-  }
-  return out;
-}
+using obs::JsonEscape;
 
 const char* KindName(CommandKind kind) {
   switch (kind) {
@@ -39,27 +22,63 @@ const char* KindName(CommandKind kind) {
   return "?";
 }
 
+void EmitProcessName(std::ostringstream& os, int pid,
+                     const std::string& name) {
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+     << ",\"args\":{\"name\":\"" << JsonEscape(name) << "\"}}";
+}
+
+void EmitRuntimeEvents(std::ostringstream& os,
+                       const std::vector<ProfiledEvent>& events, int pid) {
+  for (const auto& ev : events) {
+    // Autorun kernels (queue -1) land on tid 0; queue q on tid q+1.
+    const int tid = ev.queue + 1;
+    os << ",{\"name\":\"" << JsonEscape(ev.label) << "\",\"cat\":\""
+       << KindName(ev.kind) << "\",\"ph\":\"X\",\"pid\":" << pid
+       << ",\"tid\":" << tid << ",\"ts\":" << ev.start.us()
+       << ",\"dur\":" << ev.duration().us()
+       << ",\"args\":{\"queued_us\":" << ev.queued.us()
+       << ",\"stall_us\":" << ev.stall.us() << ",\"bytes\":" << ev.bytes
+       << "}}";
+  }
+}
+
+void EmitCompileSpans(std::ostringstream& os,
+                      const std::vector<obs::SpanRecord>& spans, int pid) {
+  for (const auto& span : spans) {
+    os << ",{\"name\":\"" << JsonEscape(span.name) << "\",\"cat\":\""
+       << JsonEscape(span.category) << "\",\"ph\":\"X\",\"pid\":" << pid
+       << ",\"tid\":0,\"ts\":" << span.start_us << ",\"dur\":" << span.dur_us
+       << ",\"args\":{\"depth\":" << span.depth;
+    for (const auto& [key, value] : span.args) {
+      os << ",\"" << JsonEscape(key) << "\":\"" << JsonEscape(value) << "\"";
+    }
+    os << "}}";
+  }
+}
+
 }  // namespace
 
 std::string ExportChromeTrace(const std::vector<ProfiledEvent>& events,
                               const std::string& process_name) {
   std::ostringstream os;
   os << "{\"traceEvents\":[";
-  bool first = true;
-  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{"
-        "\"name\":\""
-     << JsonEscape(process_name) << "\"}}";
-  first = false;
-  for (const auto& ev : events) {
-    if (!first) os << ",";
-    first = false;
-    // Autorun kernels (queue -1) land on tid 0; queue q on tid q+1.
-    const int tid = ev.queue + 1;
-    os << "{\"name\":\"" << JsonEscape(ev.label) << "\",\"cat\":\""
-       << KindName(ev.kind) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << tid
-       << ",\"ts\":" << ev.start.us() << ",\"dur\":" << ev.duration().us()
-       << ",\"args\":{\"queued_us\":" << ev.queued.us() << "}}";
-  }
+  EmitProcessName(os, 1, process_name);
+  EmitRuntimeEvents(os, events, /*pid=*/1);
+  os << "]}";
+  return os.str();
+}
+
+std::string ExportChromeTrace(const std::vector<ProfiledEvent>& events,
+                              const std::vector<obs::SpanRecord>& compile_spans,
+                              const std::string& process_name) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  EmitProcessName(os, 1, process_name + " compile (wall clock)");
+  os << ",";
+  EmitProcessName(os, 2, process_name + " runtime (simulated clock)");
+  EmitCompileSpans(os, compile_spans, /*pid=*/1);
+  EmitRuntimeEvents(os, events, /*pid=*/2);
   os << "]}";
   return os.str();
 }

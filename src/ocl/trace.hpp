@@ -4,11 +4,18 @@
 // (chrome://tracing / Perfetto "traceEvents" format), with one row per
 // command queue plus a row for autorun kernels -- the visual counterpart
 // of the paper's Figure 6.2 breakdown.
+//
+// The two-argument overload additionally merges compile-phase spans
+// (obs::Tracer) into the same trace as a second process, so one Perfetto
+// view shows the whole flow: wall-clock compilation on pid 1, simulated
+// execution on pid 2. The clocks are unrelated; the process split keeps
+// that explicit.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "ocl/runtime.hpp"
 
 namespace clflow::ocl {
@@ -17,6 +24,13 @@ namespace clflow::ocl {
 /// clock in microseconds; queues map to thread ids (autorun = tid 0).
 [[nodiscard]] std::string ExportChromeTrace(
     const std::vector<ProfiledEvent>& events,
+    const std::string& process_name = "clflow");
+
+/// Same, plus compile-phase spans as an extra process ("compile, wall
+/// clock"). Span nesting renders via duration containment on one track.
+[[nodiscard]] std::string ExportChromeTrace(
+    const std::vector<ProfiledEvent>& events,
+    const std::vector<obs::SpanRecord>& compile_spans,
     const std::string& process_name = "clflow");
 
 }  // namespace clflow::ocl

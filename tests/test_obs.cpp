@@ -1,0 +1,239 @@
+// Tests for the observability layer: metrics registry semantics,
+// histogram percentiles, span nesting, JSON escaping, and schema
+// round-trips through the bundled JSON parser (including the merged
+// compile+runtime Chrome trace).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "ocl/trace.hpp"
+
+namespace clflow::obs {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, CounterIsMonotoneAndLabeledSeriesAreDistinct) {
+  Registry reg;
+  reg.counter("hits").Add();
+  reg.counter("hits").Add(2);
+  EXPECT_DOUBLE_EQ(reg.counter("hits").value(), 3.0);
+
+  reg.counter("hits", {{"queue", "0"}}).Add(5);
+  EXPECT_DOUBLE_EQ(reg.counter("hits").value(), 3.0);
+  EXPECT_DOUBLE_EQ(reg.counter("hits", {{"queue", "0"}}).value(), 5.0);
+}
+
+TEST(Metrics, GaugeLastWriteWins) {
+  Registry reg;
+  reg.gauge("fmax").Set(260.0);
+  reg.gauge("fmax").Set(241.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("fmax").value(), 241.5);
+  reg.gauge("fmax").Add(-1.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("fmax").value(), 240.0);
+}
+
+TEST(Metrics, HistogramPercentilesNearestRank) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat");
+  for (int i = 1; i <= 100; ++i) h.Observe(i);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 100);
+  EXPECT_DOUBLE_EQ(snap.sum, 5050.0);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+  EXPECT_DOUBLE_EQ(snap.p50, 50.0);
+  EXPECT_DOUBLE_EQ(snap.p95, 95.0);
+}
+
+TEST(Metrics, HistogramSingleSample) {
+  Registry reg;
+  reg.histogram("x").Observe(7.0);
+  const auto snap = reg.histogram("x").snapshot();
+  EXPECT_EQ(snap.count, 1);
+  EXPECT_DOUBLE_EQ(snap.p50, 7.0);
+  EXPECT_DOUBLE_EQ(snap.p95, 7.0);
+  EXPECT_DOUBLE_EQ(snap.max, 7.0);
+}
+
+TEST(Metrics, SeriesKeyOrdersLabels) {
+  EXPECT_EQ(SeriesKey("m", {}), "m");
+  // std::map iteration order is key order, so the rendering is canonical.
+  EXPECT_EQ(SeriesKey("m", {{"b", "2"}, {"a", "1"}}), "m{a=1,b=2}");
+}
+
+TEST(Metrics, CurrentFallsBackToDefault) {
+  EXPECT_EQ(Registry::Current(), &Registry::Default());
+  Telemetry telemetry;
+  {
+    ScopedTelemetry scoped(&telemetry);
+    EXPECT_EQ(Registry::Current(), &telemetry.registry);
+    EXPECT_EQ(Tracer::Current(), &telemetry.tracer);
+  }
+  EXPECT_EQ(Registry::Current(), &Registry::Default());
+  EXPECT_EQ(Tracer::Current(), nullptr);
+}
+
+// ------------------------------------------------------------------ spans
+
+TEST(Spans, NestingDepthAndArgs) {
+  Telemetry telemetry;
+  {
+    ScopedTelemetry scoped(&telemetry);
+    ScopedSpan outer("compile", "phase");
+    {
+      ScopedSpan inner("fusion", "phase");
+      inner.Arg("nodes", std::int64_t{12});
+    }
+    outer.Arg("ok", "true");
+  }
+  const auto& spans = telemetry.tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Spans are recorded in open order.
+  EXPECT_EQ(spans[0].name, "compile");
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[1].name, "fusion");
+  EXPECT_EQ(spans[1].depth, 1);
+  ASSERT_EQ(spans[1].args.size(), 1u);
+  EXPECT_EQ(spans[1].args[0].first, "nodes");
+  EXPECT_EQ(spans[1].args[0].second, "12");
+  // Inner span closed first, so its duration fits inside the outer's.
+  EXPECT_GE(spans[0].dur_us, spans[1].dur_us);
+  EXPECT_LE(spans[0].start_us, spans[1].start_us);
+}
+
+TEST(Spans, NoopWithoutCurrentTracer) {
+  ASSERT_EQ(Tracer::Current(), nullptr);
+  ScopedSpan span("orphan", "test");  // must not crash or record anywhere
+  span.Arg("k", "v");
+}
+
+// ------------------------------------------------------------------- json
+
+TEST(Json, EscapesControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape("\r\n\b\f"), "\\r\\n\\b\\f");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(Json, ParserRoundTripsEscapes) {
+  const std::string doc =
+      "{\"s\":\"" + JsonEscape("k\"1\"\t\n\x01") + "\",\"n\":-2.5,"
+      "\"b\":true,\"z\":null,\"a\":[1,2,3]}";
+  const auto parsed = json::Parse(doc);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->kind, json::Value::Kind::kObject);
+  const auto* s = parsed->Find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->str, "k\"1\"\t\n\x01");
+  EXPECT_DOUBLE_EQ(parsed->Find("n")->number, -2.5);
+  EXPECT_TRUE(parsed->Find("b")->boolean);
+  EXPECT_EQ(parsed->Find("z")->kind, json::Value::Kind::kNull);
+  ASSERT_EQ(parsed->Find("a")->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(parsed->Find("a")->array[2].number, 3.0);
+}
+
+TEST(Json, ParserRejectsMalformed) {
+  EXPECT_FALSE(json::Parse("{").has_value());
+  EXPECT_FALSE(json::Parse("{}extra").has_value());
+  EXPECT_FALSE(json::Parse("{\"a\":}").has_value());
+  EXPECT_FALSE(json::Parse("[1,]").has_value());
+}
+
+TEST(Json, RegistryToJsonParses) {
+  Registry reg;
+  reg.counter("ir.pass.applied", {{"pass", "SplitLoop"}}).Add(4);
+  reg.gauge("synth.fmax_mhz").Set(241.0);
+  for (int i = 0; i < 10; ++i) {
+    reg.histogram("synth.kernel.aluts").Observe(1000.0 * i);
+  }
+
+  const auto parsed = json::Parse(reg.ToJson());
+  ASSERT_TRUE(parsed.has_value());
+  const auto* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_EQ(counters->array.size(), 1u);
+  EXPECT_EQ(counters->array[0].Find("name")->str, "ir.pass.applied");
+  EXPECT_EQ(counters->array[0].Find("labels")->Find("pass")->str, "SplitLoop");
+  EXPECT_DOUBLE_EQ(counters->array[0].Find("value")->number, 4.0);
+
+  const auto* gauges = parsed->Find("gauges");
+  ASSERT_EQ(gauges->array.size(), 1u);
+  EXPECT_DOUBLE_EQ(gauges->array[0].Find("value")->number, 241.0);
+
+  const auto* hists = parsed->Find("histograms");
+  ASSERT_EQ(hists->array.size(), 1u);
+  EXPECT_DOUBLE_EQ(hists->array[0].Find("count")->number, 10.0);
+  EXPECT_DOUBLE_EQ(hists->array[0].Find("max")->number, 9000.0);
+}
+
+TEST(Json, RegistryCsvHasOneRowPerStat) {
+  Registry reg;
+  reg.counter("c").Add();
+  reg.gauge("g").Set(1);
+  reg.histogram("h").Observe(1);
+  const std::string csv = reg.ToCsv();
+  EXPECT_NE(csv.find("counter,c,"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,g,"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,h,"), std::string::npos);
+}
+
+// --------------------------------------------------------- chrome trace
+
+TEST(Trace, MergedCompileRuntimeTraceIsValidJson) {
+  std::vector<ocl::ProfiledEvent> events;
+  events.push_back({"k_conv\"1\"", ocl::CommandKind::kKernel, 0,
+                    SimTime::Us(1), SimTime::Us(2), SimTime::Us(5),
+                    kSimTimeZero, 0});
+
+  Telemetry telemetry;
+  {
+    ScopedTelemetry scoped(&telemetry);
+    ScopedSpan compile("compile", "phase");
+    ScopedSpan fusion("fusion", "phase");
+    fusion.Arg("nodes", std::int64_t{7});
+  }
+
+  const std::string trace = ocl::ExportChromeTrace(
+      events, telemetry.tracer.spans(), "net@board");
+  const auto parsed = json::Parse(trace);
+  ASSERT_TRUE(parsed.has_value()) << trace;
+  const auto* top = parsed->Find("traceEvents");
+  ASSERT_NE(top, nullptr);
+  // 2 process_name metadata + 2 compile spans + 1 runtime event.
+  ASSERT_EQ(top->array.size(), 5u);
+
+  int metadata = 0, compile_spans = 0, runtime_events = 0;
+  for (const auto& ev : top->array) {
+    const auto* ph = ev.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->str == "M") {
+      ++metadata;
+    } else {
+      ASSERT_EQ(ph->str, "X");
+      const double pid = ev.Find("pid")->number;
+      if (pid == 1.0) {
+        ++compile_spans;
+        EXPECT_NE(ev.Find("args")->Find("depth"), nullptr);
+      } else {
+        EXPECT_DOUBLE_EQ(pid, 2.0);
+        ++runtime_events;
+        EXPECT_EQ(ev.Find("name")->str, "k_conv\"1\"");
+        EXPECT_DOUBLE_EQ(ev.Find("dur")->number, 3.0);
+      }
+    }
+  }
+  EXPECT_EQ(metadata, 2);
+  EXPECT_EQ(compile_spans, 2);
+  EXPECT_EQ(runtime_events, 1);
+}
+
+}  // namespace
+}  // namespace clflow::obs

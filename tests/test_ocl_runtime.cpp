@@ -190,6 +190,88 @@ TEST(Runtime, WriteLargerThanBufferRejected) {
   EXPECT_THROW(rt.EnqueueWrite(0, buf, big), Error);
 }
 
+TEST(Runtime, QueueBusyPlusIdleSumsToMakespan) {
+  TestDesign d = MakeDesign(2, fpga::Stratix10SX());
+  Runtime rt(d.bitstream);
+  const int q1 = rt.CreateQueue();
+  auto buf = rt.CreateBuffer(1024);
+  std::vector<float> src(1024, 1.0f);
+  rt.EnqueueWrite(0, buf, src);
+  rt.EnqueueKernel(0, {.name = "k0", .stats = FixedCycles(100000),
+                       .functional = {}, .reads_channels = {},
+                       .writes_channels = {}});
+  rt.EnqueueKernel(q1, {.name = "k1", .stats = FixedCycles(10000),
+                        .functional = {}, .reads_channels = {},
+                        .writes_channels = {}});
+  const SimTime makespan = rt.Finish();
+  for (int q = 0; q < rt.num_queues(); ++q) {
+    const auto usage = rt.queue_usage(q);
+    EXPECT_NEAR((usage.busy + usage.idle).us(), makespan.us(), 1e-6)
+        << "queue " << q;
+  }
+  // The long-running queue 0 is busier than the short-running queue 1.
+  EXPECT_GT(rt.queue_usage(0).busy, rt.queue_usage(q1).busy);
+  EXPECT_LT(rt.queue_usage(0).idle, rt.queue_usage(q1).idle);
+}
+
+TEST(Runtime, ChannelStallAttributedToBlockedReader) {
+  TestDesign d = MakeDesign(2, fpga::Stratix10SX());
+  Runtime rt(d.bitstream);
+  const int q1 = rt.CreateQueue();
+  // Slow producer on queue 0; the reader on queue 1 is enqueued
+  // immediately and must stall until the channel has data.
+  rt.EnqueueKernel(0, {.name = "k0", .stats = FixedCycles(500000),
+                       .functional = {}, .reads_channels = {},
+                       .writes_channels = {"ch"}});
+  rt.EnqueueKernel(q1, {.name = "k1", .stats = FixedCycles(1000),
+                        .functional = {}, .reads_channels = {"ch"},
+                        .writes_channels = {}});
+  rt.Finish();
+
+  EXPECT_GT(rt.total_channel_stall(), kSimTimeZero);
+  ASSERT_EQ(rt.channel_stall().count("ch"), 1u);
+  EXPECT_GT(rt.channel_stall().at("ch"), kSimTimeZero);
+  // The reader's profiled event carries its own stall time.
+  const auto& ev = rt.events();
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_EQ(ev[0].stall, kSimTimeZero);
+  EXPECT_GT(ev[1].stall, kSimTimeZero);
+  // The stall is roughly the producer's runtime (reader enqueued at ~0).
+  EXPECT_GT(ev[1].stall.us(), 0.5 * ev[0].duration().us());
+}
+
+TEST(Runtime, TransferByteAccountingAndMetricsExport) {
+  TestDesign d = MakeDesign(1, fpga::Stratix10SX());
+  Runtime rt(d.bitstream);
+  auto buf = rt.CreateBuffer(1024);
+  std::vector<float> src(1024, 1.0f), dst(1024, 0.0f);
+  rt.EnqueueWrite(0, buf, src);
+  rt.EnqueueKernel(0, {.name = "k0", .stats = FixedCycles(1000),
+                       .functional = {}, .reads_channels = {},
+                       .writes_channels = {}});
+  rt.EnqueueRead(0, buf, dst);
+  rt.Finish();
+
+  EXPECT_EQ(rt.bytes_h2d(), 1024 * 4);
+  EXPECT_EQ(rt.bytes_d2h(), 1024 * 4);
+  EXPECT_EQ(rt.kernel_usage().at("k0").invocations, 1);
+
+  obs::Registry reg;
+  rt.ExportMetrics(reg, {{"board", "s10sx"}});
+  EXPECT_DOUBLE_EQ(
+      reg.gauge("ocl.xfer.h2d_bytes", {{"board", "s10sx"}}).value(),
+      1024.0 * 4.0);
+  EXPECT_GT(reg.gauge("ocl.queue.busy_us", {{"board", "s10sx"},
+                                            {"queue", "0"}})
+                .value(),
+            0.0);
+  EXPECT_GT(
+      reg.gauge("ocl.kernel.total_us",
+                {{"board", "s10sx"}, {"kernel", "k0"}})
+          .value(),
+      0.0);
+}
+
 TEST(Runtime, S10mxWritesAreSlow) {
   // The paper's Figure 6.2: the S10MX spends most of its time on buffer
   // writes. Same transfer on both boards; S10MX must be much slower.
