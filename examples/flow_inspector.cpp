@@ -11,15 +11,27 @@
 // trace (compile-phase spans on one process row, the simulated runtime
 // schedule on another).
 //
+// With --lint it prints the static-analysis diagnostics (IR verifier,
+// dataflow checker, perf lints) as a table and exits nonzero when any
+// error-severity finding remains. --lint-promote CODE / --lint-demote CODE
+// adjust a code's severity before the gate runs; --break-channel injects a
+// bogus channel read into the launch plan to demonstrate the checker
+// rejecting statically what previously only failed at runtime.
+//
 // usage: example_flow_inspector [lenet|mobilenet|resnet18|resnet34]
 //                               [a10|s10sx|s10mx] [pipelined|folded]
 //                               [outdir] [--report] [--trace-out FILE]
+//                               [--lint] [--lint-promote CODE]
+//                               [--lint-demote CODE] [--break-channel]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "analysis/dataflow_checker.hpp"
+#include "common/error.hpp"
 #include "common/table.hpp"
 #include "core/dse.hpp"
 #include "core/host_codegen.hpp"
@@ -66,11 +78,27 @@ int main(int argc, char** argv) {
   using namespace clflow;
   std::vector<std::string> positional;
   bool report = false;
+  bool lint = false;
+  bool break_channel = false;
+  std::vector<std::pair<std::string, analysis::Severity>> overrides;
   std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--report") {
       report = true;
+    } else if (arg == "--lint") {
+      lint = true;
+    } else if (arg == "--break-channel") {
+      lint = true;
+      break_channel = true;
+    } else if (arg == "--lint-promote" || arg == "--lint-demote") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a CLF code argument\n", arg.c_str());
+        return 1;
+      }
+      overrides.emplace_back(argv[++i], arg == "--lint-promote"
+                                            ? analysis::Severity::kError
+                                            : analysis::Severity::kWarning);
     } else if (arg == "--trace-out") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--trace-out requires a file argument\n");
@@ -123,9 +151,42 @@ int main(int argc, char** argv) {
     }
   }
 
+  for (const auto& [code, severity] : overrides) {
+    opts.analysis.severity_overrides[code] = severity;
+  }
+
   std::printf("compiling %s for %s (%s)...\n", net.name().c_str(),
               opts.board.name.c_str(), pipelined ? "pipelined" : "folded");
-  auto d = core::Deployment::Compile(net, opts);
+  std::optional<core::Deployment> compiled;
+  try {
+    compiled = core::Deployment::Compile(net, opts);
+  } catch (const VerifyError& e) {
+    std::fprintf(stderr, "static analysis failed:\n%s", e.what());
+    return 1;
+  }
+  core::Deployment& d = *compiled;
+
+  if (lint) {
+    auto& diags = d.diagnostics();
+    if (break_channel) {
+      // Perturb the plan: a consumer of a channel nothing writes. Before
+      // the dataflow checker existed this configuration compiled fine and
+      // deadlocked inside ocl::Runtime; now it is a static CLF201.
+      analysis::Plan plan = d.AnalysisPlan();
+      analysis::PlanStep bogus;
+      bogus.kernel = "k_injected_consumer";
+      bogus.reads.push_back("ch_nonexistent");
+      plan.steps.push_back(std::move(bogus));
+      analysis::CheckDataflow(plan, diags);
+    }
+    std::printf("\n--- static analysis (%d error(s), %d warning(s)) ---\n",
+                diags.error_count(), diags.warning_count());
+    if (!diags.diagnostics().empty()) diags.SummaryTable().Print();
+    if (diags.HasErrors()) {
+      std::fprintf(stderr, "lint: %d error(s)\n", diags.error_count());
+      return 1;
+    }
+  }
 
   const std::string base = outdir + "/" + net.name() + "_" + board_key;
   WriteFile(base + "_fit_report.txt", fpga::WriteFitReport(d.bitstream()));
@@ -202,7 +263,8 @@ int main(int argc, char** argv) {
 
     WriteFile(base + "_metrics.json",
               "{\"compile\":" + d.telemetry().registry.ToJson() +
-                  ",\"runtime\":" + runtime_registry.ToJson() + "}");
+                  ",\"runtime\":" + runtime_registry.ToJson() +
+                  ",\"diagnostics\":" + d.diagnostics().ToJson() + "}");
   }
 
   if (!trace_out.empty()) {

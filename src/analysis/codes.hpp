@@ -1,0 +1,168 @@
+// The CLF diagnostic-code registry.
+//
+// Every diagnostic the static-analysis layer (and the runtime, for the
+// failures it shares with the dataflow checker) can emit is identified by
+// a stable "CLFxxx" code. Families:
+//
+//   CLF1xx  IR verifier: well-formedness and safety of scheduled kernels
+//   CLF2xx  dataflow checker: channel graph / queue hazards of a plan
+//   CLF3xx  perf lints: the paper's performance diagnoses (warnings)
+//   CLF4xx  schedule primitives: illegal applications (ScheduleError)
+//
+// This header is intentionally free of dependencies (and of a .cpp) so
+// that any layer -- including ocl::Runtime, which must name the same code
+// the static checker would have reported -- can reference codes without
+// linking against clflow_analysis.
+#pragma once
+
+#include <string_view>
+
+namespace clflow::analysis {
+
+enum class Severity { kError, kWarning, kNote };
+
+[[nodiscard]] constexpr std::string_view SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "?";
+}
+
+/// Static description of one diagnostic code. `paper_ref` points at the
+/// section of the thesis that motivates the check; `default_fixit` is the
+/// generic remedy (emission sites may specialize it).
+struct CodeInfo {
+  std::string_view id;
+  Severity default_severity = Severity::kError;
+  std::string_view title;
+  std::string_view paper_ref;
+  std::string_view default_fixit;
+};
+
+// --- IR verifier ------------------------------------------------------------
+inline constexpr CodeInfo kUndefinedVar{
+    "CLF101", Severity::kError, "use of undefined variable", "SS5.3",
+    "bind the variable with an enclosing loop or declare it as a kernel "
+    "scalar argument"};
+inline constexpr CodeInfo kOutOfBounds{
+    "CLF102", Severity::kError, "buffer access out of bounds", "SS4.2",
+    "re-check SplitLoop/ReorderLoops factors against the buffer shape"};
+inline constexpr CodeInfo kUnrollDependence{
+    "CLF103", Severity::kError,
+    "unrolled loop carries a cross-lane dependence", "SS4.1",
+    "do not unroll loops whose lanes read elements written by other lanes"};
+inline constexpr CodeInfo kScopeViolation{
+    "CLF104", Severity::kError, "buffer scope violation", "SS4.5",
+    "constant buffers are read-only and channels must use "
+    "read_channel/write_channel"};
+inline constexpr CodeInfo kUnrollNonConst{
+    "CLF105", Severity::kError,
+    "unroll annotation on a non-constant extent", "SS4.1",
+    "bind the symbolic extent (or split off a constant inner loop) before "
+    "unrolling"};
+inline constexpr CodeInfo kUninitRead{
+    "CLF106", Severity::kError,
+    "read of never-written on-chip buffer", "SS4.5",
+    "initialize the private/local buffer before the first load"};
+
+// --- Dataflow checker -------------------------------------------------------
+inline constexpr CodeInfo kChannelNoWriter{
+    "CLF201", Severity::kError, "channel read has no producer", "SS4.6",
+    "enqueue the producing kernel (or drop the channel input) -- this "
+    "deadlocks on hardware"};
+inline constexpr CodeInfo kChannelEndpoints{
+    "CLF202", Severity::kError,
+    "channel must have exactly one writer and one reader", "SS4.6",
+    "Intel channels are point-to-point; split the channel per endpoint "
+    "pair"};
+inline constexpr CodeInfo kChannelDeadlock{
+    "CLF203", Severity::kError,
+    "channel ordering/FIFO depth deadlocks an in-order queue", "SS4.6",
+    "enqueue the producer first and give the channel a FIFO depth covering "
+    "everything it buffers, or move the consumer to its own queue"};
+inline constexpr CodeInfo kAutorunWithArgs{
+    "CLF204", Severity::kError, "autorun kernel takes arguments", "SS4.7",
+    "autorun kernels cannot receive host arguments; stream weights through "
+    "channels or disable autorun"};
+inline constexpr CodeInfo kQueueHazard{
+    "CLF205", Severity::kError,
+    "cross-queue data hazard without a channel", "SS4.8",
+    "connect the kernels with a channel or place them on one in-order "
+    "queue"};
+
+// --- Perf lints -------------------------------------------------------------
+inline constexpr CodeInfo kUnpinnedStride{
+    "CLF301", Severity::kWarning,
+    "unpinned symbolic stride defeats access coalescing", "SS5.3",
+    "apply PinStrideVars (recipe.pin_strides) to bind the innermost "
+    "strides to 1"};
+inline constexpr CodeInfo kGlobalAccumulator{
+    "CLF302", Severity::kWarning,
+    "reduction through global memory forces II=5", "SS4.5/SS5.1.1",
+    "apply CacheWrite to accumulate in private registers"};
+inline constexpr CodeInfo kNonDivisibleUnroll{
+    "CLF303", Severity::kWarning,
+    "unroll factor does not divide the loop extent", "SS4.11",
+    "choose a factor dividing the extent so no epilogue loop is needed"};
+inline constexpr CodeInfo kNonBurstAccess{
+    "CLF304", Severity::kWarning,
+    "non-sequential addressing defeats DDR bursts", "SS6.3.2",
+    "restructure the index (avoid div/mod flattened addressing) so "
+    "accesses stream contiguously"};
+inline constexpr CodeInfo kMissedAutorun{
+    "CLF305", Severity::kWarning,
+    "weightless channel-only kernel is not autorun", "SS4.7",
+    "mark the kernel autorun (recipe.autorun) to remove host dispatch "
+    "overhead"};
+
+// --- Schedule primitives ----------------------------------------------------
+inline constexpr CodeInfo kScheduleTargetMissing{
+    "CLF401", Severity::kError, "schedule target not found", "SS4.2",
+    "name an existing (and unique) loop/buffer/argument of the kernel"};
+inline constexpr CodeInfo kScheduleBadBound{
+    "CLF402", Severity::kError,
+    "loop bound not schedulable (symbolic extent or nonzero min)", "SS4.1",
+    "schedule primitives need constant zero-based loops; split or bind the "
+    "bound first"};
+inline constexpr CodeInfo kScheduleNonDivisible{
+    "CLF403", Severity::kError,
+    "factor does not divide the loop extent", "SS4.11",
+    "choose a dividing factor -- the flow generates no epilogue loops"};
+inline constexpr CodeInfo kScheduleFusionDependence{
+    "CLF404", Severity::kError,
+    "loop fusion would reorder a dependence", "SS4.3",
+    "fuse only loops whose shared buffers are accessed at the fused "
+    "iteration itself"};
+inline constexpr CodeInfo kScheduleStructure{
+    "CLF405", Severity::kError,
+    "schedule primitive does not match the loop structure", "SS4.3",
+    "the transform needs adjacent/perfectly-nested loops of matching "
+    "shape"};
+inline constexpr CodeInfo kScheduleCacheMisuse{
+    "CLF406", Severity::kError, "cache transform misapplied", "SS4.5",
+    "CacheWrite needs another escaping output; CacheRead needs a constant-"
+    "shape read-only buffer"};
+
+/// All registered codes, in documentation order.
+inline constexpr const CodeInfo* kAllCodes[] = {
+    &kUndefinedVar,     &kOutOfBounds,      &kUnrollDependence,
+    &kScopeViolation,   &kUnrollNonConst,   &kUninitRead,
+    &kChannelNoWriter,  &kChannelEndpoints, &kChannelDeadlock,
+    &kAutorunWithArgs,  &kQueueHazard,      &kUnpinnedStride,
+    &kGlobalAccumulator, &kNonDivisibleUnroll, &kNonBurstAccess,
+    &kMissedAutorun,    &kScheduleTargetMissing, &kScheduleBadBound,
+    &kScheduleNonDivisible, &kScheduleFusionDependence, &kScheduleStructure,
+    &kScheduleCacheMisuse,
+};
+
+/// Looks up a code by its "CLFxxx" id; nullptr when unknown.
+[[nodiscard]] constexpr const CodeInfo* FindCode(std::string_view id) {
+  for (const CodeInfo* info : kAllCodes) {
+    if (info->id == id) return info;
+  }
+  return nullptr;
+}
+
+}  // namespace clflow::analysis

@@ -1,0 +1,158 @@
+#include "analysis/dataflow_checker.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace clflow::analysis {
+
+namespace {
+
+struct Endpoints {
+  std::vector<int> writers, readers;
+};
+
+}  // namespace
+
+int CheckDataflow(const Plan& plan, DiagnosticEngine& engine) {
+  const int before = engine.error_count();
+  const auto& steps = plan.steps;
+
+  std::map<std::string, Endpoints> endpoints;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    for (const auto& ch : steps[i].writes) {
+      endpoints[ch].writers.push_back(static_cast<int>(i));
+    }
+    for (const auto& ch : steps[i].reads) {
+      endpoints[ch].readers.push_back(static_cast<int>(i));
+    }
+  }
+
+  // CLF204: autorun kernels execute without host involvement, so there is
+  // no clSetKernelArg moment; arguments would be uninitialized.
+  for (const auto& step : steps) {
+    if (step.autorun && step.num_args > 0) {
+      std::ostringstream os;
+      os << "kernel " << step.kernel << " is marked autorun but takes "
+         << step.num_args << " argument(s); autorun kernels cannot receive "
+         << "host arguments";
+      engine.Report(Diagnostic::Make(kAutorunWithArgs, {step.kernel, "", ""},
+                                     os.str()));
+    }
+  }
+
+  for (const auto& [chan, ep] : endpoints) {
+    // CLF201: a reader with no producer blocks forever.
+    if (!ep.readers.empty() && ep.writers.empty()) {
+      for (int r : ep.readers) {
+        engine.Report(Diagnostic::Make(
+            kChannelNoWriter, {steps[static_cast<std::size_t>(r)].kernel,
+                               "", chan},
+            "kernel " + steps[static_cast<std::size_t>(r)].kernel +
+                " reads channel " + chan +
+                " but no enqueued kernel writes it; this deadlocks on "
+                "hardware"));
+      }
+      continue;
+    }
+    // CLF202: Intel channels are point-to-point.
+    if (ep.writers.size() > 1 || ep.readers.size() > 1) {
+      std::ostringstream os;
+      os << "channel " << chan << " has " << ep.writers.size()
+         << " writer(s) and " << ep.readers.size()
+         << " reader(s); Intel channels require exactly one of each";
+      const int at = !ep.writers.empty() ? ep.writers.front()
+                                         : ep.readers.front();
+      engine.Report(Diagnostic::Make(
+          kChannelEndpoints,
+          {steps[static_cast<std::size_t>(at)].kernel, "", chan}, os.str()));
+      continue;
+    }
+    if (ep.writers.empty() || ep.readers.empty()) continue;
+
+    const int w = ep.writers.front();
+    const int r = ep.readers.front();
+    const auto& ws = steps[static_cast<std::size_t>(w)];
+    const auto& rs = steps[static_cast<std::size_t>(r)];
+
+    // CLF203a: mutual channel dependence between two steps is a cycle no
+    // schedule can satisfy.
+    for (const auto& back : rs.writes) {
+      if (std::find(ws.reads.begin(), ws.reads.end(), back) !=
+          ws.reads.end()) {
+        engine.Report(Diagnostic::Make(
+            kChannelDeadlock, {ws.kernel, "", chan},
+            "kernels " + ws.kernel + " and " + rs.kernel +
+                " feed each other through channels " + chan + " and " +
+                back + "; the cycle deadlocks"));
+      }
+    }
+
+    if (ws.autorun || rs.autorun || ws.queue != rs.queue) continue;
+
+    // CLF203b: same in-order queue, consumer enqueued first: the queue
+    // never reaches the producer.
+    if (r < w) {
+      engine.Report(Diagnostic::Make(
+          kChannelDeadlock, {rs.kernel, "", chan},
+          "kernel " + rs.kernel + " reads channel " + chan +
+              " but is enqueued before its producer " + ws.kernel +
+              " on in-order queue " + std::to_string(rs.queue)));
+      continue;
+    }
+    // CLF203c: same in-order queue, producer first: the producer must run
+    // to completion before the consumer starts, so the FIFO has to buffer
+    // everything the producer emits.
+    auto depth_it = plan.channels.find(chan);
+    if (depth_it != plan.channels.end() && ws.writes.size() == 1 &&
+        ws.channel_writes > static_cast<double>(depth_it->second)) {
+      std::ostringstream os;
+      os << "channel " << chan << " (depth " << depth_it->second
+         << ") buffers " << ws.channel_writes << " elements from "
+         << ws.kernel << " before " << rs.kernel
+         << " starts on the same in-order queue " << ws.queue
+         << "; the writer stalls full and the queue deadlocks";
+      engine.Report(
+          Diagnostic::Make(kChannelDeadlock, {ws.kernel, "", chan},
+                           os.str()));
+    }
+  }
+
+  // CLF205: every data dependence needs an ordering mechanism -- the same
+  // in-order queue or a connecting channel. Anything else races.
+  for (std::size_t j = 0; j < steps.size(); ++j) {
+    const auto& consumer = steps[j];
+    for (int dep : consumer.deps) {
+      if (dep < 0 || static_cast<std::size_t>(dep) >= steps.size()) continue;
+      const auto& producer = steps[static_cast<std::size_t>(dep)];
+      const bool same_queue = !producer.autorun && !consumer.autorun &&
+                              producer.queue == consumer.queue;
+      if (same_queue) continue;
+      bool channel_linked = false;
+      for (const auto& ch : producer.writes) {
+        if (std::find(consumer.reads.begin(), consumer.reads.end(), ch) !=
+            consumer.reads.end()) {
+          channel_linked = true;
+          break;
+        }
+      }
+      if (channel_linked) continue;
+      std::ostringstream os;
+      os << "kernel " << consumer.kernel << " consumes the output of "
+         << producer.kernel << " but ";
+      if (producer.autorun || consumer.autorun) {
+        os << "one of them is autorun";
+      } else {
+        os << "they run on different queues (" << producer.queue << " vs "
+           << consumer.queue << ")";
+      }
+      os << " with no connecting channel; nothing orders the writer before "
+         << "the reader";
+      engine.Report(Diagnostic::Make(kQueueHazard, {consumer.kernel, "", ""},
+                                     os.str()));
+    }
+  }
+
+  return engine.error_count() - before;
+}
+
+}  // namespace clflow::analysis

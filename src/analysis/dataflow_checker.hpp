@@ -1,0 +1,64 @@
+// Deployment-plan dataflow checking (tentpole layer 3, part 1).
+//
+// The checker sees a deployment plan as a list of PlanSteps -- one per
+// kernel launch, in enqueue order, with its queue assignment, channel
+// endpoints, and data-dependence edges -- plus the channel table (FIFO
+// depths). It statically rejects the launch configurations that today
+// only fail (or silently corrupt results) while executing:
+//
+//   * CLF201  a step reads a channel no step writes: the read blocks
+//             forever on hardware. ocl::Runtime raises the same code at
+//             execution time; the static checker fires first.
+//   * CLF202  Intel channels are strictly point-to-point: more than one
+//             writer or reader is a compile error under AOC.
+//   * CLF203  in-order-queue deadlock: the consumer of a channel is
+//             enqueued before its producer on the same queue, the FIFO
+//             depth cannot absorb everything the producer emits before
+//             the same-queue consumer starts, or two steps feed each
+//             other (a channel cycle).
+//   * CLF204  an autorun kernel cannot receive host arguments (SS4.7).
+//   * CLF205  a data dependence crosses queues (or involves an autorun
+//             kernel) with no connecting channel: nothing orders the
+//             writer before the reader, a classic RAW/WAW hazard of the
+//             one-queue-per-kernel pattern (SS4.8).
+//
+// PlanStep is deliberately a plain struct (no core types) so the checker
+// is unit-testable without building a deployment, and so core::Deployment
+// can expose its plan (AnalysisPlan()) for external linting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/diag.hpp"
+
+namespace clflow::analysis {
+
+struct PlanStep {
+  std::string kernel;
+  /// In-order command queue the step is enqueued on; ignored for autorun.
+  int queue = 0;
+  bool autorun = false;
+  /// Total kernel arguments (buffers + scalars).
+  std::int64_t num_args = 0;
+  /// Channel elements this step writes per launch (all channels).
+  double channel_writes = 0.0;
+  std::vector<std::string> reads, writes;  ///< channel names
+  /// Indices of earlier steps whose outputs this step consumes.
+  std::vector<int> deps;
+};
+
+/// Channel name -> FIFO depth in elements.
+using ChannelTable = std::map<std::string, std::int64_t>;
+
+struct Plan {
+  std::vector<PlanStep> steps;
+  ChannelTable channels;
+};
+
+/// Runs every dataflow check; returns the number of errors added.
+int CheckDataflow(const Plan& plan, DiagnosticEngine& engine);
+
+}  // namespace clflow::analysis

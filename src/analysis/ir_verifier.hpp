@@ -1,0 +1,56 @@
+// The IR verifier: post-schedule well-formedness and safety checks over
+// scheduled kernels (tentpole layer 2 of clflow-verify).
+//
+// VerifyStmt checks a bare statement tree -- this is the form the
+// after-every-pass gate uses (ir::ScopedPassVerifier), where no kernel
+// signature is available:
+//
+//   * CLF102  buffer out-of-bounds: interval analysis of every affine
+//             index against the declared (constant) shape dimension.
+//             Exact for affine indices over constant loop boxes, so it
+//             catches illegal SplitLoop/ReorderLoops compositions without
+//             false positives; guarded accesses (inside Select branches or
+//             If bodies, e.g. the padding kernels) and symbolic dims are
+//             skipped.
+//   * CLF103  cross-lane dependences in unrolled/vectorized loops: a
+//             store and a load of one buffer whose indices provably
+//             collide for two different lanes. Reductions (store and load
+//             at the structurally identical element) are legal -- AOC
+//             builds adder trees for them -- and are excluded.
+//   * CLF105  unroll/vectorize annotations on non-constant extents, which
+//             AOC refuses to compile.
+//
+// VerifyKernel adds the signature-dependent checks:
+//
+//   * CLF101  def-before-use: every variable must be bound by an
+//             enclosing loop or declared as a scalar argument.
+//   * CLF104  scope violations: stores to read-only constant buffers,
+//             indexed access to channel-scope buffers, channel intrinsics
+//             on non-channel buffers (plus everything Kernel::Validate
+//             rejects, converted to a diagnostic).
+//   * CLF106  loads from on-chip (local/private) buffers that no store
+//             ever initializes.
+//
+// Both return the number of error-severity diagnostics added, so gates
+// can abort precisely when the tree they just produced is broken.
+#pragma once
+
+#include <string>
+
+#include "analysis/diag.hpp"
+#include "common/error.hpp"
+#include "ir/stmt.hpp"
+
+namespace clflow::analysis {
+
+[[nodiscard]] int VerifyStmt(const ir::Stmt& root, DiagnosticEngine& engine,
+                             const std::string& kernel_name = "");
+
+[[nodiscard]] int VerifyKernel(const ir::Kernel& kernel,
+                               DiagnosticEngine& engine);
+
+/// Converts a structured ScheduleError (CLF4xx) into a diagnostic so the
+/// engine renders schedule failures uniformly with verifier findings.
+[[nodiscard]] Diagnostic FromScheduleError(const ScheduleError& error);
+
+}  // namespace clflow::analysis

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <sstream>
 
+#include "analysis/ir_verifier.hpp"
+#include "analysis/perf_lint.hpp"
 #include "codegen/opencl_codegen.hpp"
 #include "common/error.hpp"
+#include "ir/passes.hpp"
 
 namespace clflow::core {
 
@@ -74,6 +78,11 @@ Deployment Deployment::Compile(const graph::Graph& g,
   Deployment d;
   d.options_ = options;
   d.telemetry_ = std::make_shared<obs::Telemetry>();
+  d.diags_ =
+      std::make_shared<analysis::DiagnosticEngine>(&d.telemetry_->registry);
+  for (const auto& [code, severity] : options.analysis.severity_overrides) {
+    d.diags_->OverrideSeverity(code, severity);
+  }
   // Route Registry::Current()/Tracer::Current() -- and with them every IR
   // pass applied while lowering -- into this deployment's telemetry.
   obs::ScopedTelemetry scoped(d.telemetry_.get());
@@ -90,6 +99,20 @@ Deployment Deployment::Compile(const graph::Graph& g,
   }
   {
     obs::ScopedSpan span(tracer, "lowering");
+    // Gate every schedule primitive applied while lowering: a pass
+    // composition that produces malformed IR aborts at the pass that
+    // produced it, not at some downstream symptom.
+    std::optional<ir::ScopedPassVerifier> pass_gate;
+    if (options.analysis.verify) {
+      pass_gate.emplace([&d](const ir::Stmt& result, const char* pass) {
+        const int before = d.diags_->error_count();
+        analysis::VerifyStmt(result, *d.diags_);
+        if (d.diags_->error_count() > before) {
+          throw VerifyError("IR verifier rejected the result of pass " +
+                            std::string(pass) + ":\n" + d.diags_->ToText());
+        }
+      });
+    }
     if (options.mode == ExecutionMode::kPipelined) {
       d.PlanPipelined(options.recipe);
     } else {
@@ -99,6 +122,8 @@ Deployment Deployment::Compile(const graph::Graph& g,
     span.Arg("invocations",
              static_cast<std::int64_t>(d.invocations_.size()));
   }
+  d.AssignQueues();
+  if (options.analysis.verify) d.RunAnalysisGate();
   {
     obs::ScopedSpan span(tracer, "synthesis");
     d.SynthesizeAll();
@@ -123,8 +148,9 @@ void Deployment::PlanPipelined(const OptimizationRecipe& recipe) {
     if (consumers[static_cast<std::size_t>(n.id)].size() > 1 ||
         n.inputs.size() > 1) {
       throw ScheduleError(
+          "CLF405",
           "pipelined execution requires a linear chain; node " + n.name +
-          " branches (use folded execution)");
+              " branches (use folded execution)");
     }
   }
   CLFLOW_CHECK_MSG(!recipe.parameterized,
@@ -241,7 +267,8 @@ void Deployment::PlanPipelined(const OptimizationRecipe& recipe) {
         break;
       }
       default:
-        throw ScheduleError("pipelined planner: unsupported op " + n.name);
+        throw ScheduleError("CLF405",
+                            "pipelined planner: unsupported op " + n.name);
     }
 
     if (recipe.autorun && pk.built.kernel.buffer_args.empty() &&
@@ -350,7 +377,9 @@ void Deployment::PlanFolded(const OptimizationRecipe& recipe) {
         if ((!dw && in_shape.channels() % sched.tile_c1 != 0) ||
             out.width() % sched.tile_w2 != 0 ||
             (!dw && n.filters % sched.tile_c2 != 0)) {
-          throw ScheduleError("tiling does not divide layer " + n.name);
+          throw ScheduleError("CLF403",
+                              "tiling does not divide layer " + n.name,
+                              "k_" + n.name, "", out.width());
         }
 
         ir::ConvSpec spec{.c1 = in_shape.channels(),
@@ -513,7 +542,8 @@ void Deployment::PlanFolded(const OptimizationRecipe& recipe) {
         break;
       }
       default:
-        throw ScheduleError("folded planner: unsupported op " + n.name);
+        throw ScheduleError("CLF405",
+                            "folded planner: unsupported op " + n.name);
     }
 
     // Hybrid tail: record channel endpoints and autorun weightless
@@ -591,14 +621,13 @@ void Deployment::RecordCompileMetrics() {
   reg.gauge("synth.nonseq_lsu_count").Set(static_cast<double>(nonseq));
 }
 
-void Deployment::PrepareRuntime() {
-  runtime_ = std::make_unique<ocl::Runtime>(bitstream_, options_.cost_model);
-  input_buffer_ = runtime_->CreateBuffer(
-      fused_.node(fused_.input_id()).output_shape.NumElements());
-  output_buffer_ = runtime_->CreateBuffer(
-      fused_.node(fused_.output_id()).output_shape.NumElements());
-
+void Deployment::AssignQueues() {
+  // Queue assignment happens at compile time (not in PrepareRuntime) so the
+  // dataflow checker can reason about launch ordering before a runtime
+  // exists: every in-order-queue deadlock and cross-queue hazard is a
+  // property of this mapping.
   invocation_queues_.assign(invocations_.size(), 0);
+  num_queues_ = 1;
   const bool ce = options_.recipe.concurrent_execution &&
                   options_.recipe.channels;
   if (ce) {
@@ -606,8 +635,92 @@ void Deployment::PrepareRuntime() {
       if (invocations_[i].autorun) continue;
       // The first kernel shares queue 0 with the input write so the
       // in-order queue sequences it after the transfer.
-      invocation_queues_[i] = i == 0 ? 0 : runtime_->CreateQueue();
+      invocation_queues_[i] = i == 0 ? 0 : num_queues_++;
     }
+  }
+}
+
+analysis::Plan Deployment::AnalysisPlan() const {
+  analysis::Plan plan;
+  std::unordered_map<NodeId, int> step_of_node;
+  for (std::size_t i = 0; i < invocations_.size(); ++i) {
+    step_of_node[invocations_[i].node] = static_cast<int>(i);
+  }
+  for (std::size_t i = 0; i < invocations_.size(); ++i) {
+    const auto& inv = invocations_[i];
+    const ir::Kernel& kernel =
+        kernels_[static_cast<std::size_t>(inv.kernel_index)].built.kernel;
+    analysis::PlanStep step;
+    step.kernel = kernel.name;
+    step.queue = i < invocation_queues_.size()
+                     ? invocation_queues_[i]
+                     : 0;
+    step.autorun = inv.autorun;
+    step.num_args = static_cast<std::int64_t>(kernel.buffer_args.size() +
+                                              kernel.scalar_args.size());
+    step.channel_writes = inv.stats.channel_writes;
+    step.reads = inv.reads_channels;
+    step.writes = inv.writes_channels;
+    for (NodeId in : fused_.node(inv.node).inputs) {
+      auto it = step_of_node.find(in);
+      if (it != step_of_node.end()) step.deps.push_back(it->second);
+    }
+    plan.steps.push_back(std::move(step));
+    for (const auto& chan : kernel.channels_written) {
+      plan.channels[chan->name] = chan->channel_depth;
+    }
+    for (const auto& chan : kernel.channels_read) {
+      plan.channels.emplace(chan->name, chan->channel_depth);
+    }
+  }
+  return plan;
+}
+
+void Deployment::RunAnalysisGate() {
+  obs::Tracer* tracer = &telemetry_->tracer;
+  {
+    obs::ScopedSpan span(tracer, "verify");
+    int errors = 0;
+    for (const auto& pk : kernels_) {
+      errors += analysis::VerifyKernel(pk.built.kernel, *diags_);
+    }
+    span.Arg("errors", static_cast<std::int64_t>(errors));
+  }
+  {
+    obs::ScopedSpan span(tracer, "lint");
+    const analysis::Plan plan = AnalysisPlan();
+    analysis::CheckDataflow(plan, *diags_);
+    analysis::LintPlan(plan, *diags_);
+    // Lint each distinct kernel once, with the stats of its first
+    // invocation (representative bindings, as synthesis uses).
+    std::vector<bool> linted(kernels_.size(), false);
+    for (const auto& inv : invocations_) {
+      const auto idx = static_cast<std::size_t>(inv.kernel_index);
+      if (linted[idx]) continue;
+      linted[idx] = true;
+      analysis::LintKernel(kernels_[idx].built.kernel, &inv.stats, *diags_);
+    }
+    span.Arg("errors", static_cast<std::int64_t>(diags_->error_count()));
+    span.Arg("warnings", static_cast<std::int64_t>(diags_->warning_count()));
+  }
+  diags_->MirrorToTrace(telemetry_->tracer);
+  if (diags_->HasErrors()) {
+    throw VerifyError("static analysis rejected the deployment plan:\n" +
+                      diags_->ToText());
+  }
+}
+
+void Deployment::PrepareRuntime() {
+  runtime_ = std::make_unique<ocl::Runtime>(bitstream_, options_.cost_model);
+  input_buffer_ = runtime_->CreateBuffer(
+      fused_.node(fused_.input_id()).output_shape.NumElements());
+  output_buffer_ = runtime_->CreateBuffer(
+      fused_.node(fused_.output_id()).output_shape.NumElements());
+  // Materialize the compile-time queue assignment (AssignQueues); queue 0
+  // exists at runtime construction.
+  for (int q = 1; q < num_queues_; ++q) {
+    const int created = runtime_->CreateQueue();
+    CLFLOW_CHECK_MSG(created == q, "queue ids diverged from the plan");
   }
 }
 

@@ -9,12 +9,15 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/dataflow_checker.hpp"
+#include "analysis/diag.hpp"
 #include "core/recipes.hpp"
 #include "fpga/synth.hpp"
 #include "graph/graph.hpp"
@@ -24,6 +27,18 @@
 
 namespace clflow::core {
 
+/// Controls the static-analysis gate that runs inside Compile.
+struct AnalysisOptions {
+  /// Run the IR verifier after every schedule primitive and the dataflow
+  /// checker / perf linter on the finished plan. Error-severity findings
+  /// abort compilation with VerifyError.
+  bool verify = true;
+  /// Per-code severity overrides ("CLF301" -> kError promotes a lint to a
+  /// compile failure; "CLF203" -> kWarning demotes a deadlock check for
+  /// experiments that knowingly violate it on the simulator).
+  std::map<std::string, analysis::Severity> severity_overrides;
+};
+
 struct DeployOptions {
   ExecutionMode mode = ExecutionMode::kPipelined;
   OptimizationRecipe recipe;
@@ -31,6 +46,7 @@ struct DeployOptions {
   fpga::CostModel cost_model;
   /// Threads used for functional (host-side oracle) execution.
   int functional_threads = 1;
+  AnalysisOptions analysis;
 };
 
 struct RunResult {
@@ -112,6 +128,19 @@ class Deployment {
   /// Compile(); always present.
   [[nodiscard]] obs::Telemetry& telemetry() const { return *telemetry_; }
 
+  /// Diagnostics accumulated by the static-analysis gate (IR verifier,
+  /// dataflow checker, perf lints). Always present after Compile, even when
+  /// options.analysis.verify is false (then it is simply empty).
+  [[nodiscard]] analysis::DiagnosticEngine& diagnostics() const {
+    return *diags_;
+  }
+
+  /// The launch plan as the dataflow checker sees it: one PlanStep per
+  /// invocation in enqueue order with queue assignments, channel endpoints,
+  /// and graph dependence edges. Exposed so external tools (flow_inspector
+  /// --lint) can re-run or perturb the checks.
+  [[nodiscard]] analysis::Plan AnalysisPlan() const;
+
   /// The live simulated runtime (valid when ok()); exposes the profiled
   /// event stream and accumulated queue/channel/transfer metrics.
   [[nodiscard]] ocl::Runtime& runtime() const;
@@ -130,12 +159,15 @@ class Deployment {
   void PlanFolded(const OptimizationRecipe& recipe);
   void SynthesizeAll();
   void RecordCompileMetrics();
+  void AssignQueues();
+  void RunAnalysisGate();
   void PrepareRuntime();
   [[nodiscard]] ocl::KernelLaunch MakeLaunch(const PlannedInvocation& inv,
                                              bool functional);
 
   DeployOptions options_;
   std::shared_ptr<obs::Telemetry> telemetry_;
+  std::shared_ptr<analysis::DiagnosticEngine> diags_;
   graph::Graph fused_;
   std::vector<PlannedKernel> kernels_;
   std::vector<PlannedInvocation> invocations_;
@@ -146,6 +178,7 @@ class Deployment {
   ocl::BufferPtr input_buffer_;
   ocl::BufferPtr output_buffer_;
   std::vector<int> invocation_queues_;
+  int num_queues_ = 1;
   /// Functional activation map, rebuilt per functional run.
   std::unordered_map<graph::NodeId, Tensor> acts_;
 };

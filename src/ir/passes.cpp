@@ -10,6 +10,8 @@ namespace clflow::ir {
 
 namespace {
 
+thread_local PassVerifier* g_pass_verifier = nullptr;
+
 /// Counts one successful application of a schedule primitive (and the
 /// number of statements it rewrote) on the current telemetry registry.
 /// Callers invoke this after validation so failed applications (which
@@ -19,6 +21,18 @@ void RecordPass(const char* pass, double stmts_rewritten = 1) {
   reg->counter("ir.pass.applied", {{"pass", pass}}).Add(1);
   reg->counter("ir.pass.stmts_rewritten", {{"pass", pass}})
       .Add(stmts_rewritten);
+}
+
+/// Routes a primitive's result through the installed verification hook
+/// before returning it to the caller.
+Stmt Verified(const char* pass, Stmt result) {
+  if (g_pass_verifier != nullptr) (*g_pass_verifier)(result, pass);
+  return result;
+}
+
+/// Same for the in-place kernel primitives.
+void VerifyKernelBody(const char* pass, const Kernel& kernel) {
+  if (g_pass_verifier != nullptr) (*g_pass_verifier)(kernel.body, pass);
 }
 
 /// Pre-order rewriter: `fn` may return a replacement for a node (no further
@@ -70,8 +84,10 @@ void CollectWrittenBuffers(const Stmt& s,
 std::int64_t ConstExtentOrThrow(const Stmt& loop, const char* what) {
   std::int64_t extent = 0;
   if (!IsConstInt(Simplify(loop->extent), &extent)) {
-    throw ScheduleError(std::string(what) + ": loop " + loop->var->name +
-                        " does not have a constant extent");
+    throw ScheduleError("CLF402",
+                        std::string(what) + ": loop " + loop->var->name +
+                            " does not have a constant extent",
+                        "", loop->var->name);
   }
   return extent;
 }
@@ -79,24 +95,39 @@ std::int64_t ConstExtentOrThrow(const Stmt& loop, const char* what) {
 void RequireZeroMin(const Stmt& loop, const char* what) {
   std::int64_t min = -1;
   if (!IsConstInt(Simplify(loop->min), &min) || min != 0) {
-    throw ScheduleError(std::string(what) + ": loop " + loop->var->name +
-                        " must start at 0");
+    throw ScheduleError("CLF402",
+                        std::string(what) + ": loop " + loop->var->name +
+                            " must start at 0",
+                        "", loop->var->name);
   }
 }
 
 }  // namespace
+
+ScopedPassVerifier::ScopedPassVerifier(PassVerifier verifier)
+    : verifier_(std::move(verifier)), prev_(g_pass_verifier) {
+  g_pass_verifier = &verifier_;
+}
+
+ScopedPassVerifier::~ScopedPassVerifier() { g_pass_verifier = prev_; }
+
+const PassVerifier* CurrentPassVerifier() { return g_pass_verifier; }
 
 Stmt FindLoop(const Stmt& root, const std::string& var_name) {
   Stmt found;
   VisitStmts(root, [&](const Stmt& s) {
     if (s->kind == StmtKind::kFor && s->var->name == var_name) {
       if (found) {
-        throw ScheduleError("loop variable " + var_name + " is not unique");
+        throw ScheduleError("CLF401",
+                            "loop variable " + var_name + " is not unique",
+                            "", var_name);
       }
       found = s;
     }
   });
-  if (!found) throw ScheduleError("no loop named " + var_name);
+  if (!found) {
+    throw ScheduleError("CLF401", "no loop named " + var_name, "", var_name);
+  }
   return found;
 }
 
@@ -111,13 +142,15 @@ Stmt SplitLoop(const Stmt& root, const std::string& var_name,
   RequireZeroMin(target, "SplitLoop");
   if (extent % factor != 0) {
     // The paper's schedules avoid epilogue loops entirely (SS4.11, req. 2).
-    throw ScheduleError("SplitLoop: extent " + std::to_string(extent) +
-                        " of " + var_name + " not divisible by factor " +
-                        std::to_string(factor));
+    throw ScheduleError("CLF403",
+                        "SplitLoop: extent " + std::to_string(extent) +
+                            " of " + var_name + " not divisible by factor " +
+                            std::to_string(factor),
+                        "", var_name, extent);
   }
   RecordPass("SplitLoop");
 
-  return RewriteStmt(root, [&](const Stmt& s) -> Stmt {
+  return Verified("SplitLoop", RewriteStmt(root, [&](const Stmt& s) -> Stmt {
     if (s != target) return nullptr;
     VarPtr outer = MakeVar(var_name + "_o");
     VarPtr inner = MakeVar(var_name + "_i");
@@ -129,7 +162,7 @@ Stmt SplitLoop(const Stmt& root, const std::string& var_name,
     if (vectorize_inner) inner_ann.unroll = -1;
     Stmt inner_loop = For(inner, IntImm(0), IntImm(factor), body, inner_ann);
     return For(outer, IntImm(0), IntImm(extent / factor), inner_loop);
-  });
+  }));
 }
 
 Stmt UnrollLoop(const Stmt& root, const std::string& var_name,
@@ -144,17 +177,19 @@ Stmt UnrollLoop(const Stmt& root, const std::string& var_name,
     // we enforce the same rule.
     const std::int64_t extent = ConstExtentOrThrow(target, "UnrollLoop");
     if (factor > 1 && extent % factor != 0) {
-      throw ScheduleError("UnrollLoop: factor does not divide extent of " +
-                          var_name);
+      throw ScheduleError("CLF403",
+                          "UnrollLoop: factor " + std::to_string(factor) +
+                              " does not divide extent of " + var_name,
+                          "", var_name, extent);
     }
   }
   RecordPass("UnrollLoop");
-  return RewriteStmt(root, [&](const Stmt& s) -> Stmt {
+  return Verified("UnrollLoop", RewriteStmt(root, [&](const Stmt& s) -> Stmt {
     if (s != target) return nullptr;
     auto copy = std::make_shared<StmtNode>(*s);
     copy->ann.unroll = factor == 1 ? 0 : factor;
     return copy;
-  });
+  }));
 }
 
 Stmt ExplicitUnroll(const Stmt& root, const std::string& var_name) {
@@ -166,15 +201,17 @@ Stmt ExplicitUnroll(const Stmt& root, const std::string& var_name) {
   CLFLOW_CHECK_MSG(extent <= 4096, "refusing to replicate a huge loop");
   RecordPass("ExplicitUnroll", static_cast<double>(extent));
 
-  return RewriteStmt(root, [&](const Stmt& s) -> Stmt {
-    if (s != target) return nullptr;
-    std::vector<Stmt> bodies;
-    bodies.reserve(static_cast<std::size_t>(extent));
-    for (std::int64_t i = 0; i < extent; ++i) {
-      bodies.push_back(SubstituteStmt(s->body, s->var, IntImm(i)));
-    }
-    return Block(std::move(bodies));
-  });
+  return Verified("ExplicitUnroll",
+                  RewriteStmt(root, [&](const Stmt& s) -> Stmt {
+                    if (s != target) return nullptr;
+                    std::vector<Stmt> bodies;
+                    bodies.reserve(static_cast<std::size_t>(extent));
+                    for (std::int64_t i = 0; i < extent; ++i) {
+                      bodies.push_back(
+                          SubstituteStmt(s->body, s->var, IntImm(i)));
+                    }
+                    return Block(std::move(bodies));
+                  }));
 }
 
 Stmt FuseAdjacentLoops(const Stmt& root, const std::string& first_var,
@@ -187,42 +224,65 @@ Stmt FuseAdjacentLoops(const Stmt& root, const std::string& first_var,
   const std::int64_t e1 = ConstExtentOrThrow(first, "FuseAdjacentLoops");
   const std::int64_t e2 = ConstExtentOrThrow(second, "FuseAdjacentLoops");
   if (e1 != e2) {
-    throw ScheduleError("FuseAdjacentLoops: extents differ (" +
-                        std::to_string(e1) + " vs " + std::to_string(e2) +
-                        ")");
+    throw ScheduleError("CLF405",
+                        "FuseAdjacentLoops: extents differ (" +
+                            std::to_string(e1) + " vs " + std::to_string(e2) +
+                            ")",
+                        "", first_var, e1);
   }
   RequireZeroMin(first, "FuseAdjacentLoops");
   RequireZeroMin(second, "FuseAdjacentLoops");
 
-  // Legality: for buffers written by loop1 and read by loop2, all accesses
-  // must be at the loop variable itself (element i -> element i), so
-  // iteration i of the fused body sees exactly what it saw before.
-  std::unordered_set<const BufferNode*> written, read;
-  CollectWrittenBuffers(first->body, written);
-  CollectReadBuffers(second->body, read);
-  for (const BufferNode* buf : read) {
-    if (written.find(buf) == written.end()) continue;
-    auto index_is_var = [](const std::vector<Expr>& idx, const VarPtr& v) {
-      return idx.size() == 1 && idx[0]->kind == ExprKind::kVar &&
-             idx[0]->var == v;
-    };
+  // Legality: fusion interleaves iteration i of loop2 between iterations i
+  // and i+1 of loop1, so it reorders loop1's iterations j > i against
+  // loop2's iteration i. Any buffer the two loops share with a write on
+  // EITHER side is a hazard -- RAW (write1/read2), WAR (read1/write2, loop2
+  // would clobber an element loop1 has yet to read), and WAW (write1/write2,
+  // fusion flips which store lands last). For such buffers every access in
+  // both bodies must be at the loop variable itself (element i -> element i),
+  // which makes the per-element dependence loop-independent and fusion exact.
+  std::unordered_set<const BufferNode*> read1, written1, read2, written2;
+  CollectReadBuffers(first->body, read1);
+  CollectWrittenBuffers(first->body, written1);
+  CollectReadBuffers(second->body, read2);
+  CollectWrittenBuffers(second->body, written2);
+  std::unordered_set<const BufferNode*> hazards;
+  for (const BufferNode* buf : written1) {
+    if (read2.count(buf) != 0 || written2.count(buf) != 0) {
+      hazards.insert(buf);  // RAW / WAW
+    }
+  }
+  for (const BufferNode* buf : written2) {
+    if (read1.count(buf) != 0) hazards.insert(buf);  // WAR
+  }
+  auto index_is_var = [](const std::vector<Expr>& idx, const VarPtr& v) {
+    return idx.size() == 1 && idx[0]->kind == ExprKind::kVar &&
+           idx[0]->var == v;
+  };
+  for (const BufferNode* buf : hazards) {
     bool ok = true;
-    VisitStmts(first->body, [&](const Stmt& s) {
-      if (s->kind == StmtKind::kStore && s->buffer.get() == buf &&
-          !index_is_var(s->indices, first->var)) {
-        ok = false;
-      }
-    });
-    VisitExprs(second->body, [&](const Expr& e) {
-      if (e->kind == ExprKind::kLoad && e->buffer.get() == buf &&
-          !index_is_var(e->indices, second->var)) {
-        ok = false;
-      }
-    });
+    auto check_body = [&](const Stmt& body, const VarPtr& v) {
+      VisitStmts(body, [&](const Stmt& s) {
+        if (s->kind == StmtKind::kStore && s->buffer.get() == buf &&
+            !index_is_var(s->indices, v)) {
+          ok = false;
+        }
+      });
+      VisitExprs(body, [&](const Expr& e) {
+        if (e->kind == ExprKind::kLoad && e->buffer.get() == buf &&
+            !index_is_var(e->indices, v)) {
+          ok = false;
+        }
+      });
+    };
+    check_body(first->body, first->var);
+    check_body(second->body, second->var);
     if (!ok) {
       throw ScheduleError(
-          "FuseAdjacentLoops: backward dependence through buffer " +
-          buf->name);
+          "CLF404",
+          "FuseAdjacentLoops: cross-iteration dependence through buffer " +
+              buf->name + " (accessed at indices other than the loop var)",
+          "", first_var, e1);
     }
   }
 
@@ -247,11 +307,13 @@ Stmt FuseAdjacentLoops(const Stmt& root, const std::string& first_var,
     return nullptr;
   });
   if (!fused) {
-    throw ScheduleError("FuseAdjacentLoops: loops " + first_var + " and " +
-                        second_var + " are not adjacent");
+    throw ScheduleError("CLF405",
+                        "FuseAdjacentLoops: loops " + first_var + " and " +
+                            second_var + " are not adjacent",
+                        "", first_var);
   }
   RecordPass("FuseAdjacentLoops", 2);
-  return result;
+  return Verified("FuseAdjacentLoops", std::move(result));
 }
 
 Stmt HoistInvariants(const Stmt& root, const std::string& var_name) {
@@ -259,7 +321,8 @@ Stmt HoistInvariants(const Stmt& root, const std::string& var_name) {
   span.Arg("var", var_name);
   const Stmt target = FindLoop(root, var_name);
   if (target->body->kind != StmtKind::kBlock) {
-    throw ScheduleError("HoistInvariants: loop body is not a block");
+    throw ScheduleError("CLF405", "HoistInvariants: loop body is not a block",
+                        "", var_name);
   }
 
   const auto& stmts = target->body->stmts;
@@ -283,11 +346,14 @@ Stmt HoistInvariants(const Stmt& root, const std::string& var_name) {
     if (conflict) break;
   }
   if (hoist_count == 0) {
-    throw ScheduleError("HoistInvariants: nothing hoistable from " + var_name);
+    throw ScheduleError("CLF405",
+                        "HoistInvariants: nothing hoistable from " + var_name,
+                        "", var_name);
   }
   RecordPass("HoistInvariants", static_cast<double>(hoist_count));
 
-  return RewriteStmt(root, [&](const Stmt& s) -> Stmt {
+  return Verified("HoistInvariants",
+                  RewriteStmt(root, [&](const Stmt& s) -> Stmt {
     if (s != target) return nullptr;
     std::vector<Stmt> hoisted(stmts.begin(),
                               stmts.begin() + static_cast<std::ptrdiff_t>(
@@ -299,7 +365,7 @@ Stmt HoistInvariants(const Stmt& root, const std::string& var_name) {
     hoisted.push_back(
         For(s->var, s->min, s->extent, Block(std::move(remaining)), s->ann));
     return Block(std::move(hoisted));
-  });
+  }));
 }
 
 void CacheWrite(Kernel& kernel, const std::string& buffer_name) {
@@ -309,8 +375,10 @@ void CacheWrite(Kernel& kernel, const std::string& buffer_name) {
       kernel.buffer_args.begin(), kernel.buffer_args.end(),
       [&](const BufferPtr& b) { return b->name == buffer_name; });
   if (it == kernel.buffer_args.end()) {
-    throw ScheduleError("CacheWrite: no global buffer named " + buffer_name +
-                        " in kernel " + kernel.name);
+    throw ScheduleError("CLF401",
+                        "CacheWrite: no global buffer named " + buffer_name +
+                            " in kernel " + kernel.name,
+                        kernel.name);
   }
   BufferPtr buf = *it;
   // The result must still reach global memory through some other buffer.
@@ -323,14 +391,17 @@ void CacheWrite(Kernel& kernel, const std::string& buffer_name) {
     if (s->kind == StmtKind::kWriteChannel) escapes = true;
   });
   if (!escapes) {
-    throw ScheduleError("CacheWrite: " + buffer_name +
-                        " is the only output of kernel " + kernel.name);
+    throw ScheduleError("CLF406",
+                        "CacheWrite: " + buffer_name +
+                            " is the only output of kernel " + kernel.name,
+                        kernel.name);
   }
   RecordPass("CacheWrite");
   kernel.buffer_args.erase(it);
   buf->scope = MemScope::kPrivate;
   buf->is_arg = false;
   kernel.local_buffers.push_back(buf);
+  VerifyKernelBody("CacheWrite", kernel);
 }
 
 void PinStrideVars(Kernel& kernel, const std::vector<std::string>& vars) {
@@ -342,8 +413,10 @@ void PinStrideVars(Kernel& kernel, const std::vector<std::string>& vars) {
         kernel.scalar_args.begin(), kernel.scalar_args.end(),
         [&](const VarPtr& v) { return v->name == name; });
     if (it == kernel.scalar_args.end()) {
-      throw ScheduleError("PinStrideVars: kernel " + kernel.name +
-                          " has no scalar argument " + name);
+      throw ScheduleError("CLF401",
+                          "PinStrideVars: kernel " + kernel.name +
+                              " has no scalar argument " + name,
+                          kernel.name, name);
     }
     kernel.body = SubstituteStmt(kernel.body, *it, IntImm(1));
     for (auto& b : kernel.buffer_args) {
@@ -353,6 +426,7 @@ void PinStrideVars(Kernel& kernel, const std::vector<std::string>& vars) {
     kernel.scalar_args.erase(it);
   }
   kernel.body = SimplifyStmt(kernel.body);
+  VerifyKernelBody("PinStrideVars", kernel);
 }
 
 Stmt ReorderLoops(const Stmt& root, const std::string& outer_var,
@@ -363,24 +437,28 @@ Stmt ReorderLoops(const Stmt& root, const std::string& outer_var,
   const Stmt outer = FindLoop(root, outer_var);
   if (outer->body->kind != StmtKind::kFor ||
       outer->body->var->name != inner_var) {
-    throw ScheduleError("ReorderLoops: " + inner_var +
-                        " is not perfectly nested directly inside " +
-                        outer_var);
+    throw ScheduleError("CLF405",
+                        "ReorderLoops: " + inner_var +
+                            " is not perfectly nested directly inside " +
+                            outer_var,
+                        "", inner_var);
   }
   const Stmt inner = outer->body;
   // Bounds of the inner loop must not depend on the outer variable
   // (non-rectangular nests cannot be interchanged this way).
   if (UsesVar(inner->min, outer->var) || UsesVar(inner->extent, outer->var)) {
-    throw ScheduleError("ReorderLoops: inner bounds depend on " + outer_var);
+    throw ScheduleError("CLF405",
+                        "ReorderLoops: inner bounds depend on " + outer_var,
+                        "", outer_var);
   }
   RecordPass("ReorderLoops", 2);
-  return RewriteStmt(root, [&](const Stmt& s) -> Stmt {
+  return Verified("ReorderLoops", RewriteStmt(root, [&](const Stmt& s) -> Stmt {
     if (s != outer) return nullptr;
     Stmt new_inner =
         For(outer->var, outer->min, outer->extent, inner->body, outer->ann);
     return For(inner->var, inner->min, inner->extent, std::move(new_inner),
                inner->ann);
-  });
+  }));
 }
 
 void CacheRead(Kernel& kernel, const std::string& buffer_name,
@@ -394,14 +472,18 @@ void CacheRead(Kernel& kernel, const std::string& buffer_name,
       kernel.buffer_args.begin(), kernel.buffer_args.end(),
       [&](const BufferPtr& b) { return b->name == buffer_name; });
   if (it == kernel.buffer_args.end()) {
-    throw ScheduleError("CacheRead: no global buffer named " + buffer_name +
-                        " in kernel " + kernel.name);
+    throw ScheduleError("CLF401",
+                        "CacheRead: no global buffer named " + buffer_name +
+                            " in kernel " + kernel.name,
+                        kernel.name);
   }
   BufferPtr src = *it;
   for (const auto& d : src->shape) {
     if (!IsConstInt(Simplify(d))) {
-      throw ScheduleError("CacheRead: " + buffer_name +
-                          " has a symbolic shape; cannot size the cache");
+      throw ScheduleError("CLF406",
+                          "CacheRead: " + buffer_name +
+                              " has a symbolic shape; cannot size the cache",
+                          kernel.name);
     }
   }
   bool written = false;
@@ -409,8 +491,10 @@ void CacheRead(Kernel& kernel, const std::string& buffer_name,
     if (s->kind == StmtKind::kStore && s->buffer == src) written = true;
   });
   if (written) {
-    throw ScheduleError("CacheRead: " + buffer_name +
-                        " is written by the kernel");
+    throw ScheduleError("CLF406",
+                        "CacheRead: " + buffer_name +
+                            " is written by the kernel",
+                        kernel.name);
   }
 
   RecordPass("CacheRead");
@@ -472,6 +556,7 @@ void CacheRead(Kernel& kernel, const std::string& buffer_name,
     return copy;
   };
   kernel.body = Block({std::move(fill), rewrite(kernel.body)});
+  VerifyKernelBody("CacheRead", kernel);
 }
 
 Stmt SimplifyStmt(const Stmt& root) {

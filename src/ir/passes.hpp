@@ -16,11 +16,36 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "ir/stmt.hpp"
 
 namespace clflow::ir {
+
+/// Verification hook invoked after every successful schedule primitive
+/// with the rewritten tree and the primitive's name. The compile gate
+/// (core::Deployment::Compile) installs one that runs the IR verifier, so
+/// a pass composition that breaks the tree aborts at the pass that broke
+/// it. Thread-local; passes run unverified when none is installed.
+using PassVerifier =
+    std::function<void(const Stmt& result, const char* pass)>;
+
+class ScopedPassVerifier {
+ public:
+  explicit ScopedPassVerifier(PassVerifier verifier);
+  ScopedPassVerifier(const ScopedPassVerifier&) = delete;
+  ScopedPassVerifier& operator=(const ScopedPassVerifier&) = delete;
+  ~ScopedPassVerifier();
+
+ private:
+  PassVerifier verifier_;
+  PassVerifier* prev_ = nullptr;
+};
+
+/// The hook schedule primitives report to on this thread (innermost
+/// ScopedPassVerifier), or null.
+[[nodiscard]] const PassVerifier* CurrentPassVerifier();
 
 /// Finds the (unique) For statement binding `var_name` in the tree;
 /// throws ScheduleError if absent.
@@ -50,9 +75,10 @@ namespace clflow::ir {
 
 /// Fuses two adjacent loops (children of the same Block) with identical
 /// constant extents into one loop running both bodies. Legality check is
-/// conservative: the second body must not read any buffer element the first
-/// body writes at a *different* iteration (we require all shared-buffer
-/// accesses to use the loop variable with identical index expressions).
+/// conservative: any buffer touched by both loops with a write on either
+/// side (RAW, WAR, and WAW pairings) must be accessed only at the loop
+/// variable itself, so iteration i of the fused body reads and writes
+/// exactly what it did before fusion.
 [[nodiscard]] Stmt FuseAdjacentLoops(const Stmt& root,
                                      const std::string& first_var,
                                      const std::string& second_var);

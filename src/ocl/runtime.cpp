@@ -1,7 +1,12 @@
 #include "ocl/runtime.hpp"
 
 #include <algorithm>
+#include <string>
 
+// Header-only code table: the runtime names the same CLF codes as the
+// static dataflow checker so a dynamic failure points back at the
+// compile-time check that should have caught it (and usually does).
+#include "analysis/codes.hpp"
 #include "common/error.hpp"
 
 namespace clflow::ocl {
@@ -92,7 +97,8 @@ SimTime Runtime::KernelReady(const KernelLaunch& launch, SimTime base) {
     auto it = channel_ready_.find(chan);
     if (it == channel_ready_.end()) {
       throw RuntimeApiError(
-          "kernel " + launch.name + " reads channel " + chan +
+          std::string(analysis::kChannelNoWriter.id) + ": kernel " +
+          launch.name + " reads channel " + chan +
           " with no enqueued producer: this deadlocks on hardware");
     }
     if (it->second > base) channel_stall_[chan] += it->second - base;
@@ -137,7 +143,12 @@ void Runtime::RecordKernel(const KernelLaunch& launch, int queue,
   }
   for (const auto& chan : launch.writes_channels) {
     channel_ready_[chan] = end;
-    ++channel_writers_[chan];
+    if (++channel_writers_[chan] > 1) {
+      throw RuntimeApiError(
+          std::string(analysis::kChannelEndpoints.id) + ": channel " + chan +
+          " written by more than one kernel in a batch (last: " +
+          launch.name + "); Intel channels are strictly point-to-point");
+    }
   }
   clock_ = std::max(clock_, end);
   KernelUsage& usage = kernel_usage_[launch.name];

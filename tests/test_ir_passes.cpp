@@ -201,6 +201,50 @@ TEST(FuseAdjacentLoops, RejectsBackwardDependence) {
                ScheduleError);
 }
 
+TEST(FuseAdjacentLoops, RejectsWarHazard) {
+  // b[i] = a[i] * b[0];  b[j] = c[j] -- loop 1 reads b[0] on every
+  // iteration, loop 2 overwrites it on its first. Fused, iteration 1 of
+  // loop 1 would read the value loop 2's iteration 0 just wrote
+  // (write-after-read violated); fusion must refuse.
+  auto a = MakeBuffer("a", {IntImm(8)}, MemScope::kGlobal, true);
+  auto b = MakeBuffer("b", {IntImm(8)}, MemScope::kGlobal, true);
+  auto c = MakeBuffer("c", {IntImm(8)}, MemScope::kGlobal, true);
+  auto i = MakeVar("i");
+  auto j = MakeVar("j");
+  Stmt l1 = For(i, IntImm(0), IntImm(8),
+                Store(a, {VarRef(i)},
+                      Mul(Load(a, {VarRef(i)}), Load(b, {IntImm(0)}))));
+  Stmt l2 = For(j, IntImm(0), IntImm(8),
+                Store(b, {VarRef(j)}, Load(c, {VarRef(j)})));
+  try {
+    (void)FuseAdjacentLoops(Block({l1, l2}), "i", "j");
+    FAIL() << "expected ScheduleError";
+  } catch (const ScheduleError& e) {
+    EXPECT_EQ(e.code(), "CLF404");
+    EXPECT_EQ(e.loop(), "i");
+  }
+}
+
+TEST(FuseAdjacentLoops, RejectsWawHazard) {
+  // a[0] = c[i];  a[j] = 0 -- after the sequential loops a[0] is 0, but
+  // fused, iteration 7 of loop 1 writes a[0] after loop 2's iteration 0
+  // cleared it (write-after-write violated); fusion must refuse.
+  auto a = MakeBuffer("a", {IntImm(8)}, MemScope::kGlobal, true);
+  auto c = MakeBuffer("c", {IntImm(8)}, MemScope::kGlobal, true);
+  auto i = MakeVar("i");
+  auto j = MakeVar("j");
+  Stmt l1 = For(i, IntImm(0), IntImm(8),
+                Store(a, {IntImm(0)}, Load(c, {VarRef(i)})));
+  Stmt l2 = For(j, IntImm(0), IntImm(8),
+                Store(a, {VarRef(j)}, FloatImm(0)));
+  try {
+    (void)FuseAdjacentLoops(Block({l1, l2}), "i", "j");
+    FAIL() << "expected ScheduleError";
+  } catch (const ScheduleError& e) {
+    EXPECT_EQ(e.code(), "CLF404");
+  }
+}
+
 TEST(FuseAdjacentLoops, RejectsMismatchedExtents) {
   auto b = MakeBuffer("b", {IntImm(8)}, MemScope::kGlobal, true);
   auto i = MakeVar("i");

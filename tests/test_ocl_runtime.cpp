@@ -2,6 +2,9 @@
 // autorun, concurrent execution, profiling, and the functional layer.
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "analysis/dataflow_checker.hpp"
 #include "common/error.hpp"
 #include "ir/op_kernels.hpp"
 #include "ocl/runtime.hpp"
@@ -113,6 +116,71 @@ TEST(Runtime, ChannelWithoutProducerThrows) {
                                     .reads_channels = {"nope"},
                                     .writes_channels = {}}),
                RuntimeApiError);
+}
+
+TEST(Runtime, ChannelWithoutProducerNamesTheStaticCode) {
+  // The dynamic failure cites the same CLF code the static dataflow
+  // checker uses, and the static checker fires on the equivalent plan
+  // before any runtime exists (regression for the static-fires-first
+  // contract).
+  TestDesign d = MakeDesign(1, fpga::Stratix10SX());
+  Runtime rt(d.bitstream);
+  try {
+    rt.EnqueueKernel(0, {.name = "k0",
+                         .stats = FixedCycles(10),
+                         .functional = {},
+                         .reads_channels = {"nope"},
+                         .writes_channels = {}});
+    FAIL() << "expected RuntimeApiError";
+  } catch (const RuntimeApiError& e) {
+    EXPECT_NE(std::string(e.what()).find("CLF201"), std::string::npos)
+        << e.what();
+  }
+
+  analysis::Plan plan;
+  analysis::PlanStep step;
+  step.kernel = "k0";
+  step.reads = {"nope"};
+  plan.steps.push_back(std::move(step));
+  analysis::DiagnosticEngine engine;
+  EXPECT_GT(analysis::CheckDataflow(plan, engine), 0);
+  ASSERT_FALSE(engine.ByCode("CLF201").empty());
+  EXPECT_EQ(engine.ByCode("CLF201")[0].severity, analysis::Severity::kError);
+}
+
+TEST(Runtime, SecondWriterOnChannelThrowsClf202) {
+  // Intel channels are point-to-point; a second producer in one batch is
+  // a CLF202 both statically and at (simulated) execution time.
+  TestDesign d = MakeDesign(2, fpga::Stratix10SX());
+  Runtime rt(d.bitstream);
+  rt.EnqueueKernel(0, {.name = "k0", .stats = FixedCycles(10),
+                       .functional = {}, .reads_channels = {},
+                       .writes_channels = {"ch"}});
+  try {
+    rt.EnqueueKernel(0, {.name = "k1", .stats = FixedCycles(10),
+                         .functional = {}, .reads_channels = {},
+                         .writes_channels = {"ch"}});
+    FAIL() << "expected RuntimeApiError";
+  } catch (const RuntimeApiError& e) {
+    EXPECT_NE(std::string(e.what()).find("CLF202"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Runtime, ChannelWriterTrackingResetsPerBatch) {
+  // One writer per batch is legal across any number of batches.
+  TestDesign d = MakeDesign(2, fpga::Stratix10SX());
+  Runtime rt(d.bitstream);
+  for (int batch = 0; batch < 2; ++batch) {
+    rt.EnqueueKernel(0, {.name = "k0", .stats = FixedCycles(10),
+                         .functional = {}, .reads_channels = {},
+                         .writes_channels = {"ch"}});
+    rt.EnqueueKernel(0, {.name = "k1", .stats = FixedCycles(10),
+                         .functional = {}, .reads_channels = {"ch"},
+                         .writes_channels = {}});
+    rt.Finish();
+  }
+  EXPECT_EQ(rt.kernel_usage().at("k0").invocations, 2);
 }
 
 TEST(Runtime, AutorunSkipsDispatchOverhead) {
