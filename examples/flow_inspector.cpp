@@ -18,14 +18,29 @@
 // bogus channel read into the launch plan to demonstrate the checker
 // rejecting statically what previously only failed at runtime.
 //
+// With --inject-fault SPEC (repeatable; see resilience/fault.hpp for the
+// spec grammar, e.g. xfer-fail:write:0:2 or hang:k_conv1) it runs one
+// functional image under a deterministic fault plan (--fault-seed N, 17
+// by default), checks the recovered output bit-exactly against the graph
+// oracle, and prints the injected-fault log plus the runtime's recovery
+// counters; unrecovered faults print the structured CLF5xx error and exit
+// nonzero. With --fallback the compile goes through
+// core::CompileWithFallback and prints the degradation ladder;
+// --over-tile first inflates the 1x1 tiling to a config known to fail
+// routing on s10sx, demonstrating the recovery.
+//
 // usage: example_flow_inspector [lenet|mobilenet|resnet18|resnet34]
 //                               [a10|s10sx|s10mx] [pipelined|folded]
 //                               [outdir] [--report] [--trace-out FILE]
 //                               [--lint] [--lint-promote CODE]
 //                               [--lint-demote CODE] [--break-channel]
+//                               [--inject-fault SPEC] [--fault-seed N]
+//                               [--fallback] [--over-tile]
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -34,12 +49,14 @@
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "core/dse.hpp"
+#include "core/fallback.hpp"
 #include "core/host_codegen.hpp"
 #include "fpga/report.hpp"
 #include "nets/nets.hpp"
 #include "obs/json.hpp"
 #include "ocl/trace.hpp"
 #include "perfmodel/reference.hpp"
+#include "resilience/fault.hpp"
 
 namespace {
 
@@ -80,12 +97,32 @@ int main(int argc, char** argv) {
   bool report = false;
   bool lint = false;
   bool break_channel = false;
+  bool use_fallback = false;
+  bool over_tile = false;
+  std::vector<std::string> fault_specs;
+  std::uint64_t fault_seed = 17;
   std::vector<std::pair<std::string, analysis::Severity>> overrides;
   std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--report") {
       report = true;
+    } else if (arg == "--fallback") {
+      use_fallback = true;
+    } else if (arg == "--over-tile") {
+      over_tile = true;
+    } else if (arg == "--inject-fault") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--inject-fault requires a spec argument\n");
+        return 1;
+      }
+      fault_specs.emplace_back(argv[++i]);
+    } else if (arg == "--fault-seed") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--fault-seed requires an integer argument\n");
+        return 1;
+      }
+      fault_seed = std::stoull(argv[++i]);
     } else if (arg == "--lint") {
       lint = true;
     } else if (arg == "--break-channel") {
@@ -151,6 +188,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (over_tile) {
+    // The Table 6.6 sweep's known routing casualty on Stratix 10 SX:
+    // C1/W2/C2 = 8/7/16 synthesizes but fails to route. With --fallback
+    // the ladder walks it back to a routable configuration.
+    opts.recipe.conv1x1 = core::ConvTiling{8, 7, 16, true};
+    opts.recipe.name += "+overtile";
+  }
+
   for (const auto& [code, severity] : overrides) {
     opts.analysis.severity_overrides[code] = severity;
   }
@@ -158,11 +203,30 @@ int main(int argc, char** argv) {
   std::printf("compiling %s for %s (%s)...\n", net.name().c_str(),
               opts.board.name.c_str(), pipelined ? "pipelined" : "folded");
   std::optional<core::Deployment> compiled;
-  try {
-    compiled = core::Deployment::Compile(net, opts);
-  } catch (const VerifyError& e) {
-    std::fprintf(stderr, "static analysis failed:\n%s", e.what());
-    return 1;
+  if (use_fallback) {
+    core::FallbackResult fb = core::CompileWithFallback(net, opts);
+    std::printf("\n--- fallback ladder (%zu attempt(s)) ---\n",
+                fb.attempts.size());
+    for (const auto& a : fb.attempts) {
+      std::printf("%s\n", a.ToString().c_str());
+    }
+    if (!fb.ok()) {
+      std::fprintf(stderr,
+                   "fallback: ladder exhausted without a synthesizable "
+                   "design\n");
+      return 1;
+    }
+    if (fb.recovered()) {
+      std::printf("recovered after %zu attempts\n", fb.attempts.size());
+    }
+    compiled.emplace(std::move(*fb.deployment));
+  } else {
+    try {
+      compiled = core::Deployment::Compile(net, opts);
+    } catch (const VerifyError& e) {
+      std::fprintf(stderr, "static analysis failed:\n%s", e.what());
+      return 1;
+    }
   }
   core::Deployment& d = *compiled;
 
@@ -209,11 +273,69 @@ int main(int argc, char** argv) {
               d.bitstream().fmax_mhz, d.kernels().size(),
               d.invocations().size());
 
+  const Shape& in_shape = net.node(net.input_id()).output_shape;
+  Tensor image = Tensor::Random(in_shape, rng, 0.0f, 1.0f);
+
+  if (!fault_specs.empty()) {
+    resilience::FaultPlan plan;
+    plan.seed = fault_seed;
+    try {
+      for (const auto& spec : fault_specs) {
+        plan.specs.push_back(resilience::ParseFaultSpec(spec));
+      }
+    } catch (const Error& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    auto injector = std::make_shared<resilience::FaultInjector>(plan);
+    auto& rt = d.runtime();
+    rt.set_fault_injector(injector);
+    std::printf("\n--- fault injection (seed %llu, %zu spec(s)) ---\n",
+                static_cast<unsigned long long>(fault_seed),
+                plan.specs.size());
+    int fault_rc = 0;
+    try {
+      const auto faulted = d.Run(image, /*functional=*/true);
+      const Tensor expected = graph::Execute(d.fused_graph(), image, 1);
+      const Tensor got = faulted.output.Reshaped(expected.shape());
+      const auto g_span = got.data();
+      const auto e_span = expected.data();
+      const bool exact =
+          std::equal(g_span.begin(), g_span.end(), e_span.begin());
+      std::printf("recovered run: latency %.1f us, output %s the oracle\n",
+                  faulted.latency.us(),
+                  exact ? "bit-exactly matches" : "DIVERGES from");
+      if (!exact) fault_rc = 2;
+    } catch (const RuntimeFaultError& e) {
+      std::fprintf(stderr,
+                   "unrecovered runtime fault: %s\n  code=%s kernel=%s "
+                   "channel=%s attempts=%d\n  %s\n",
+                   e.what(), e.code().c_str(), e.kernel().c_str(),
+                   e.channel().c_str(), e.attempts(),
+                   e.queue_snapshot().c_str());
+      fault_rc = 2;
+    }
+    for (const auto& f : injector->injected()) {
+      std::printf("injected: %s\n", f.ToString().c_str());
+    }
+    std::printf(
+        "recovery: %lld transfer retries, %lld kernel reruns, %lld "
+        "reprograms, %.1f us backoff\n",
+        static_cast<long long>(rt.xfer_retries()),
+        static_cast<long long>(rt.kernel_reruns()),
+        static_cast<long long>(rt.reprograms()), rt.backoff_time().us());
+    if (!d.diagnostics().diagnostics().empty()) {
+      d.diagnostics().SummaryTable().Print();
+    }
+    // Detach so the report/trace runs below are fault-free; the faulted
+    // run's events stay in the trace.
+    rt.set_fault_injector(nullptr);
+    if (fault_rc != 0) return fault_rc;
+  }
+
   if (!report && trace_out.empty()) return 0;
 
   // One timing-only image drives the runtime-side metrics and the trace.
-  const Shape& in_shape = net.node(net.input_id()).output_shape;
-  Tensor image = Tensor::Random(in_shape, rng, 0.0f, 1.0f);
   const auto run = d.Run(image, /*functional=*/false);
   const double fps = 1.0 / run.latency.seconds();
 

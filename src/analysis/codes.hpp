@@ -8,6 +8,8 @@
 //   CLF2xx  dataflow checker: channel graph / queue hazards of a plan
 //   CLF3xx  perf lints: the paper's performance diagnoses (warnings)
 //   CLF4xx  schedule primitives: illegal applications (ScheduleError)
+//   CLF5xx  runtime faults: dynamic failures detected (or recovered) by
+//           the hardened ocl::Runtime (RuntimeFaultError)
 //
 // This header is intentionally free of dependencies (and of a .cpp) so
 // that any layer -- including ocl::Runtime, which must name the same code
@@ -145,6 +147,39 @@ inline constexpr CodeInfo kScheduleCacheMisuse{
     "CacheWrite needs another escaping output; CacheRead needs a constant-"
     "shape read-only buffer"};
 
+// --- Runtime faults ---------------------------------------------------------
+inline constexpr CodeInfo kRuntimeUnknownKernel{
+    "CLF501", Severity::kError,
+    "kernel not present in the programmed bitstream", "SS5.2",
+    "reprogram the device with a bitstream containing the kernel, or fix "
+    "the launch name"};
+inline constexpr CodeInfo kRuntimeChannelDeadlock{
+    "CLF502", Severity::kError,
+    "runtime watchdog: channel writer never arrived", "SS4.6",
+    "the producing kernel hung or was never enqueued; inspect the queue "
+    "snapshot and the stalled channel, then re-run with the producer fixed"};
+inline constexpr CodeInfo kRuntimeTransferFailed{
+    "CLF503", Severity::kError,
+    "host<->device transfer failed after bounded retries", "App. A",
+    "raise RetryPolicy::max_attempts or investigate the link; every "
+    "attempt and backoff is visible in the event trace"};
+inline constexpr CodeInfo kRuntimeKernelCorrupt{
+    "CLF504", Severity::kError,
+    "kernel output checksum mismatch persisted across reruns", "SS4.5",
+    "more consecutive corruptions than RetryPolicy::max_attempts; check "
+    "the design's timing margin (fmax droop) before raising the bound"};
+inline constexpr CodeInfo kRuntimeDeviceLost{
+    "CLF505", Severity::kWarning,
+    "device reset recovered by reprogramming", "SS6.2",
+    "the runtime reprogrammed the device and re-dispatched; the reprogram "
+    "time is charged to the batch (ocl.resilience.reprograms)"};
+inline constexpr CodeInfo kRuntimeChannelProtocol{
+    "CLF506", Severity::kError,
+    "dynamic channel-protocol violation", "SS4.6",
+    "the launch stream violated the point-to-point channel contract the "
+    "static dataflow checker enforces (see the CLF2xx code in the "
+    "message); run the compile-time gate"};
+
 /// All registered codes, in documentation order.
 inline constexpr const CodeInfo* kAllCodes[] = {
     &kUndefinedVar,     &kOutOfBounds,      &kUnrollDependence,
@@ -155,6 +190,8 @@ inline constexpr const CodeInfo* kAllCodes[] = {
     &kMissedAutorun,    &kScheduleTargetMissing, &kScheduleBadBound,
     &kScheduleNonDivisible, &kScheduleFusionDependence, &kScheduleStructure,
     &kScheduleCacheMisuse,
+    &kRuntimeUnknownKernel, &kRuntimeChannelDeadlock, &kRuntimeTransferFailed,
+    &kRuntimeKernelCorrupt, &kRuntimeDeviceLost, &kRuntimeChannelProtocol,
 };
 
 /// Looks up a code by its "CLFxxx" id; nullptr when unknown.

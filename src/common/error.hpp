@@ -82,6 +82,45 @@ class RuntimeApiError : public Error {
   explicit RuntimeApiError(const std::string& what) : Error(what) {}
 };
 
+/// A structured runtime failure: a CLF5xx code plus the kernel/channel it
+/// points at, a rendered queue-state snapshot taken when the fault was
+/// detected, and the number of recovery attempts spent before giving up.
+/// Derives from RuntimeApiError so callers that only distinguish
+/// "runtime misuse" keep working; the diagnostics layer
+/// (Deployment::Run) re-renders these uniformly with compile-time
+/// findings.
+class RuntimeFaultError : public RuntimeApiError {
+ public:
+  RuntimeFaultError(std::string code, const std::string& what,
+                    std::string kernel = "", std::string channel = "",
+                    std::string queue_snapshot = "", int attempts = 0)
+      : RuntimeApiError(code + ": " + what),
+        code_(std::move(code)),
+        kernel_(std::move(kernel)),
+        channel_(std::move(channel)),
+        queue_snapshot_(std::move(queue_snapshot)),
+        attempts_(attempts) {}
+
+  /// The "CLF5xx" diagnostic code classifying this fault.
+  [[nodiscard]] const std::string& code() const { return code_; }
+  [[nodiscard]] const std::string& kernel() const { return kernel_; }
+  /// The stalled/violated channel ("" when not channel-related).
+  [[nodiscard]] const std::string& channel() const { return channel_; }
+  /// Human-readable per-queue state at detection time.
+  [[nodiscard]] const std::string& queue_snapshot() const {
+    return queue_snapshot_;
+  }
+  /// Recovery attempts consumed before the fault was declared fatal.
+  [[nodiscard]] int attempts() const { return attempts_; }
+
+ private:
+  std::string code_;
+  std::string kernel_;
+  std::string channel_;
+  std::string queue_snapshot_;
+  int attempts_ = 0;
+};
+
 namespace detail {
 [[noreturn]] void ThrowCheckFailure(const char* file, int line,
                                     const char* expr, const std::string& msg);

@@ -763,28 +763,56 @@ RunResult Deployment::Run(const Tensor& input, bool functional) {
     acts_[fused_.input_id()] = input;
   }
 
-  runtime_->EnqueueWrite(0, input_buffer_, input.data(), "write_input");
-  int last_queue = 0;
-  for (std::size_t i = 0; i < invocations_.size(); ++i) {
-    const auto& inv = invocations_[i];
-    ocl::KernelLaunch launch = MakeLaunch(inv, functional);
-    if (inv.autorun) {
-      runtime_->RunAutorun(std::move(launch));
-    } else {
-      const int q = invocation_queues_[i];
-      runtime_->EnqueueKernel(q, std::move(launch));
-      last_queue = q;
-    }
-  }
-
+  const std::int64_t reprograms_before = runtime_->reprograms();
   RunResult result;
-  const std::int64_t out_elems =
-      fused_.node(fused_.output_id()).output_shape.NumElements();
-  result.output = Tensor(Shape{out_elems});
-  runtime_->EnqueueRead(last_queue, output_buffer_, result.output.data(),
-                        "read_output");
-  if (!functional) result.output = Tensor();
-  result.latency = runtime_->Finish();
+  try {
+    runtime_->EnqueueWrite(0, input_buffer_, input.data(), "write_input");
+    int last_queue = 0;
+    for (std::size_t i = 0; i < invocations_.size(); ++i) {
+      const auto& inv = invocations_[i];
+      ocl::KernelLaunch launch = MakeLaunch(inv, functional);
+      if (inv.autorun) {
+        runtime_->RunAutorun(std::move(launch));
+      } else {
+        const int q = invocation_queues_[i];
+        runtime_->EnqueueKernel(q, std::move(launch));
+        last_queue = q;
+      }
+    }
+
+    const std::int64_t out_elems =
+        fused_.node(fused_.output_id()).output_shape.NumElements();
+    result.output = Tensor(Shape{out_elems});
+    runtime_->EnqueueRead(last_queue, output_buffer_, result.output.data(),
+                          "read_output");
+    if (!functional) result.output = Tensor();
+    result.latency = runtime_->Finish();
+  } catch (const RuntimeFaultError& e) {
+    // Surface the fault through the same diagnostics channel as the
+    // compile-time checks before rethrowing, so tooling that renders
+    // diagnostics() shows runtime faults next to static findings.
+    if (const analysis::CodeInfo* info = analysis::FindCode(e.code())) {
+      analysis::DiagLocation loc;
+      loc.kernel = e.kernel();
+      loc.buffer = e.channel();
+      diags_->Report(analysis::Diagnostic::Make(
+          *info, std::move(loc),
+          e.what() + (e.queue_snapshot().empty()
+                          ? std::string()
+                          : " [" + e.queue_snapshot() + "]")));
+    }
+    throw;
+  }
+  if (runtime_->reprograms() > reprograms_before) {
+    // The run survived a device loss: record the recovery as a warning.
+    diags_->Report(analysis::Diagnostic::Make(
+        analysis::kRuntimeDeviceLost, {},
+        "device reset during Run(): recovered by " +
+            std::to_string(runtime_->reprograms() - reprograms_before) +
+            " reprogram(s) costing " +
+            std::to_string(runtime_->retry_policy().reprogram_cost.us()) +
+            " us each"));
+  }
   return result;
 }
 

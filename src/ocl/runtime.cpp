@@ -1,11 +1,15 @@
 #include "ocl/runtime.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <sstream>
 #include <string>
+#include <utility>
 
 // Header-only code table: the runtime names the same CLF codes as the
 // static dataflow checker so a dynamic failure points back at the
-// compile-time check that should have caught it (and usually does).
+// compile-time check that should have caught it (and usually does);
+// genuinely runtime-only faults carry their own CLF5xx codes.
 #include "analysis/codes.hpp"
 #include "common/error.hpp"
 
@@ -14,6 +18,15 @@ namespace clflow::ocl {
 namespace {
 /// Host cost of issuing one (non-blocking) clEnqueue* call.
 constexpr SimTime kEnqueueCost = SimTime::Us(3.0);
+
+/// XORs `mask` into the bit pattern of one float (simulated DMA bit flip).
+float FlipBits(float value, std::uint32_t mask) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  bits ^= mask;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
 }  // namespace
 
 Buffer::Buffer(std::int64_t num_floats)
@@ -41,65 +54,145 @@ int Runtime::CreateQueue() {
 
 int Runtime::num_queues() const { return static_cast<int>(queues_.size()); }
 
-void Runtime::EnqueueWrite(int queue, const BufferPtr& buffer,
-                           std::span<const float> src, std::string label) {
-  CLFLOW_CHECK(queue >= 0 && queue < num_queues());
-  CLFLOW_CHECK_MSG(src.size() <= buffer->view().size(),
-                   "write larger than buffer");
-  // Functional: copy now.
-  std::copy(src.begin(), src.end(), buffer->view().begin());
+std::string Runtime::QueueSnapshot() const {
+  std::ostringstream os;
+  for (int i = 0; i < num_queues(); ++i) {
+    const QueueState& q = queues_[static_cast<std::size_t>(i)];
+    os << "q" << i << "{last_end=" << q.last_end.us()
+       << "us busy=" << q.busy.us() << "us idle=" << q.idle.us() << "us} ";
+  }
+  os << "clock=" << clock_.us() << "us host=" << host_time_.us() << "us";
+  return os.str();
+}
 
+// The shared transfer path: one in-order-queue DMA with bounded retry.
+// Every attempt (failed or not) charges real transfer time and traffic;
+// failed attempts additionally charge exponential backoff as queue idle
+// and appear in the event stream (and hence the Chrome trace) with a
+// "[fail#n]" / "[corrupt#n]" label suffix. A corrupted attempt really
+// flips bits in the destination -- the simulated checksum verify is what
+// detects the mismatch and re-issues the DMA -- so an exhausted retry
+// budget leaves observable corruption behind the thrown fault.
+void Runtime::EnqueueTransfer(int queue, bool is_write,
+                              std::int64_t num_floats, std::string label,
+                              const std::function<void()>& copy,
+                              std::span<float> dest) {
+  CLFLOW_CHECK(queue >= 0 && queue < num_queues());
   host_time_ += kEnqueueCost;
   QueueState& q = queues_[static_cast<std::size_t>(queue)];
   const SimTime ready = std::max(host_time_, q.last_end);
-  const std::int64_t bytes = static_cast<std::int64_t>(src.size()) * 4;
-  const SimTime end =
-      ready + fpga::TransferTime(board(), bytes, /*host_to_device=*/true);
   q.idle += ready - std::max(q.last_end, batch_start_);
-  q.busy += end - ready;
-  q.last_end = end;
-  clock_ = std::max(clock_, end);
-  bytes_h2d_ += bytes;
-  xfer_h2d_time_ += end - ready;
-  events_.push_back({std::move(label), CommandKind::kWriteBuffer, queue,
-                     host_time_, ready, end, kSimTimeZero, bytes});
-  if (profiling_) host_time_ = end;
+  const std::int64_t bytes = num_floats * 4;
+  const CommandKind kind =
+      is_write ? CommandKind::kWriteBuffer : CommandKind::kReadBuffer;
+
+  SimTime start = ready;
+  for (int attempt = 0;; ++attempt) {
+    resilience::TransferFault fault;
+    if (injector_) {
+      fault = injector_->OnTransferAttempt(is_write, attempt, num_floats);
+    }
+    const SimTime end =
+        start + fpga::TransferTime(board(), bytes, /*host_to_device=*/is_write);
+    q.busy += end - start;
+    (is_write ? bytes_h2d_ : bytes_d2h_) += bytes;
+    (is_write ? xfer_h2d_time_ : xfer_d2h_time_) += end - start;
+    q.last_end = end;
+    clock_ = std::max(clock_, end);
+
+    if (fault.action == resilience::TransferFault::Action::kNone) {
+      copy();
+      events_.push_back({std::move(label), kind, queue, host_time_, start,
+                         end, kSimTimeZero, bytes});
+      // Reads block the host by nature (the host consumes the data);
+      // writes only do so under the event profiler.
+      if (!is_write || profiling_) host_time_ = end;
+      return;
+    }
+
+    const bool corrupt =
+        fault.action == resilience::TransferFault::Action::kCorrupt;
+    if (corrupt) {
+      copy();
+      if (!dest.empty()) {
+        const auto i = static_cast<std::size_t>(fault.word_index) %
+                       dest.size();
+        dest[i] = FlipBits(dest[i], fault.mask);
+      }
+    }
+    events_.push_back({label + (corrupt ? " [corrupt#" : " [fail#") +
+                           std::to_string(attempt) + "]",
+                       kind, queue, host_time_, start, end, kSimTimeZero,
+                       bytes});
+    ++xfer_retries_;
+    if (attempt + 1 >= retry_policy_.max_attempts) {
+      throw RuntimeFaultError(
+          std::string(analysis::kRuntimeTransferFailed.id),
+          std::string(is_write ? "host->device" : "device->host") +
+              " transfer '" + label + "' " +
+              (corrupt ? "failed checksum verification"
+                       : "reported DMA failure") +
+              " on all " + std::to_string(attempt + 1) +
+              " attempts (RetryPolicy::max_attempts)",
+          "", "", QueueSnapshot(), attempt + 1);
+    }
+    const SimTime backoff = retry_policy_.BackoffFor(attempt);
+    backoff_time_ += backoff;
+    q.idle += backoff;
+    start = end + backoff;
+  }
+}
+
+void Runtime::EnqueueWrite(int queue, const BufferPtr& buffer,
+                           std::span<const float> src, std::string label) {
+  CLFLOW_CHECK_MSG(src.size() <= buffer->view().size(),
+                   "write larger than buffer");
+  const std::span<float> dest = buffer->view().subspan(0, src.size());
+  EnqueueTransfer(queue, /*is_write=*/true,
+                  static_cast<std::int64_t>(src.size()), std::move(label),
+                  [src, dest] { std::copy(src.begin(), src.end(),
+                                          dest.begin()); },
+                  dest);
 }
 
 void Runtime::EnqueueRead(int queue, const BufferPtr& buffer,
                           std::span<float> dst, std::string label) {
-  CLFLOW_CHECK(queue >= 0 && queue < num_queues());
   CLFLOW_CHECK_MSG(dst.size() <= buffer->view().size(),
                    "read larger than buffer");
-  std::copy_n(buffer->view().begin(), dst.size(), dst.begin());
-
-  host_time_ += kEnqueueCost;
-  QueueState& q = queues_[static_cast<std::size_t>(queue)];
-  const SimTime ready = std::max(host_time_, q.last_end);
-  const std::int64_t bytes = static_cast<std::int64_t>(dst.size()) * 4;
-  const SimTime end =
-      ready + fpga::TransferTime(board(), bytes, /*host_to_device=*/false);
-  q.idle += ready - std::max(q.last_end, batch_start_);
-  q.busy += end - ready;
-  q.last_end = end;
-  clock_ = std::max(clock_, end);
-  bytes_d2h_ += bytes;
-  xfer_d2h_time_ += end - ready;
-  events_.push_back({std::move(label), CommandKind::kReadBuffer, queue,
-                     host_time_, ready, end, kSimTimeZero, bytes});
-  // Reads block the host by nature (the host consumes the data).
-  host_time_ = end;
+  const BufferPtr src = buffer;
+  EnqueueTransfer(queue, /*is_write=*/false,
+                  static_cast<std::int64_t>(dst.size()), std::move(label),
+                  [src, dst] { std::copy_n(src->view().begin(), dst.size(),
+                                           dst.begin()); },
+                  dst);
 }
 
 SimTime Runtime::KernelReady(const KernelLaunch& launch, SimTime base) {
   SimTime ready = base;
   for (const auto& chan : launch.reads_channels) {
+    auto hung = hung_channels_.find(chan);
+    if (hung != hung_channels_.end()) {
+      // The writer was dispatched but will never deliver: the watchdog
+      // charges its timeout to the channel stall and converts what would
+      // be an unbounded hardware hang into a structured fault.
+      channel_stall_[chan] += watchdog_timeout_;
+      clock_ = std::max(clock_, base + watchdog_timeout_);
+      throw RuntimeFaultError(
+          std::string(analysis::kRuntimeChannelDeadlock.id),
+          "watchdog: kernel " + launch.name + " blocked on channel " + chan +
+              " for " + std::to_string(watchdog_timeout_.us()) +
+              " us; writer " + hung->second +
+              " hung and will never deliver (deadlock on hardware)",
+          launch.name, chan, QueueSnapshot());
+    }
     auto it = channel_ready_.find(chan);
     if (it == channel_ready_.end()) {
-      throw RuntimeApiError(
+      throw RuntimeFaultError(
+          std::string(analysis::kRuntimeChannelProtocol.id),
           std::string(analysis::kChannelNoWriter.id) + ": kernel " +
-          launch.name + " reads channel " + chan +
-          " with no enqueued producer: this deadlocks on hardware");
+              launch.name + " reads channel " + chan +
+              " with no enqueued producer: this deadlocks on hardware",
+          launch.name, chan, QueueSnapshot());
     }
     if (it->second > base) channel_stall_[chan] += it->second - base;
     ready = std::max(ready, it->second);
@@ -111,10 +204,35 @@ void Runtime::RecordKernel(const KernelLaunch& launch, int queue,
                            bool autorun) {
   const fpga::KernelDesign* design = bitstream_.Find(launch.name);
   if (design == nullptr) {
-    throw RuntimeApiError("kernel " + launch.name +
-                          " is not in the programmed bitstream");
+    throw RuntimeFaultError(
+        std::string(analysis::kRuntimeUnknownKernel.id),
+        "kernel " + launch.name + " is not in the programmed bitstream",
+        launch.name, "", QueueSnapshot());
   }
-  if (launch.functional) launch.functional();
+  resilience::KernelFault fault;
+  if (injector_) fault = injector_->OnKernelDispatch(launch.name);
+
+  if (fault.reset) {
+    // Device lost before dispatch: the host reprograms the FPGA (a
+    // dominant, very visible cost on real PACs) and then re-dispatches.
+    // Host memory holds the functional state, so the batch survives.
+    const SimTime start = host_time_;
+    host_time_ += retry_policy_.reprogram_cost;
+    clock_ = std::max(clock_, host_time_);
+    ++reprograms_;
+    events_.push_back({"reprogram [" + launch.name + "]",
+                       CommandKind::kKernel, autorun ? -1 : queue, start,
+                       start, host_time_, kSimTimeZero, 0});
+  }
+  if (fault.corrupt_times >= retry_policy_.max_attempts) {
+    throw RuntimeFaultError(
+        std::string(analysis::kRuntimeKernelCorrupt.id),
+        "kernel " + launch.name + " output checksum failed " +
+            std::to_string(fault.corrupt_times) +
+            " consecutive executions (RetryPolicy::max_attempts=" +
+            std::to_string(retry_policy_.max_attempts) + ")",
+        launch.name, "", QueueSnapshot(), retry_policy_.max_attempts);
+  }
 
   SimTime ready;
   SimTime dispatch_base;  ///< when the kernel could run absent channel waits
@@ -132,9 +250,45 @@ void Runtime::RecordKernel(const KernelLaunch& launch, int queue,
     ready = KernelReady(launch, dispatch_base);
   }
   const SimTime stall = ready - dispatch_base;
-  const SimTime end =
-      ready + fpga::InvocationTime(launch.stats, board(), fmax_mhz(),
-                                   cost_model_);
+
+  if (fault.hang) {
+    // The kernel starts but never completes. Charge the watchdog bound so
+    // the trace shows the stuck occupancy, poison its output channels, and
+    // let the first blocked consumer -- or Finish() -- convert the
+    // deadlock into a structured RuntimeFaultError.
+    const SimTime end = ready + watchdog_timeout_;
+    if (!autorun) {
+      QueueState& q = queues_[static_cast<std::size_t>(queue)];
+      q.idle += ready - std::max(q.last_end, batch_start_);
+      q.busy += end - ready;
+      q.last_end = end;
+    }
+    for (const auto& chan : launch.writes_channels) {
+      hung_channels_[chan] = launch.name;
+    }
+    if (hung_kernel_.empty()) hung_kernel_ = launch.name;
+    events_.push_back({launch.name + " [hung]", CommandKind::kKernel,
+                       autorun ? -1 : queue, autorun ? ready : host_time_,
+                       ready, end, stall, 0});
+    clock_ = std::max(clock_, end);
+    return;
+  }
+
+  // Functional execution: corrupted executions are discarded by the
+  // output-checksum verify and rerun; the functors are deterministic pure
+  // functions of their (unchanged) inputs, so the surviving execution is
+  // bit-exact with the fault-free run.
+  if (launch.functional) launch.functional();
+
+  // Thermal throttling scales the achievable clock for every dispatch.
+  const double effective_fmax =
+      fmax_mhz() * (injector_ ? injector_->fmax_factor() : 1.0);
+  const SimTime exec = fpga::InvocationTime(launch.stats, board(),
+                                            effective_fmax, cost_model_);
+  const int executions = 1 + fault.corrupt_times;
+  const SimTime end = ready + exec * executions;
+  kernel_reruns_ += fault.corrupt_times;
+
   if (!autorun) {
     QueueState& q = queues_[static_cast<std::size_t>(queue)];
     q.idle += ready - std::max(q.last_end, batch_start_);
@@ -144,18 +298,27 @@ void Runtime::RecordKernel(const KernelLaunch& launch, int queue,
   for (const auto& chan : launch.writes_channels) {
     channel_ready_[chan] = end;
     if (++channel_writers_[chan] > 1) {
-      throw RuntimeApiError(
+      throw RuntimeFaultError(
+          std::string(analysis::kRuntimeChannelProtocol.id),
           std::string(analysis::kChannelEndpoints.id) + ": channel " + chan +
-          " written by more than one kernel in a batch (last: " +
-          launch.name + "); Intel channels are strictly point-to-point");
+              " written by more than one kernel in a batch (last: " +
+              launch.name + "); Intel channels are strictly point-to-point",
+          launch.name, chan, QueueSnapshot());
     }
   }
   clock_ = std::max(clock_, end);
   KernelUsage& usage = kernel_usage_[launch.name];
   usage.total += end - ready;
   ++usage.invocations;
-  events_.push_back({launch.name, CommandKind::kKernel, autorun ? -1 : queue,
-                     autorun ? ready : host_time_, ready, end, stall, 0});
+  for (int e = 0; e < executions; ++e) {
+    const SimTime s = ready + exec * e;
+    events_.push_back({e == 0 ? launch.name
+                              : launch.name + " [rerun#" + std::to_string(e) +
+                                    "]",
+                       CommandKind::kKernel, autorun ? -1 : queue,
+                       autorun ? ready : host_time_, s, s + exec,
+                       e == 0 ? stall : kSimTimeZero, 0});
+  }
   if (profiling_ && !autorun) host_time_ = end;
 }
 
@@ -179,6 +342,30 @@ SimTime Runtime::Finish() {
   batch_start_ = clock_;
   channel_ready_.clear();
   channel_writers_.clear();
+  if (!hung_kernel_.empty()) {
+    // Watchdog: a dispatched kernel never completed, so the queues can
+    // never drain -- on hardware Finish() would hang forever. Clear the
+    // hang state (the batch is lost, the runtime object stays usable) and
+    // raise the structured deadlock instead.
+    const std::string kernel = std::exchange(hung_kernel_, std::string());
+    std::string channel;
+    for (const auto& [chan, writer] : hung_channels_) {
+      if (writer == kernel) {
+        channel = chan;
+        break;
+      }
+    }
+    hung_channels_.clear();
+    throw RuntimeFaultError(
+        std::string(analysis::kRuntimeChannelDeadlock.id),
+        "watchdog: kernel " + kernel + " never completed within " +
+            std::to_string(watchdog_timeout_.us()) +
+            " us; its command queue cannot drain" +
+            (channel.empty() ? ""
+                             : " and channel " + channel +
+                                   " will never be ready"),
+        kernel, channel, QueueSnapshot());
+  }
   return makespan;
 }
 
@@ -234,6 +421,20 @@ void Runtime::ExportMetrics(obs::Registry& registry,
     registry.gauge("ocl.kernel.total_us", l).Set(usage.total.us());
     registry.gauge("ocl.kernel.invocations", l)
         .Set(static_cast<double>(usage.invocations));
+  }
+  registry.gauge("ocl.resilience.xfer_retries", base_labels)
+      .Set(static_cast<double>(xfer_retries_));
+  registry.gauge("ocl.resilience.kernel_reruns", base_labels)
+      .Set(static_cast<double>(kernel_reruns_));
+  registry.gauge("ocl.resilience.reprograms", base_labels)
+      .Set(static_cast<double>(reprograms_));
+  registry.gauge("ocl.resilience.backoff_us", base_labels)
+      .Set(backoff_time_.us());
+  if (injector_) {
+    registry.gauge("ocl.resilience.fmax_factor", base_labels)
+        .Set(injector_->fmax_factor());
+    registry.gauge("ocl.resilience.injected_faults", base_labels)
+        .Set(static_cast<double>(injector_->injected().size()));
   }
 }
 

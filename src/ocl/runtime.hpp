@@ -33,6 +33,7 @@
 #include "fpga/synth.hpp"
 #include "ir/analysis.hpp"
 #include "obs/metrics.hpp"
+#include "resilience/fault.hpp"
 
 namespace clflow::ocl {
 
@@ -103,6 +104,43 @@ class Runtime {
   void set_profiling(bool enabled) { profiling_ = enabled; }
   [[nodiscard]] bool profiling() const { return profiling_; }
 
+  // --- Resilience -----------------------------------------------------------
+
+  /// Attaches a deterministic fault source consulted at every transfer
+  /// attempt and kernel dispatch; nullptr (the default) runs fault-free.
+  void set_fault_injector(
+      std::shared_ptr<resilience::FaultInjector> injector) {
+    injector_ = std::move(injector);
+  }
+  [[nodiscard]] const std::shared_ptr<resilience::FaultInjector>&
+  fault_injector() const {
+    return injector_;
+  }
+
+  /// Retry/backoff/reprogram parameters for fault recovery.
+  void set_retry_policy(const resilience::RetryPolicy& policy) {
+    retry_policy_ = policy;
+  }
+  [[nodiscard]] const resilience::RetryPolicy& retry_policy() const {
+    return retry_policy_;
+  }
+
+  /// Simulated-time bound the watchdog charges to a kernel blocked on a
+  /// channel whose writer never arrives before declaring deadlock.
+  void set_watchdog_timeout(SimTime timeout) { watchdog_timeout_ = timeout; }
+  [[nodiscard]] SimTime watchdog_timeout() const { return watchdog_timeout_; }
+
+  /// Recovery counters, accumulated across batches.
+  [[nodiscard]] std::int64_t xfer_retries() const { return xfer_retries_; }
+  [[nodiscard]] std::int64_t kernel_reruns() const { return kernel_reruns_; }
+  [[nodiscard]] std::int64_t reprograms() const { return reprograms_; }
+  /// Total simulated time spent in retry backoff waits.
+  [[nodiscard]] SimTime backoff_time() const { return backoff_time_; }
+
+  /// Renders per-queue state (last command end, busy, idle) -- the
+  /// snapshot RuntimeFaultError carries when the watchdog fires.
+  [[nodiscard]] std::string QueueSnapshot() const;
+
   void EnqueueWrite(int queue, const BufferPtr& buffer,
                     std::span<const float> src, std::string label = "write");
   void EnqueueRead(int queue, const BufferPtr& buffer, std::span<float> dst,
@@ -171,10 +209,17 @@ class Runtime {
 
   SimTime KernelReady(const KernelLaunch& launch, SimTime base);
   void RecordKernel(const KernelLaunch& launch, int queue, bool autorun);
+  void EnqueueTransfer(int queue, bool is_write, std::int64_t num_floats,
+                       std::string label,
+                       const std::function<void()>& copy,
+                       std::span<float> dest);
 
   fpga::Bitstream bitstream_;
   fpga::CostModel cost_model_;
   bool profiling_ = false;
+  std::shared_ptr<resilience::FaultInjector> injector_;
+  resilience::RetryPolicy retry_policy_;
+  SimTime watchdog_timeout_ = SimTime::Ms(100.0);
 
   SimTime clock_;        ///< completion time of everything so far
   SimTime host_time_;    ///< host thread's enqueue cursor
@@ -190,6 +235,15 @@ class Runtime {
   std::map<std::string, KernelUsage> kernel_usage_;
   std::int64_t bytes_h2d_ = 0, bytes_d2h_ = 0;
   SimTime xfer_h2d_time_, xfer_d2h_time_;
+  // Resilience state.
+  std::int64_t xfer_retries_ = 0;
+  std::int64_t kernel_reruns_ = 0;
+  std::int64_t reprograms_ = 0;
+  SimTime backoff_time_;
+  /// Channels whose (injected-hung) writer will never deliver data.
+  std::unordered_map<std::string, std::string> hung_channels_;  ///< ch->kernel
+  /// First kernel that hung this batch ("" when none): Finish() deadlocks.
+  std::string hung_kernel_;
 };
 
 }  // namespace clflow::ocl

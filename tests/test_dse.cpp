@@ -94,6 +94,36 @@ TEST_F(DseTest, RouteFailuresAreCounted) {
   EXPECT_TRUE(result.ranked.empty());
 }
 
+TEST_F(DseTest, FitFailuresAreCounted) {
+  DseOptions opts;
+  opts.c1_factors = {4};
+  opts.w2_factors = {7};
+  opts.c2_factors = {8};
+  fpga::CostModel bloated;
+  bloated.kernel_base_alut = 100'000'000;  // no kernel fits any board
+  const auto result =
+      ExploreFoldedTilings(*net_, fpga::Stratix10SX(), opts, bloated);
+  EXPECT_EQ(result.rejected_fit, 1u);
+  EXPECT_EQ(result.rejected_route, 0u);
+  EXPECT_TRUE(result.ranked.empty());
+}
+
+TEST_F(DseTest, RejectionCountersPartitionTheSweep) {
+  // Every considered candidate lands in exactly one bucket: ranked or one
+  // of the rejection counters. (Factor sets small enough that the
+  // feasible count stays under top_k, so ranked is not truncated.)
+  DseOptions opts;
+  opts.c1_factors = {1, 3, 4};  // 3 never divides MobileNet's 1x1 C1
+  opts.w2_factors = {1, 7};
+  opts.c2_factors = {1, 16};
+  const auto result = ExploreFoldedTilings(*net_, fpga::Stratix10SX(), opts);
+  EXPECT_EQ(result.considered,
+            result.ranked.size() + result.rejected_divisibility +
+                result.rejected_bandwidth + result.rejected_fit +
+                result.rejected_route);
+  EXPECT_GT(result.rejected_divisibility, 0u);
+}
+
 TEST_F(DseTest, MaxCandidatesBounds) {
   DseOptions opts;
   opts.max_candidates = 3;

@@ -340,6 +340,78 @@ TEST(Runtime, TransferByteAccountingAndMetricsExport) {
       0.0);
 }
 
+TEST(Runtime, EmptyBatchMakespanIsZero) {
+  TestDesign d = MakeDesign(1, fpga::Stratix10SX());
+  Runtime rt(d.bitstream);
+  // Finish with nothing enqueued: zero makespan, no time advances.
+  EXPECT_EQ(rt.Finish().ps(), 0);
+  EXPECT_EQ(rt.now().ps(), 0);
+  // Same after a real batch: an immediately-following empty Finish is a
+  // zero-length batch, not a repeat of the previous makespan.
+  rt.EnqueueKernel(0, {.name = "k0", .stats = FixedCycles(10000),
+                       .functional = {}, .reads_channels = {},
+                       .writes_channels = {}});
+  EXPECT_GT(rt.Finish().ps(), 0);
+  EXPECT_EQ(rt.Finish().ps(), 0);
+  EXPECT_EQ(rt.Finish().ps(), 0);
+}
+
+TEST(Runtime, ClearEventsKeepsCumulativeUsage) {
+  TestDesign d = MakeDesign(1, fpga::Stratix10SX());
+  Runtime rt(d.bitstream);
+  rt.EnqueueKernel(0, {.name = "k0", .stats = FixedCycles(50000),
+                       .functional = {}, .reads_channels = {},
+                       .writes_channels = {}});
+  rt.Finish();
+  const auto usage_before = rt.queue_usage(0);
+  ASSERT_GT(usage_before.busy, kSimTimeZero);
+
+  rt.ClearEvents();
+  // The event log is gone but the accumulated accounting is not.
+  EXPECT_TRUE(rt.events().empty());
+  EXPECT_EQ(rt.queue_usage(0).busy.ps(), usage_before.busy.ps());
+  EXPECT_EQ(rt.queue_usage(0).idle.ps(), usage_before.idle.ps());
+  EXPECT_EQ(rt.kernel_usage().at("k0").invocations, 1);
+
+  // A second batch keeps accumulating on top of the cleared log.
+  rt.EnqueueKernel(0, {.name = "k0", .stats = FixedCycles(50000),
+                       .functional = {}, .reads_channels = {},
+                       .writes_channels = {}});
+  rt.Finish();
+  EXPECT_EQ(rt.events().size(), 1u);
+  EXPECT_GT(rt.queue_usage(0).busy, usage_before.busy);
+  EXPECT_EQ(rt.kernel_usage().at("k0").invocations, 2);
+}
+
+TEST(Runtime, BackToBackAutorunBatches) {
+  // Two identical batches through an autorun middle stage: per-batch
+  // channel state resets, the autorun kernel re-activates each batch, and
+  // the makespans match.
+  TestDesign d = MakeDesign(3, fpga::Stratix10SX());
+  Runtime rt(d.bitstream);
+  SimTime makespans[2];
+  for (int batch = 0; batch < 2; ++batch) {
+    rt.EnqueueKernel(0, {.name = "k0", .stats = FixedCycles(50000),
+                         .functional = {}, .reads_channels = {},
+                         .writes_channels = {"a"}});
+    rt.RunAutorun({.name = "k1", .stats = FixedCycles(50000),
+                   .functional = {}, .reads_channels = {"a"},
+                   .writes_channels = {"b"}});
+    rt.EnqueueKernel(0, {.name = "k2", .stats = FixedCycles(50000),
+                         .functional = {}, .reads_channels = {"b"},
+                         .writes_channels = {}});
+    makespans[batch] = rt.Finish();
+  }
+  EXPECT_EQ(rt.kernel_usage().at("k1").invocations, 2);
+  EXPECT_NEAR(makespans[0].us(), makespans[1].us(), 5.0);
+  // Autorun activations are attributed to their own batch: the second
+  // batch's autorun event starts after the first batch fully drained.
+  const auto& ev = rt.events();
+  ASSERT_EQ(ev.size(), 6u);
+  EXPECT_GE(ev[4].start, ev[2].end);
+  EXPECT_EQ(ev[4].queue, -1);
+}
+
 TEST(Runtime, S10mxWritesAreSlow) {
   // The paper's Figure 6.2: the S10MX spends most of its time on buffer
   // writes. Same transfer on both boards; S10MX must be much slower.
