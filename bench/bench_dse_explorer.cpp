@@ -4,27 +4,154 @@
 // best found configuration with the paper's hand-picked Table 6.7 row.
 // The claim to check: an automatic explorer over the synthesis model
 // finds configurations at least as good as the hand-selected ones.
+//
+// DSE v2 additionally benchmarks the explorer itself. Per board the same
+// sweep runs three ways --
+//
+//   seed      jobs=1, no cache, no analytical bound (the original serial
+//             explorer's behavior);
+//   cached    jobs=1 with a fresh CompileCache and the bound;
+//   parallel  jobs=N (--jobs, default all hardware threads) with a fresh
+//             cache and the bound
+//
+// -- asserts all three return identical ranked candidates (exit 1
+// otherwise), prints a `ranked-digest: <board> <hash>` line per board so
+// CI can diff serial vs. parallel runs textually, and records wall clock
+// per config, per-candidate cost, cache hit rate, and speedups in
+// BENCH_dse_explorer.json.
 #include "bench_util.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstring>
 
 #include "core/dse.hpp"
 
 using namespace clflow;
 
-int main() {
+namespace {
+
+double SweepWallUs(const std::function<core::DseResult()>& sweep,
+                   core::DseResult& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  out = sweep();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+/// FNV-1a over everything the determinism contract covers, so two runs
+/// (any thread counts) can be compared with one line of grep+diff.
+std::uint64_t RankedDigest(const core::DseResult& r) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  auto mix_double = [&](double d) {
+    std::uint64_t u = 0;
+    std::memcpy(&u, &d, sizeof(u));
+    mix(u);
+  };
+  mix(r.considered);
+  mix(r.rejected_divisibility);
+  mix(r.rejected_bandwidth);
+  mix(r.rejected_bound);
+  mix(r.rejected_dominated);
+  mix(r.rejected_fit);
+  mix(r.rejected_route);
+  mix(r.feasible_total);
+  mix_double(r.worst_kept_fps);
+  mix_double(r.best_dropped_fps);
+  for (const auto& c : r.ranked) {
+    mix(static_cast<std::uint64_t>(c.conv1x1.c1));
+    mix(static_cast<std::uint64_t>(c.conv1x1.w2));
+    mix(static_cast<std::uint64_t>(c.conv1x1.c2));
+    mix_double(c.predicted_fps);
+    mix_double(c.fmax_mhz);
+    mix(static_cast<std::uint64_t>(c.dsps));
+    for (char ch : c.status_detail) mix(static_cast<std::uint64_t>(ch));
+  }
+  return h;
+}
+
+bool SameRanking(const core::DseResult& a, const core::DseResult& b) {
+  if (a.feasible_total != b.feasible_total ||
+      a.ranked.size() != b.ranked.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.ranked.size(); ++i) {
+    const auto& x = a.ranked[i];
+    const auto& y = b.ranked[i];
+    if (x.conv1x1.c1 != y.conv1x1.c1 || x.conv1x1.w2 != y.conv1x1.w2 ||
+        x.conv1x1.c2 != y.conv1x1.c2 ||
+        x.predicted_fps != y.predicted_fps || x.fmax_mhz != y.fmax_mhz) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int jobs = HardwareThreads();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    }
+  }
+  if (jobs < 1) jobs = 1;
+
   bench::Banner("Folded tiling design-space exploration (MobileNetV1)",
                 "SS4.11 future work");
+  std::printf("parallel config uses %d job(s)\n\n", jobs);
 
   Rng rng(bench::kBenchSeed);
   graph::Graph net = nets::BuildMobileNetV1(rng);
   Tensor image = nets::SyntheticImagenetImage(rng);
 
+  bench::BenchJson json("dse_explorer");
+  json.Value("jobs", jobs);
+  bool mismatch = false;
+  double total_seed_us = 0, total_cached_us = 0, total_parallel_us = 0;
+
   for (const auto& board : fpga::EvaluationBoards()) {
-    const auto result = core::ExploreFoldedTilings(net, board);
+    auto sweep = [&](int sweep_jobs, bool cached, bool bound,
+                     bool shared_cache) {
+      core::DseOptions opts;
+      opts.jobs = sweep_jobs;
+      opts.prune_bound = bound;
+      opts.use_cache = cached;
+      // A private cache isolates the serial-cached measurement; the
+      // parallel config leaves `cache` unset, i.e. the default
+      // process-wide CompileCache::Shared(), so the cross-sweep reuse
+      // repeated compiles actually get (kernel designs and analysis are
+      // board-independent) is part of the measurement.
+      if (cached && !shared_cache) {
+        opts.cache = std::make_shared<core::CompileCache>();
+      }
+      // The seed explorer ran the full analysis gate per candidate.
+      opts.verify_candidates = !cached;
+      return core::ExploreFoldedTilings(net, board, opts);
+    };
+
+    core::DseResult seed, cached, parallel;
+    const double seed_us =
+        SweepWallUs([&] { return sweep(1, false, false, false); }, seed);
+    const double cached_us =
+        SweepWallUs([&] { return sweep(1, true, true, false); }, cached);
+    const double parallel_us =
+        SweepWallUs([&] { return sweep(jobs, true, true, true); }, parallel);
+
+    const auto& result = parallel;
     std::printf("-- %s: %zu candidates, rejected %zu divisibility / %zu "
-                "bandwidth / %zu fit / %zu route --\n",
+                "bandwidth / %zu bound / %zu fit / %zu route --\n",
                 board.name.c_str(), result.considered,
                 result.rejected_divisibility, result.rejected_bandwidth,
-                result.rejected_fit, result.rejected_route);
+                result.rejected_bound, result.rejected_fit,
+                result.rejected_route);
     Table t({"Rank", "1x1 W2/C2/C1", "Pred. FPS", "fmax", "DSPs", "Logic"});
     int rank = 1;
     for (const auto& c : result.ranked) {
@@ -36,6 +163,58 @@ int main() {
                 std::to_string(c.dsps), Table::Pct(c.alut_frac)});
     }
     t.Print();
+    if (result.truncated()) {
+      std::printf("top_k truncated: worst kept %.2f fps, best dropped %.2f "
+                  "fps (%zu feasible)\n",
+                  result.worst_kept_fps, result.best_dropped_fps,
+                  result.feasible_total);
+    }
+
+    // The determinism contract, checked in-process: seed behavior, cached
+    // serial, and cached parallel must rank identically.
+    if (!SameRanking(seed, cached) || !SameRanking(seed, parallel)) {
+      std::fprintf(stderr,
+                   "RANKING MISMATCH on %s between seed/cached/parallel "
+                   "sweeps\n",
+                   board.name.c_str());
+      mismatch = true;
+    }
+    std::printf("ranked-digest: %s %016" PRIx64 "\n", board.key.c_str(),
+                RankedDigest(parallel));
+
+    const double per_candidate_us =
+        seed_us / static_cast<double>(result.considered);
+    const double speedup_cached = seed_us / cached_us;
+    const double speedup_parallel = seed_us / parallel_us;
+    std::printf("sweep wall: seed %.0f us, cached %.0f us (%.2fx), "
+                "parallel(%d) %.0f us (%.2fx); %.0f us/candidate serial; "
+                "cache hit rate %.0f%%\n",
+                seed_us, cached_us, speedup_cached, jobs, parallel_us,
+                speedup_parallel, per_candidate_us,
+                parallel.cache_stats.hit_rate() * 100.0);
+
+    total_seed_us += seed_us;
+    total_cached_us += cached_us;
+    total_parallel_us += parallel_us;
+    json.Value(board.key + ".wall_us.seed", seed_us);
+    json.Value(board.key + ".wall_us.cached_serial", cached_us);
+    json.Value(board.key + ".wall_us.parallel", parallel_us);
+    json.Value(board.key + ".per_candidate_us.seed", per_candidate_us);
+    json.Value(board.key + ".speedup.cached_serial", speedup_cached);
+    json.Value(board.key + ".speedup.parallel", speedup_parallel);
+    json.Value(board.key + ".cache.hit_rate",
+               parallel.cache_stats.hit_rate());
+    json.Value(board.key + ".cache.hits",
+               static_cast<double>(parallel.cache_stats.hits()));
+    json.Value(board.key + ".cache.misses",
+               static_cast<double>(parallel.cache_stats.misses()));
+    json.Value(board.key + ".considered",
+               static_cast<double>(result.considered));
+    json.Value(board.key + ".feasible",
+               static_cast<double>(result.feasible_total));
+    obs::Registry reg;
+    result.ExportMetrics(reg);
+    json.Metrics(board.key + ".dse", reg);
 
     // Compare with the hand-picked Table 6.7 configuration.
     auto hand =
@@ -47,6 +226,21 @@ int main() {
                 "(%.2fx)\n\n",
                 hand_fps, best_fps,
                 hand_fps > 0 ? best_fps / hand_fps : 0.0);
+    json.Value(board.key + ".best_fps", best_fps);
+    json.Value(board.key + ".hand_fps", hand_fps);
   }
-  return 0;
+
+  // Whole-evaluation totals: all boards, including the parallel config's
+  // cold first sweep (the shared cache starts empty).
+  std::printf("=== totals: seed %.0f us, cached serial %.0f us (%.2fx), "
+              "parallel(%d) %.0f us (%.2fx) ===\n",
+              total_seed_us, total_cached_us, total_seed_us / total_cached_us,
+              jobs, total_parallel_us, total_seed_us / total_parallel_us);
+  json.Value("total.wall_us.seed", total_seed_us);
+  json.Value("total.wall_us.cached_serial", total_cached_us);
+  json.Value("total.wall_us.parallel", total_parallel_us);
+  json.Value("total.speedup.cached_serial", total_seed_us / total_cached_us);
+  json.Value("total.speedup.parallel", total_seed_us / total_parallel_us);
+  json.Write();
+  return mismatch ? 1 : 0;
 }

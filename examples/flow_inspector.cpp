@@ -29,6 +29,14 @@
 // --over-tile first inflates the 1x1 tiling to a config known to fail
 // routing on s10sx, demonstrating the recovery.
 //
+// With --dse the folded tiling explorer (core::ExploreFoldedTilings) runs
+// first and the compile uses its best recipe; the ranked table, every
+// rejection counter (divisibility/bandwidth/bound/dominated/fit/route),
+// the top_k truncation line (worst kept vs. best dropped fps), and the
+// compile-cache hit statistics are printed. --dse-jobs N compiles
+// candidates on N worker threads (the result is identical for any N);
+// --dse-dominance enables the heuristic dominance filter.
+//
 // usage: example_flow_inspector [lenet|mobilenet|resnet18|resnet34]
 //                               [a10|s10sx|s10mx] [pipelined|folded]
 //                               [outdir] [--report] [--trace-out FILE]
@@ -36,6 +44,7 @@
 //                               [--lint-demote CODE] [--break-channel]
 //                               [--inject-fault SPEC] [--fault-seed N]
 //                               [--fallback] [--over-tile]
+//                               [--dse] [--dse-jobs N] [--dse-dominance]
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -99,6 +108,9 @@ int main(int argc, char** argv) {
   bool break_channel = false;
   bool use_fallback = false;
   bool over_tile = false;
+  bool run_dse = false;
+  bool dse_dominance = false;
+  int dse_jobs = 1;
   std::vector<std::string> fault_specs;
   std::uint64_t fault_seed = 17;
   std::vector<std::pair<std::string, analysis::Severity>> overrides;
@@ -111,6 +123,18 @@ int main(int argc, char** argv) {
       use_fallback = true;
     } else if (arg == "--over-tile") {
       over_tile = true;
+    } else if (arg == "--dse") {
+      run_dse = true;
+    } else if (arg == "--dse-jobs") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--dse-jobs requires an integer argument\n");
+        return 1;
+      }
+      run_dse = true;
+      dse_jobs = std::stoi(argv[++i]);
+    } else if (arg == "--dse-dominance") {
+      run_dse = true;
+      dse_dominance = true;
     } else if (arg == "--inject-fault") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--inject-fault requires a spec argument\n");
@@ -198,6 +222,62 @@ int main(int argc, char** argv) {
 
   for (const auto& [code, severity] : overrides) {
     opts.analysis.severity_overrides[code] = severity;
+  }
+
+  std::optional<core::DseResult> dse;
+  if (run_dse) {
+    if (pipelined) {
+      std::fprintf(stderr, "--dse applies to folded execution only\n");
+      return 1;
+    }
+    core::DseOptions dopts;
+    dopts.jobs = dse_jobs;
+    dopts.dominance_prune = dse_dominance;
+    std::printf("exploring folded tilings for %s on %s (%d job(s))...\n",
+                net.name().c_str(), opts.board.name.c_str(),
+                dopts.jobs);
+    dse = core::ExploreFoldedTilings(net, opts.board, dopts, opts.cost_model);
+    std::printf(
+        "\n--- DSE: %zu considered | rejected %zu divisibility, %zu "
+        "bandwidth, %zu bound, %zu dominated, %zu fit, %zu route ---\n",
+        dse->considered, dse->rejected_divisibility, dse->rejected_bandwidth,
+        dse->rejected_bound, dse->rejected_dominated, dse->rejected_fit,
+        dse->rejected_route);
+    Table ranked({"Rank", "C1/W2/C2", "FPS", "fmax MHz", "DSPs", "ALUT %"});
+    for (std::size_t i = 0; i < dse->ranked.size(); ++i) {
+      const core::DseCandidate& c = dse->ranked[i];
+      ranked.AddRow({std::to_string(i + 1),
+                     std::to_string(c.conv1x1.c1) + "/" +
+                         std::to_string(c.conv1x1.w2) + "/" +
+                         std::to_string(c.conv1x1.c2),
+                     Table::Num(c.predicted_fps, 1),
+                     Table::Num(c.fmax_mhz, 0),
+                     std::to_string(c.dsps), Table::Pct(c.alut_frac)});
+    }
+    ranked.Print();
+    if (dse->truncated()) {
+      std::printf(
+          "top_k truncated: kept %zu of %zu feasible; worst kept %.2f fps, "
+          "best dropped %.2f fps\n",
+          dse->ranked.size(), dse->feasible_total, dse->worst_kept_fps,
+          dse->best_dropped_fps);
+    } else {
+      std::printf("all %zu feasible candidates kept (worst %.2f fps)\n",
+                  dse->feasible_total, dse->worst_kept_fps);
+    }
+    std::printf(
+        "compile cache: %lld hits / %lld misses (%.0f%% hit rate), %lld "
+        "entries, %.1f KiB\n",
+        static_cast<long long>(dse->cache_stats.hits()),
+        static_cast<long long>(dse->cache_stats.misses()),
+        dse->cache_stats.hit_rate() * 100.0,
+        static_cast<long long>(dse->cache_stats.entries),
+        static_cast<double>(dse->cache_stats.bytes) / 1024.0);
+    if (dse->ranked.empty()) {
+      std::fprintf(stderr, "DSE found no feasible configuration\n");
+      return 1;
+    }
+    opts.recipe = dse->BestRecipe(board_key);
   }
 
   std::printf("compiling %s for %s (%s)...\n", net.name().c_str(),
@@ -371,6 +451,7 @@ int main(int argc, char** argv) {
 
     obs::Registry runtime_registry;
     d.ExportRuntimeMetrics(runtime_registry);
+    if (dse) dse->ExportMetrics(runtime_registry);
     runtime_registry.gauge("perf.fps").Set(fps);
     runtime_registry.gauge("perf.ref.tf_cpu_fps")
         .Set(perfmodel::TensorflowCpuFps(net));

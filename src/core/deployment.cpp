@@ -9,6 +9,7 @@
 #include "analysis/perf_lint.hpp"
 #include "codegen/opencl_codegen.hpp"
 #include "common/error.hpp"
+#include "core/compile_cache.hpp"
 #include "ir/passes.hpp"
 
 namespace clflow::core {
@@ -69,6 +70,16 @@ ir::ChannelIO TailIo(
     io.input = in_it->second;
   }
   return io;
+}
+
+/// Channel endpoints folded into a kernel's content key: the builders bake
+/// channel reads/writes into the IR, so two otherwise-identical specs with
+/// different endpoints are different kernels.
+std::string IoDesc(const ir::ChannelIO& io) {
+  std::string s;
+  if (io.input) s += "|in:" + io.input->name;
+  if (io.output) s += "|out:" + io.output->name;
+  return s;
 }
 
 }  // namespace
@@ -391,24 +402,45 @@ void Deployment::PlanFolded(const OptimizationRecipe& recipe) {
                           .depthwise = dw,
                           .has_bias = n.bias.defined(),
                           .activation = n.activation};
-        std::ostringstream key;
-        key << (dw ? "dw" : "conv") << n.window << "_s" << n.stride << "_b"
-            << spec.has_bias;
+        std::string key = dw ? "dw" : "conv";
+        key += std::to_string(n.window);
+        key += "_s";
+        key += std::to_string(n.stride);
+        key += "_b";
+        key += spec.has_bias ? '1' : '0';
         // Parameterized kernels select their activation at runtime, so
         // activation is not part of the grouping key; constant-shape
         // kernels bake it in.
         if (!recipe.parameterized) {
-          key << "_a" << static_cast<int>(n.activation);
+          key += "_a";
+          key += std::to_string(static_cast<int>(n.activation));
+          key += "_node";
+          key += std::to_string(n.id);
         }
-        std::ostringstream cls;
-        cls << n.window << "x" << n.window << (dw ? " DW conv" : " conv");
-        if (n.window != 1) cls << " S=" << n.stride;
-        if (!recipe.parameterized) key << "_node" << n.id;
 
-        inv.kernel_index = intern(key.str(), [&] {
+        inv.kernel_index = intern(key, [&] {
           PlannedKernel pk;
-          pk.built = ir::BuildConv2dKernel(spec, sched, "k_" + key.str());
-          pk.op_class = cls.str();
+          const std::string kname = "k_" + key;
+          pk.content_key = CompileCache::ConvKernelKey(spec, sched, kname);
+          // Lowering cache: scheduled conv IR is immutable after build and
+          // a pure function of (spec, sched, name), so candidates sharing a
+          // conv configuration share one BuildConv2dKernel (folded conv
+          // kernels never take the tail autorun mutation below).
+          if (options_.compile_cache) {
+            if (auto hit =
+                    options_.compile_cache->LookupKernel(pk.content_key)) {
+              pk.built = std::move(*hit);
+            } else {
+              pk.built = ir::BuildConv2dKernel(spec, sched, kname);
+              options_.compile_cache->InsertKernel(pk.content_key, pk.built);
+            }
+          } else {
+            pk.built = ir::BuildConv2dKernel(spec, sched, kname);
+          }
+          pk.op_class = std::to_string(n.window) + "x" +
+                        std::to_string(n.window) +
+                        (dw ? " DW conv" : " conv");
+          if (n.window != 1) pk.op_class += " S=" + std::to_string(n.stride);
           pk.tiling_desc = TilingDesc(sched);
           return pk;
         });
@@ -450,6 +482,12 @@ void Deployment::PlanFolded(const OptimizationRecipe& recipe) {
                          .symbolic = recipe.parameterized};
         inv.kernel_index = intern(key.str(), [&] {
           PlannedKernel pk;
+          pk.content_key = "pad|k_" + key.str() + '|' +
+                           std::to_string(spec.c) + '|' +
+                           std::to_string(spec.h1) + '|' +
+                           std::to_string(spec.w1) + '|' +
+                           std::to_string(spec.pad) + '|' +
+                           std::to_string(spec.symbolic);
           pk.built = ir::BuildPadKernel(spec, "k_" + key.str());
           pk.op_class = "pad";
           return pk;
@@ -470,6 +508,11 @@ void Deployment::PlanFolded(const OptimizationRecipe& recipe) {
         if (!recipe.parameterized) key << "_node" << n.id;
         inv.kernel_index = intern(key.str(), [&] {
           PlannedKernel pk;
+          pk.content_key = "add|k_" + key.str() + '|' +
+                           std::to_string(elems) + '|' +
+                           std::to_string(static_cast<int>(n.activation)) +
+                           '|' + std::to_string(recipe.parameterized) + '|' +
+                           std::to_string(unroll);
           pk.built = ir::BuildAddKernel({.n = elems,
                                          .activation = n.activation,
                                          .symbolic = recipe.parameterized},
@@ -497,6 +540,14 @@ void Deployment::PlanFolded(const OptimizationRecipe& recipe) {
         sched.input_cache = recipe.fuse_and_cache || io.input != nullptr;
         inv.kernel_index = static_cast<int>(kernels_.size());
         PlannedKernel pk;
+        pk.content_key = "dense|k_" + n.name + '|' +
+                         std::to_string(spec.c1) + '|' +
+                         std::to_string(spec.c2) + '|' +
+                         std::to_string(spec.has_bias) + '|' +
+                         std::to_string(static_cast<int>(spec.activation)) +
+                         '|' + std::to_string(sched.cached_writes) + '|' +
+                         std::to_string(sched.unroll_k) + '|' +
+                         std::to_string(sched.input_cache) + IoDesc(io);
         pk.built = ir::BuildDenseKernel(spec, sched, "k_" + n.name, io);
         pk.op_class = "dense";
         pk.tiling_desc = "k unroll " + std::to_string(sched.unroll_k);
@@ -514,6 +565,13 @@ void Deployment::PlanFolded(const OptimizationRecipe& recipe) {
                           .is_max = n.kind == OpKind::kMaxPool};
         inv.kernel_index = static_cast<int>(kernels_.size());
         PlannedKernel pk;
+        pk.content_key = "pool|k_" + n.name + '|' + std::to_string(spec.c) +
+                         '|' + std::to_string(spec.h1) + '|' +
+                         std::to_string(spec.w1) + '|' +
+                         std::to_string(spec.f) + '|' +
+                         std::to_string(spec.stride) + '|' +
+                         std::to_string(spec.is_max) + '|' +
+                         std::to_string(recipe.fuse_and_cache) + IoDesc(io);
         pk.built = ir::BuildPoolKernel(
             spec, {.optimized = recipe.fuse_and_cache}, "k_" + n.name, io);
         pk.op_class = spec.is_max ? "maxpool" : "avgpool";
@@ -524,6 +582,9 @@ void Deployment::PlanFolded(const OptimizationRecipe& recipe) {
         ir::ChannelIO io = TailIo(n.id, tail_start, tail_channel);
         inv.kernel_index = static_cast<int>(kernels_.size());
         PlannedKernel pk;
+        pk.content_key = "softmax|k_" + n.name + '|' +
+                         std::to_string(in_shape.NumElements()) + '|' +
+                         std::to_string(recipe.fuse_and_cache) + IoDesc(io);
         pk.built = ir::BuildSoftmaxKernel({.n = in_shape.NumElements()},
                                           recipe.fuse_and_cache,
                                           "k_" + n.name, io);
@@ -535,6 +596,8 @@ void Deployment::PlanFolded(const OptimizationRecipe& recipe) {
         ir::ChannelIO io = TailIo(n.id, tail_start, tail_channel);
         inv.kernel_index = static_cast<int>(kernels_.size());
         PlannedKernel pk;
+        pk.content_key = "copy|k_" + n.name + '|' +
+                         std::to_string(in_shape.NumElements()) + IoDesc(io);
         pk.built = ir::BuildCopyKernel(in_shape.NumElements(), "k_" + n.name,
                                        io);
         pk.op_class = "flatten";
@@ -565,9 +628,24 @@ void Deployment::PlanFolded(const OptimizationRecipe& recipe) {
       }
     }
 
-    inv.stats = ir::AnalyzeKernel(
-        kernels_[static_cast<std::size_t>(inv.kernel_index)].built.kernel,
-        inv.bindings);
+    // Per-invocation analysis dominates a cache-warm folded compile (it
+    // runs per layer, not per unique kernel), so it is memoized alongside
+    // the lowering results. The key covers the kernel's content key, the
+    // tail autorun mutation above, and the bindings.
+    const PlannedKernel& planned =
+        kernels_[static_cast<std::size_t>(inv.kernel_index)];
+    if (options_.compile_cache && !planned.content_key.empty()) {
+      const std::string skey = CompileCache::StatsKeyFor(
+          planned.content_key, planned.built.kernel.autorun, inv.bindings);
+      if (auto hit = options_.compile_cache->LookupStats(skey)) {
+        inv.stats = std::move(*hit);
+      } else {
+        inv.stats = ir::AnalyzeKernel(planned.built.kernel, inv.bindings);
+        options_.compile_cache->InsertStats(skey, inv.stats);
+      }
+    } else {
+      inv.stats = ir::AnalyzeKernel(planned.built.kernel, inv.bindings);
+    }
     invocations_.push_back(std::move(inv));
   }
 }
@@ -575,7 +653,6 @@ void Deployment::PlanFolded(const OptimizationRecipe& recipe) {
 // ---------------------------------------------------------------------------
 
 void Deployment::SynthesizeAll() {
-  std::vector<fpga::SynthInput> inputs;
   std::vector<bool> seen(kernels_.size(), false);
   // Representative bindings: first invocation of each kernel.
   std::vector<ir::Bindings> rep(kernels_.size());
@@ -586,11 +663,50 @@ void Deployment::SynthesizeAll() {
       rep[idx] = inv.bindings;
     }
   }
-  for (std::size_t i = 0; i < kernels_.size(); ++i) {
-    inputs.push_back({&kernels_[i].built.kernel, rep[i]});
+  if (!options_.compile_cache) {
+    std::vector<fpga::SynthInput> inputs;
+    inputs.reserve(kernels_.size());
+    for (std::size_t i = 0; i < kernels_.size(); ++i) {
+      inputs.push_back({&kernels_[i].built.kernel, rep[i]});
+    }
+    bitstream_ = fpga::Synthesize(inputs, options_.board, options_.recipe.aoc,
+                                  options_.cost_model);
+    return;
   }
-  bitstream_ = fpga::Synthesize(inputs, options_.board, options_.recipe.aoc,
-                                options_.cost_model);
+  // Cached path: per-kernel designs are board-independent, so each is
+  // looked up by content fingerprint and only misses pay the synthesis
+  // cost; AssembleBitstream (totals, fit, route, fmax) is cheap and always
+  // runs against this deployment's board.
+  CompileCache& cache = *options_.compile_cache;
+  obs::Registry& reg = telemetry_->registry;
+  std::vector<fpga::KernelDesign> designs;
+  designs.reserve(kernels_.size());
+  for (std::size_t i = 0; i < kernels_.size(); ++i) {
+    const ir::Kernel& kernel = kernels_[i].built.kernel;
+    // Content-addressable kernels (folded planner) are fingerprinted by
+    // their schedule content key -- a string hash; only kernels without
+    // one (pipelined planner) pay a codegen run for the fingerprint.
+    const auto key =
+        kernels_[i].content_key.empty()
+            ? CompileCache::DesignKeyFor(kernel, rep[i], options_.recipe.aoc,
+                                         options_.cost_model)
+            : CompileCache::DesignKeyFromContent(
+                  kernels_[i].content_key, kernel.autorun, kernel.name,
+                  rep[i], options_.recipe.aoc, options_.cost_model);
+    if (auto hit = cache.LookupDesign(key)) {
+      hit->kernel = &kernel;  // cached copies carry no deployment pointer
+      designs.push_back(std::move(*hit));
+      reg.counter("compile.cache.hits").Add(1.0);
+      continue;
+    }
+    designs.push_back(fpga::SynthesizeKernelDesign(
+        {&kernel, rep[i]}, options_.recipe.aoc, options_.cost_model));
+    cache.InsertDesign(key, designs.back());
+    reg.counter("compile.cache.misses").Add(1.0);
+  }
+  bitstream_ = fpga::AssembleBitstream(std::move(designs), options_.board,
+                                       options_.recipe.aoc,
+                                       options_.cost_model);
 }
 
 void Deployment::RecordCompileMetrics() {

@@ -27,6 +27,8 @@
 
 namespace clflow::core {
 
+class CompileCache;
+
 /// Controls the static-analysis gate that runs inside Compile.
 struct AnalysisOptions {
   /// Run the IR verifier after every schedule primitive and the dataflow
@@ -47,6 +49,13 @@ struct DeployOptions {
   /// Threads used for functional (host-side oracle) execution.
   int functional_threads = 1;
   AnalysisOptions analysis;
+  /// Optional content-hashed compile/synthesis cache (see
+  /// core/compile_cache.hpp). When set, per-kernel lowering (folded conv
+  /// kernels) and per-kernel synthesis results are memoized across Compile
+  /// calls; `compile.cache.hits`/`compile.cache.misses` counters land in
+  /// this deployment's telemetry. Null (the default) compiles everything
+  /// from scratch.
+  std::shared_ptr<CompileCache> compile_cache;
 };
 
 struct RunResult {
@@ -73,6 +82,11 @@ struct PlannedKernel {
   ir::BuiltKernel built;
   std::string op_class;
   std::string tiling_desc;  ///< human-readable unroll/tile summary
+  /// Schedule content key: serialization of the builder spec this kernel's
+  /// IR is a pure function of (folded planner only; empty means "not
+  /// content-addressable" and the CompileCache falls back to fingerprinting
+  /// the generated source). Keys analysis and synthesis memoization.
+  std::string content_key;
 };
 
 /// One runtime launch (a graph node executed by some kernel).

@@ -12,13 +12,30 @@
 // throughput rather than single-kernel throughput -- the paper notes a
 // DSE should "maximize overall network performance ... rather than the
 // performance of individual layers".
+//
+// DSE v2 makes the sweep itself fast without changing what it finds:
+//
+//   * candidates are enumerated and cheap-filtered serially, then the
+//     survivors compile on `jobs` worker threads and merge back in
+//     enumeration order, so DseResult is bit-identical for any `jobs`
+//     (ranking, rejection counters, status strings);
+//   * a CompileCache (content-hashed lowering + synthesis memoization,
+//     core/compile_cache.hpp) is threaded through every candidate's
+//     Deployment::Compile, so the conv3x3/conv_dw/pad/dense kernels every
+//     candidate shares are compiled once per sweep;
+//   * a closed-form DSP/ALUT lower bound (BoundFoldedCandidate) rejects
+//     hopeless candidates before any IR is built (`rejected_bound`), and
+//     an optional dominance filter skips candidates whose unroll widths
+//     are pointwise below an already-feasible design's.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/compile_cache.hpp"
 #include "core/deployment.hpp"
 
 namespace clflow::core {
@@ -37,6 +54,31 @@ struct DseCandidate {
   double alut_frac = 0.0;
 };
 
+/// Closed-form resource lower bound for a folded candidate, computed from
+/// the pointwise unroll widths alone -- no IR is built. Sound: it only
+/// claims infeasibility when the full synthesis model is guaranteed to
+/// reject (the real kernel's resources are >= these floors and the checks
+/// mirror AssembleBitstream's fit/DSP-concentration rules), so pruning on
+/// it never changes the feasible set. The DSP floors presume the network
+/// actually builds a pointwise kernel; ExploreFoldedTilings only applies
+/// them when one exists.
+struct FoldedBound {
+  /// DSPs the pointwise kernel cannot avoid: one MAC per unrolled
+  /// c1*w2*c2 spatial lane, ops_per_dsp lanes per block.
+  std::int64_t min_kernel_dsps = 0;
+  /// Control-logic floor of a single kernel.
+  std::int64_t min_aluts = 0;
+  /// Why the candidate cannot work; empty when the bound is inconclusive
+  /// (the candidate still goes through full compile + synthesis).
+  std::string reject_reason;
+
+  [[nodiscard]] bool rejected() const { return !reject_reason.empty(); }
+};
+
+[[nodiscard]] FoldedBound BoundFoldedCandidate(const ConvTiling& conv1x1,
+                                               const fpga::BoardSpec& board,
+                                               const fpga::CostModel& model = {});
+
 struct DseOptions {
   /// Factors considered per tiling dimension (filtered by divisibility).
   std::vector<std::int64_t> c1_factors = {1, 2, 4, 8, 16};
@@ -44,8 +86,38 @@ struct DseOptions {
   std::vector<std::int64_t> c2_factors = {1, 2, 4, 8, 16, 32, 64};
   /// Keep at most this many fully-evaluated candidates (best first).
   std::size_t top_k = 8;
-  /// Upper bound on candidates to synthesize (safety valve).
+  /// Upper bound on candidates to enumerate (safety valve).
   std::size_t max_candidates = 512;
+  /// Worker threads compiling surviving candidates concurrently (<=1 runs
+  /// inline). Thread count never changes the result: enumeration and
+  /// filtering happen serially first, compiles land in per-candidate
+  /// slots, and the merge walks them in enumeration order.
+  int jobs = 1;
+  /// Memoize per-kernel lowering and synthesis across candidates. Uses
+  /// `cache` when set, else the process-wide CompileCache::Shared() (so
+  /// the fallback ladder and repeated sweeps share entries).
+  bool use_cache = true;
+  std::shared_ptr<CompileCache> cache;
+  /// Run the IR verifier / dataflow checker / perf linter on every
+  /// candidate compile. Off by default: candidates are evaluated for
+  /// synthesis feasibility only (the builders emit verified schedules,
+  /// and the winning recipe gets the full analysis gate when the caller
+  /// compiles it), and the gate costs more than a cache-warm compile.
+  /// Never affects the ranking -- analysis reads the plan, synthesis
+  /// does not read analysis.
+  bool verify_candidates = false;
+  /// Apply BoundFoldedCandidate before compiling (`rejected_bound`).
+  bool prune_bound = true;
+  /// Skip candidates whose unroll widths are <= an already-feasible
+  /// candidate's in every dimension (and < in at least one), charged as
+  /// `rejected_dominated`. Heuristic, off by default: it assumes fps is
+  /// monotone in unroll volume, which the fmax/routing-pressure model can
+  /// break (a smaller tiling at higher fmax may outrank a larger one).
+  bool dominance_prune = false;
+  /// Candidates evaluated per batch between dominance re-checks. Fixed --
+  /// deliberately NOT derived from `jobs` -- so dominance decisions (and
+  /// with them the result) do not depend on thread count.
+  std::size_t dominance_window = 16;
 };
 
 struct DseResult {
@@ -55,12 +127,34 @@ struct DseResult {
   std::size_t considered = 0;
   std::size_t rejected_divisibility = 0;
   std::size_t rejected_bandwidth = 0;
+  std::size_t rejected_bound = 0;
+  std::size_t rejected_dominated = 0;
   std::size_t rejected_fit = 0;
   std::size_t rejected_route = 0;
+  /// Feasible candidates found before top_k truncation.
+  std::size_t feasible_total = 0;
+  /// predicted_fps of the worst candidate that survived truncation and of
+  /// the best one it dropped -- callers can tell whether BestRecipe hides
+  /// near-ties past the top_k cut (0.0 when not applicable).
+  double worst_kept_fps = 0.0;
+  double best_dropped_fps = 0.0;
+  /// Cache activity during this sweep. Informational only: hit/miss
+  /// counts are NOT part of the jobs-invariance contract (racing misses
+  /// may compute a design twice) -- every other field above is.
+  CompileCacheStats cache_stats;
+
+  [[nodiscard]] bool truncated() const {
+    return feasible_total > ranked.size();
+  }
 
   [[nodiscard]] const DseCandidate& best() const;
   /// A folded recipe configured with the best candidate's tilings.
   [[nodiscard]] OptimizationRecipe BestRecipe(const std::string& tag) const;
+
+  /// Writes the sweep's `dse.*` gauges (counters, fps figures) and the
+  /// `dse.cache.*` series into `registry`. ExploreFoldedTilings also
+  /// writes them into the ambient obs::Registry::Current().
+  void ExportMetrics(obs::Registry& registry) const;
 };
 
 /// Explores tiling configurations for a folded deployment of `g` on

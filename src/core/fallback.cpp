@@ -48,8 +48,12 @@ bool DegradeFolded(const graph::Graph& g, DeployOptions& cur,
   if (HalveLargestTiling(cur.recipe, delta)) return true;
   if (policy.use_dse && !tried_dse) {
     tried_dse = true;
+    // The sweep shares the ladder's cache: kernels already compiled by
+    // earlier rungs are hits inside the exploration.
+    DseOptions dse_opts = policy.dse;
+    if (!dse_opts.cache) dse_opts.cache = cur.compile_cache;
     const DseResult dse =
-        ExploreFoldedTilings(g, cur.board, policy.dse, cur.cost_model);
+        ExploreFoldedTilings(g, cur.board, dse_opts, cur.cost_model);
     if (!dse.ranked.empty()) {
       const DseCandidate& best = dse.best();
       cur.recipe.conv1x1 = best.conv1x1;
@@ -139,6 +143,9 @@ FallbackResult CompileWithFallback(const graph::Graph& g,
                                    const FallbackPolicy& policy) {
   FallbackResult result;
   DeployOptions cur = options;
+  if (policy.use_compile_cache && !cur.compile_cache) {
+    cur.compile_cache = CompileCache::SharedPtr();
+  }
   std::string delta = "requested recipe";
   bool tried_dse = false;
 

@@ -40,6 +40,11 @@ struct FallbackPolicy {
   /// design.
   bool use_dse = true;
   DseOptions dse;
+  /// Memoize lowering/synthesis across ladder attempts (and the embedded
+  /// DSE sweep) via CompileCache::Shared(); the rungs of a ladder differ
+  /// only in one tiling family, so most kernels are reused. An explicit
+  /// options.compile_cache takes precedence.
+  bool use_compile_cache = true;
 };
 
 /// One rung of the ladder: what was compiled and how it went.

@@ -37,8 +37,11 @@ std::int64_t CountLoops(const ir::Stmt& body) {
   return loops;
 }
 
-KernelDesign SynthesizeKernel(const SynthInput& input, const AocOptions& opts,
-                              const CostModel& m) {
+}  // namespace
+
+KernelDesign SynthesizeKernelDesign(const SynthInput& input,
+                                    const AocOptions& opts,
+                                    const CostModel& m) {
   CLFLOW_CHECK(input.kernel != nullptr);
   const ir::Kernel& k = *input.kernel;
   KernelDesign d;
@@ -109,19 +112,26 @@ KernelDesign SynthesizeKernel(const SynthInput& input, const AocOptions& opts,
   return d;
 }
 
-}  // namespace
-
 Bitstream Synthesize(const std::vector<SynthInput>& kernels,
                      const BoardSpec& board, const AocOptions& options,
                      const CostModel& model) {
   CLFLOW_CHECK_MSG(!kernels.empty(), "nothing to synthesize");
+  std::vector<KernelDesign> designs;
+  designs.reserve(kernels.size());
+  for (const auto& input : kernels) {
+    designs.push_back(SynthesizeKernelDesign(input, options, model));
+  }
+  return AssembleBitstream(std::move(designs), board, options, model);
+}
+
+Bitstream AssembleBitstream(std::vector<KernelDesign> kernels,
+                            const BoardSpec& board, const AocOptions& options,
+                            const CostModel& model) {
+  CLFLOW_CHECK_MSG(!kernels.empty(), "nothing to assemble");
   Bitstream bs;
   bs.board = board;
   bs.options = options;
-
-  for (const auto& input : kernels) {
-    bs.kernels.push_back(SynthesizeKernel(input, options, model));
-  }
+  bs.kernels = std::move(kernels);
 
   ResourceTotals& t = bs.totals;
   for (const auto& k : bs.kernels) {

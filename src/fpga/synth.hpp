@@ -147,6 +147,23 @@ struct SynthInput {
                                    const AocOptions& options = {},
                                    const CostModel& model = {});
 
+/// Synthesizes one kernel in isolation: area/LSU/DSP estimation under the
+/// representative bindings. Board-independent (fit/route/fmax are design
+/// totals computed by AssembleBitstream), which is what makes the result
+/// memoizable across design points (core::CompileCache).
+[[nodiscard]] KernelDesign SynthesizeKernelDesign(const SynthInput& input,
+                                                  const AocOptions& options = {},
+                                                  const CostModel& model = {});
+
+/// Combines per-kernel designs into a full bitstream: resource totals,
+/// fit check, routing-pressure/fmax model, per-kernel DSP-concentration
+/// route check. Synthesize() == SynthesizeKernelDesign per kernel +
+/// AssembleBitstream.
+[[nodiscard]] Bitstream AssembleBitstream(std::vector<KernelDesign> kernels,
+                                          const BoardSpec& board,
+                                          const AocOptions& options = {},
+                                          const CostModel& model = {});
+
 // --- Runtime timing ---------------------------------------------------------
 
 /// Cycles for one invocation of a synthesized kernel whose dynamic

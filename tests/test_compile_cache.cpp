@@ -1,0 +1,198 @@
+// Tests for the content-hashed compile/synthesis cache (DSE v2).
+#include <gtest/gtest.h>
+
+#include "common/parallel.hpp"
+#include "core/compile_cache.hpp"
+#include "core/deployment.hpp"
+#include "nets/nets.hpp"
+#include "obs/metrics.hpp"
+
+namespace clflow::core {
+namespace {
+
+class CompileCacheTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(42);
+    net_ = new graph::Graph(nets::BuildMobileNetV1(rng));
+  }
+  static void TearDownTestSuite() { delete net_; }
+
+  [[nodiscard]] static DeployOptions Options(
+      std::shared_ptr<CompileCache> cache) {
+    DeployOptions dep;
+    dep.mode = ExecutionMode::kFolded;
+    dep.recipe = FoldedMobileNet("s10sx");
+    dep.board = fpga::Stratix10SX();
+    dep.compile_cache = std::move(cache);
+    return dep;
+  }
+
+  static graph::Graph* net_;
+};
+graph::Graph* CompileCacheTest::net_ = nullptr;
+
+TEST_F(CompileCacheTest, SecondIdenticalCompileSynthesizesNothing) {
+  auto cache = std::make_shared<CompileCache>();
+  auto first = Deployment::Compile(*net_, Options(cache));
+  ASSERT_TRUE(first.ok());
+  const CompileCacheStats warm = cache->stats();
+  EXPECT_GT(warm.design_misses, 0);
+  EXPECT_EQ(warm.design_hits, 0);
+
+  auto second = Deployment::Compile(*net_, Options(cache));
+  ASSERT_TRUE(second.ok());
+  const CompileCacheStats delta = cache->stats().Since(warm);
+  // Zero fpga::SynthesizeKernelDesign calls: every kernel design was a
+  // cache hit, visible through the dse.cache.* gauge series.
+  obs::Registry reg;
+  cache->ExportMetrics(reg, "dse.cache.", warm);
+  EXPECT_EQ(reg.gauge("dse.cache.design.misses").value(), 0.0);
+  EXPECT_EQ(reg.gauge("dse.cache.design.hits").value(),
+            static_cast<double>(second.kernels().size()));
+  EXPECT_EQ(reg.gauge("dse.cache.hit_rate").value(), 1.0);
+  EXPECT_EQ(delta.design_misses, 0);
+  EXPECT_EQ(delta.misses(), 0);
+
+  // The per-deployment telemetry counters tell the same story.
+  EXPECT_EQ(second.telemetry().registry.counter("compile.cache.misses")
+                .value(),
+            0.0);
+  EXPECT_EQ(second.telemetry().registry.counter("compile.cache.hits").value(),
+            static_cast<double>(second.kernels().size()));
+}
+
+TEST_F(CompileCacheTest, CachedCompileMatchesUncached) {
+  auto cache = std::make_shared<CompileCache>();
+  auto cold = Deployment::Compile(*net_, Options(nullptr));
+  auto warm1 = Deployment::Compile(*net_, Options(cache));
+  auto warm2 = Deployment::Compile(*net_, Options(cache));  // all hits
+  for (const auto* d : {&warm1, &warm2}) {
+    ASSERT_EQ(d->bitstream().status, cold.bitstream().status);
+    EXPECT_EQ(d->bitstream().fmax_mhz, cold.bitstream().fmax_mhz);
+    EXPECT_EQ(d->bitstream().routing_pressure,
+              cold.bitstream().routing_pressure);
+    EXPECT_EQ(d->bitstream().totals.aluts, cold.bitstream().totals.aluts);
+    EXPECT_EQ(d->bitstream().totals.dsps, cold.bitstream().totals.dsps);
+    EXPECT_EQ(d->bitstream().totals.brams, cold.bitstream().totals.brams);
+    ASSERT_EQ(d->bitstream().kernels.size(), cold.bitstream().kernels.size());
+    for (std::size_t i = 0; i < cold.bitstream().kernels.size(); ++i) {
+      const auto& a = d->bitstream().kernels[i];
+      const auto& b = cold.bitstream().kernels[i];
+      EXPECT_EQ(a.name, b.name);
+      EXPECT_EQ(a.dsps, b.dsps);
+      EXPECT_EQ(a.aluts, b.aluts);
+      EXPECT_EQ(a.brams, b.brams);
+      EXPECT_EQ(a.lsu_count, b.lsu_count);
+      // Cached designs are re-pointed at the owning deployment's kernel.
+      ASSERT_NE(a.kernel, nullptr);
+      EXPECT_EQ(a.kernel->name, a.name);
+    }
+  }
+  // And the deployment still runs.
+  Tensor probe = Tensor::Full(Shape{1, 3, 224, 224}, 0.0f);
+  EXPECT_EQ(warm2.EstimateFps(probe), cold.EstimateFps(probe));
+}
+
+TEST_F(CompileCacheTest, CostModelChangeInvalidatesByFingerprint) {
+  auto cache = std::make_shared<CompileCache>();
+  auto a = Deployment::Compile(*net_, Options(cache));
+  const CompileCacheStats warm = cache->stats();
+
+  DeployOptions dep = Options(cache);
+  dep.cost_model.lsu_base_alut += 1;  // any model constant participates
+  auto b = Deployment::Compile(*net_, dep);
+  const CompileCacheStats delta = cache->stats().Since(warm);
+  EXPECT_EQ(delta.design_hits, 0);
+  EXPECT_EQ(delta.design_misses,
+            static_cast<std::int64_t>(b.kernels().size()));
+  // Entries under the old fingerprint are orphaned, never returned stale.
+  EXPECT_GT(cache->stats().entries, warm.entries);
+}
+
+TEST_F(CompileCacheTest, AocFlagChangeInvalidatesByFingerprint) {
+  auto cache = std::make_shared<CompileCache>();
+  (void)Deployment::Compile(*net_, Options(cache));
+  const CompileCacheStats warm = cache->stats();
+  DeployOptions dep = Options(cache);
+  dep.recipe.aoc.fp_relaxed = false;
+  (void)Deployment::Compile(*net_, dep);
+  EXPECT_EQ(cache->stats().Since(warm).design_hits, 0);
+}
+
+TEST_F(CompileCacheTest, BoardChangeReusesKernelDesigns) {
+  // Per-kernel synthesis is board-independent by construction; only
+  // AssembleBitstream (cheap) re-runs, so a board change is all hits.
+  auto cache = std::make_shared<CompileCache>();
+  auto sx = Deployment::Compile(*net_, Options(cache));
+  const CompileCacheStats warm = cache->stats();
+  DeployOptions dep = Options(cache);
+  dep.board = fpga::Stratix10MX();
+  auto mx = Deployment::Compile(*net_, dep);
+  EXPECT_EQ(cache->stats().Since(warm).design_misses, 0);
+  // The verdict can still differ per board (that is AssembleBitstream's
+  // job), but per-kernel areas are identical.
+  ASSERT_EQ(sx.bitstream().kernels.size(), mx.bitstream().kernels.size());
+  for (std::size_t i = 0; i < sx.bitstream().kernels.size(); ++i) {
+    EXPECT_EQ(sx.bitstream().kernels[i].aluts,
+              mx.bitstream().kernels[i].aluts);
+    EXPECT_EQ(sx.bitstream().kernels[i].dsps, mx.bitstream().kernels[i].dsps);
+  }
+}
+
+TEST_F(CompileCacheTest, ClearDropsEntriesAndForcesRecompute) {
+  auto cache = std::make_shared<CompileCache>();
+  (void)Deployment::Compile(*net_, Options(cache));
+  EXPECT_GT(cache->stats().entries, 0);
+  EXPECT_GT(cache->stats().bytes, 0);
+  cache->Clear();
+  EXPECT_EQ(cache->stats().entries, 0);
+  EXPECT_EQ(cache->stats().bytes, 0);
+  const CompileCacheStats base = cache->stats();
+  auto d = Deployment::Compile(*net_, Options(cache));
+  EXPECT_EQ(cache->stats().Since(base).design_hits, 0);
+  EXPECT_EQ(cache->stats().Since(base).design_misses,
+            static_cast<std::int64_t>(d.kernels().size()));
+}
+
+TEST_F(CompileCacheTest, ConvKernelKeyCoversScheduleAndSpec) {
+  ir::ConvSpec spec{.c1 = 32, .h1 = 56, .w1 = 56, .k = 64, .f = 1,
+                    .stride = 1, .depthwise = false, .has_bias = true,
+                    .activation = Activation::kRelu};
+  ir::ConvSchedule sched;
+  sched.tile_c1 = 4;
+  sched.tile_w2 = 7;
+  sched.tile_c2 = 8;
+  const std::string base = CompileCache::ConvKernelKey(spec, sched, "k");
+  auto differs = [&](auto&& mutate) {
+    ir::ConvSpec s2 = spec;
+    ir::ConvSchedule c2 = sched;
+    mutate(s2, c2);
+    return CompileCache::ConvKernelKey(s2, c2, "k") != base;
+  };
+  EXPECT_TRUE(differs([](auto& s, auto&) { s.stride = 2; }));
+  EXPECT_TRUE(differs([](auto& s, auto&) { s.depthwise = true; }));
+  EXPECT_TRUE(differs([](auto&, auto& c) { c.tile_c2 = 16; }));
+  EXPECT_TRUE(differs([](auto&, auto& c) { c.unroll_filter = true; }));
+  EXPECT_TRUE(differs([](auto&, auto& c) { c.symbolic = true; }));
+  EXPECT_NE(CompileCache::ConvKernelKey(spec, sched, "other"), base);
+}
+
+TEST_F(CompileCacheTest, ConcurrentCompilesShareOneCache) {
+  // Eight concurrent Deployment::Compile calls against one cache: the
+  // sanitizer CI config (CLFLOW_SANITIZE=thread) runs this to catch data
+  // races in the cache and the obs/diagnostics plumbing.
+  auto cache = std::make_shared<CompileCache>();
+  std::vector<double> fmax(8, 0.0);
+  ParallelFor(0, 8, 8, [&](std::int64_t i) {
+    auto d = Deployment::Compile(*net_, Options(cache));
+    fmax[static_cast<std::size_t>(i)] = d.bitstream().fmax_mhz;
+  });
+  for (double f : fmax) EXPECT_EQ(f, fmax[0]);
+  EXPECT_GT(fmax[0], 0.0);
+  // Racing misses may duplicate work but never corrupt the entry count.
+  EXPECT_GT(cache->stats().design_hits, 0);
+}
+
+}  // namespace
+}  // namespace clflow::core

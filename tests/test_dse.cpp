@@ -1,8 +1,11 @@
 // Tests for the tiling design-space explorer (the paper's SS4.11
-// future-work item).
+// future-work item): filters, counters, and the DSE v2 guarantees --
+// thread-count-invariant results, sound analytical pruning, truncation
+// visibility.
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "core/dse.hpp"
 #include "nets/nets.hpp"
 
@@ -19,6 +22,36 @@ class DseTest : public ::testing::Test {
   static graph::Graph* net_;
 };
 graph::Graph* DseTest::net_ = nullptr;
+
+/// Field-by-field equality of everything the jobs-invariance contract
+/// covers (ranking, every rejection counter, status strings, fps); the
+/// informational cache_stats is deliberately excluded.
+void ExpectIdenticalResults(const DseResult& a, const DseResult& b) {
+  EXPECT_EQ(a.considered, b.considered);
+  EXPECT_EQ(a.rejected_divisibility, b.rejected_divisibility);
+  EXPECT_EQ(a.rejected_bandwidth, b.rejected_bandwidth);
+  EXPECT_EQ(a.rejected_bound, b.rejected_bound);
+  EXPECT_EQ(a.rejected_dominated, b.rejected_dominated);
+  EXPECT_EQ(a.rejected_fit, b.rejected_fit);
+  EXPECT_EQ(a.rejected_route, b.rejected_route);
+  EXPECT_EQ(a.feasible_total, b.feasible_total);
+  EXPECT_EQ(a.worst_kept_fps, b.worst_kept_fps);
+  EXPECT_EQ(a.best_dropped_fps, b.best_dropped_fps);
+  ASSERT_EQ(a.ranked.size(), b.ranked.size());
+  for (std::size_t i = 0; i < a.ranked.size(); ++i) {
+    const DseCandidate& x = a.ranked[i];
+    const DseCandidate& y = b.ranked[i];
+    EXPECT_EQ(x.conv1x1.c1, y.conv1x1.c1) << "rank " << i;
+    EXPECT_EQ(x.conv1x1.w2, y.conv1x1.w2) << "rank " << i;
+    EXPECT_EQ(x.conv1x1.c2, y.conv1x1.c2) << "rank " << i;
+    EXPECT_EQ(x.predicted_fps, y.predicted_fps) << "rank " << i;
+    EXPECT_EQ(x.status, y.status) << "rank " << i;
+    EXPECT_EQ(x.status_detail, y.status_detail) << "rank " << i;
+    EXPECT_EQ(x.fmax_mhz, y.fmax_mhz) << "rank " << i;
+    EXPECT_EQ(x.dsps, y.dsps) << "rank " << i;
+    EXPECT_EQ(x.alut_frac, y.alut_frac) << "rank " << i;
+  }
+}
 
 TEST_F(DseTest, FindsFeasibleConfigurations) {
   DseOptions opts;
@@ -88,10 +121,18 @@ TEST_F(DseTest, RouteFailuresAreCounted) {
   DseOptions opts;
   opts.c1_factors = {8};
   opts.w2_factors = {7};
-  opts.c2_factors = {16};  // the 7/16/8 configuration: fails on S10SX
-  const auto result = ExploreFoldedTilings(*net_, fpga::Stratix10SX(), opts);
-  EXPECT_EQ(result.rejected_route, 1u);
-  EXPECT_TRUE(result.ranked.empty());
+  opts.c2_factors = {16};  // 8*7*16 DSPs over-concentrate on the S10SX
+  // The analytical bound catches the DSP concentration without compiling.
+  const auto pruned = ExploreFoldedTilings(*net_, fpga::Stratix10SX(), opts);
+  EXPECT_EQ(pruned.rejected_bound, 1u);
+  EXPECT_EQ(pruned.rejected_route, 0u);
+  EXPECT_TRUE(pruned.ranked.empty());
+  // Without the bound, full synthesis reaches the same verdict.
+  opts.prune_bound = false;
+  const auto full = ExploreFoldedTilings(*net_, fpga::Stratix10SX(), opts);
+  EXPECT_EQ(full.rejected_route, 1u);
+  EXPECT_EQ(full.rejected_bound, 0u);
+  EXPECT_TRUE(full.ranked.empty());
 }
 
 TEST_F(DseTest, FitFailuresAreCounted) {
@@ -101,34 +142,189 @@ TEST_F(DseTest, FitFailuresAreCounted) {
   opts.c2_factors = {8};
   fpga::CostModel bloated;
   bloated.kernel_base_alut = 100'000'000;  // no kernel fits any board
-  const auto result =
+  // The control-logic floor already exceeds the board: bound-rejected.
+  const auto pruned =
       ExploreFoldedTilings(*net_, fpga::Stratix10SX(), opts, bloated);
-  EXPECT_EQ(result.rejected_fit, 1u);
-  EXPECT_EQ(result.rejected_route, 0u);
-  EXPECT_TRUE(result.ranked.empty());
+  EXPECT_EQ(pruned.rejected_bound, 1u);
+  EXPECT_EQ(pruned.rejected_fit, 0u);
+  EXPECT_TRUE(pruned.ranked.empty());
+  // Without the bound, synthesis reports the fit error.
+  opts.prune_bound = false;
+  const auto full =
+      ExploreFoldedTilings(*net_, fpga::Stratix10SX(), opts, bloated);
+  EXPECT_EQ(full.rejected_fit, 1u);
+  EXPECT_EQ(full.rejected_route, 0u);
+  EXPECT_TRUE(full.ranked.empty());
 }
 
 TEST_F(DseTest, RejectionCountersPartitionTheSweep) {
-  // Every considered candidate lands in exactly one bucket: ranked or one
-  // of the rejection counters. (Factor sets small enough that the
-  // feasible count stays under top_k, so ranked is not truncated.)
+  // Every considered candidate lands in exactly one bucket: feasible or
+  // one of the rejection counters.
   DseOptions opts;
   opts.c1_factors = {1, 3, 4};  // 3 never divides MobileNet's 1x1 C1
   opts.w2_factors = {1, 7};
   opts.c2_factors = {1, 16};
   const auto result = ExploreFoldedTilings(*net_, fpga::Stratix10SX(), opts);
   EXPECT_EQ(result.considered,
-            result.ranked.size() + result.rejected_divisibility +
-                result.rejected_bandwidth + result.rejected_fit +
+            result.feasible_total + result.rejected_divisibility +
+                result.rejected_bandwidth + result.rejected_bound +
+                result.rejected_dominated + result.rejected_fit +
                 result.rejected_route);
   EXPECT_GT(result.rejected_divisibility, 0u);
 }
 
-TEST_F(DseTest, MaxCandidatesBounds) {
+TEST_F(DseTest, MaxCandidatesBoundsTheWholeSweep) {
   DseOptions opts;
   opts.max_candidates = 3;
   const auto result = ExploreFoldedTilings(*net_, fpga::Stratix10SX(), opts);
-  EXPECT_LE(result.considered, 3u);
+  // The cap stops the whole enumeration, not just one inner loop: with
+  // |c2_factors| = 7 the old break-only-c2 bug kept counting into the
+  // next c1/w2 iterations.
+  EXPECT_EQ(result.considered, 3u);
+}
+
+TEST_F(DseTest, BoundPruningNeverChangesTheRanking) {
+  // Soundness of BoundFoldedCandidate: the default sweep with the bound on
+  // finds exactly the candidates full synthesis finds, and everything the
+  // bound rejects would have failed fit or route.
+  DseOptions with_bound;
+  with_bound.cache = std::make_shared<CompileCache>();
+  DseOptions without = with_bound;
+  without.prune_bound = false;
+  const auto a = ExploreFoldedTilings(*net_, fpga::Stratix10SX(), with_bound);
+  const auto b = ExploreFoldedTilings(*net_, fpga::Stratix10SX(), without);
+  EXPECT_EQ(a.rejected_bound,
+            b.rejected_fit + b.rejected_route - a.rejected_fit -
+                a.rejected_route);
+  EXPECT_EQ(a.feasible_total, b.feasible_total);
+  ASSERT_EQ(a.ranked.size(), b.ranked.size());
+  for (std::size_t i = 0; i < a.ranked.size(); ++i) {
+    EXPECT_EQ(a.ranked[i].conv1x1.c1, b.ranked[i].conv1x1.c1);
+    EXPECT_EQ(a.ranked[i].conv1x1.w2, b.ranked[i].conv1x1.w2);
+    EXPECT_EQ(a.ranked[i].conv1x1.c2, b.ranked[i].conv1x1.c2);
+    EXPECT_EQ(a.ranked[i].predicted_fps, b.ranked[i].predicted_fps);
+  }
+}
+
+TEST_F(DseTest, TruncationIsVisible) {
+  DseOptions opts;
+  opts.c1_factors = {1, 2, 4};
+  opts.w2_factors = {1, 7};
+  opts.c2_factors = {1, 2, 4, 8};
+  opts.top_k = 3;
+  const auto result = ExploreFoldedTilings(*net_, fpga::Stratix10SX(), opts);
+  ASSERT_EQ(result.ranked.size(), 3u);
+  ASSERT_TRUE(result.truncated());
+  EXPECT_GT(result.feasible_total, result.ranked.size());
+  EXPECT_EQ(result.worst_kept_fps, result.ranked.back().predicted_fps);
+  EXPECT_GT(result.best_dropped_fps, 0.0);
+  // The cut is ordered: everything kept is at least as good as the best
+  // candidate dropped.
+  EXPECT_GE(result.worst_kept_fps, result.best_dropped_fps);
+
+  // An untruncated sweep reports no dropped candidate.
+  DseOptions wide = opts;
+  wide.top_k = 64;
+  const auto all = ExploreFoldedTilings(*net_, fpga::Stratix10SX(), wide);
+  EXPECT_FALSE(all.truncated());
+  EXPECT_EQ(all.best_dropped_fps, 0.0);
+}
+
+TEST_F(DseTest, ParallelSweepIsBitIdenticalOnMobileNet) {
+  // Same sweep on 1 and 8 workers, each with a private cache so neither
+  // run warms the other: identical ranked vectors and counters.
+  DseOptions serial;
+  serial.jobs = 1;
+  serial.cache = std::make_shared<CompileCache>();
+  DseOptions parallel;
+  parallel.jobs = 8;
+  parallel.cache = std::make_shared<CompileCache>();
+  const auto a = ExploreFoldedTilings(*net_, fpga::Stratix10SX(), serial);
+  const auto b = ExploreFoldedTilings(*net_, fpga::Stratix10SX(), parallel);
+  ASSERT_FALSE(a.ranked.empty());
+  ExpectIdenticalResults(a, b);
+}
+
+TEST_F(DseTest, ParallelSweepIsBitIdenticalOnLeNet) {
+  Rng rng(7);
+  const graph::Graph lenet = nets::BuildLeNet5(rng);
+  DseOptions serial;
+  serial.jobs = 1;
+  serial.cache = std::make_shared<CompileCache>();
+  DseOptions parallel;
+  parallel.jobs = 8;
+  parallel.cache = std::make_shared<CompileCache>();
+  const auto a = ExploreFoldedTilings(lenet, fpga::Arria10(), serial);
+  const auto b = ExploreFoldedTilings(lenet, fpga::Arria10(), parallel);
+  ASSERT_FALSE(a.ranked.empty());
+  ExpectIdenticalResults(a, b);
+}
+
+TEST_F(DseTest, ParallelSweepIsBitIdenticalWithDominancePruning) {
+  // The dominance window is fixed, so pruning decisions are also
+  // thread-count invariant.
+  DseOptions serial;
+  serial.jobs = 1;
+  serial.dominance_prune = true;
+  serial.dominance_window = 4;
+  serial.cache = std::make_shared<CompileCache>();
+  DseOptions parallel = serial;
+  parallel.jobs = 8;
+  parallel.cache = std::make_shared<CompileCache>();
+  const auto a = ExploreFoldedTilings(*net_, fpga::Stratix10SX(), serial);
+  const auto b = ExploreFoldedTilings(*net_, fpga::Stratix10SX(), parallel);
+  ASSERT_FALSE(a.ranked.empty());
+  ExpectIdenticalResults(a, b);
+}
+
+TEST_F(DseTest, DominancePruningSkipsShadowedCandidates) {
+  DseOptions opts;
+  opts.dominance_prune = true;
+  opts.dominance_window = 4;
+  opts.cache = std::make_shared<CompileCache>();
+  const auto result = ExploreFoldedTilings(*net_, fpga::Stratix10SX(), opts);
+  ASSERT_FALSE(result.ranked.empty());
+  EXPECT_GT(result.rejected_dominated, 0u);
+  // Skipped candidates still partition the sweep.
+  EXPECT_EQ(result.considered,
+            result.feasible_total + result.rejected_divisibility +
+                result.rejected_bandwidth + result.rejected_bound +
+                result.rejected_dominated + result.rejected_fit +
+                result.rejected_route);
+  // The heuristic cannot invent a better design than the exhaustive sweep.
+  const auto full = ExploreFoldedTilings(*net_, fpga::Stratix10SX(), {});
+  EXPECT_LE(result.best().predicted_fps, full.best().predicted_fps);
+}
+
+TEST_F(DseTest, SweepExportsDseGauges) {
+  DseOptions opts;
+  opts.c1_factors = {1, 4};
+  opts.w2_factors = {7};
+  opts.c2_factors = {4};
+  opts.cache = std::make_shared<CompileCache>();
+  const auto result = ExploreFoldedTilings(*net_, fpga::Stratix10SX(), opts);
+  obs::Registry reg;
+  result.ExportMetrics(reg);
+  EXPECT_EQ(reg.gauge("dse.considered").value(),
+            static_cast<double>(result.considered));
+  EXPECT_EQ(reg.gauge("dse.feasible").value(),
+            static_cast<double>(result.feasible_total));
+  EXPECT_EQ(reg.gauge("dse.best_fps").value(),
+            result.ranked.front().predicted_fps);
+  // Shared kernels across the two candidates produced cache hits.
+  EXPECT_GT(reg.gauge("dse.cache.hits").value(), 0.0);
+  EXPECT_GT(reg.gauge("dse.cache.hit_rate").value(), 0.0);
+  EXPECT_GT(reg.gauge("dse.cache.bytes").value(), 0.0);
+}
+
+TEST_F(DseTest, DefaultMobileNetSweepCacheHitRateMeetsFloor) {
+  // Acceptance criterion: >= 50% hit rate on the default MobileNet sweep
+  // (every candidate shares the conv3x3/conv_dw/pad/dense kernels).
+  DseOptions opts;
+  opts.cache = std::make_shared<CompileCache>();
+  const auto result = ExploreFoldedTilings(*net_, fpga::Stratix10SX(), opts);
+  ASSERT_FALSE(result.ranked.empty());
+  EXPECT_GE(result.cache_stats.hit_rate(), 0.5);
 }
 
 }  // namespace
