@@ -20,6 +20,7 @@ int main() {
   graph::Graph net = nets::BuildMobileNetV1(rng);
   Tensor image = nets::SyntheticImagenetImage(rng);
   const auto& board = fpga::Stratix10SX();
+  bench::BenchSnapshot json("ablation_folded");
 
   auto report = [&](const char* label, core::Deployment& d) {
     if (!d.ok()) {
@@ -38,11 +39,13 @@ int main() {
   // Reference: the full Table 6.7 configuration.
   auto full = bench::DeployFolded(net, core::FoldedMobileNet("s10sx"), board);
   const double full_fps = report("full optimization (7/16/4, pinned)", full);
+  json.Metric("full_fps", full_fps);
 
   // 1. No cached writes / fusion: the naive per-layer baseline.
   {
     auto d = bench::DeployFolded(net, core::FoldedBase(), board);
     const double fps = report("no fusion/write caches (naive, II=5)", d);
+    json.Metric("naive_fps", fps);
     if (fps > 0) {
       std::printf("    -> fused+cached accumulators are worth %.0fx\n",
                   full_fps / fps);
@@ -55,6 +58,7 @@ int main() {
     recipe.pin_strides = false;
     auto d = bench::DeployFolded(net, recipe, board);
     const double fps = report("symbolic kernels, strides NOT pinned", d);
+    json.Metric("unpinned_fps", fps);
     if (fps > 0) {
       std::printf("    -> Listing 5.11 stride pinning is worth %.1fx\n",
                   full_fps / fps);
@@ -104,6 +108,7 @@ int main() {
     recipe.pipeline_tail = true;
     auto d = bench::DeployFolded(net, recipe, board);
     const double fps = report("hybrid: folded body + pipelined tail", d);
+    json.Metric("hybrid_fps", fps);
     if (fps > 0 && full_fps > 0) {
       std::printf("    -> tail channels/autorun change FPS by %+.1f%%\n",
                   100.0 * (fps / full_fps - 1.0));
@@ -127,5 +132,6 @@ int main() {
                            : a10.bitstream().status_detail.c_str());
     }
   }
+  json.Write();
   return 0;
 }

@@ -15,6 +15,7 @@ int main() {
 
   Table t({"Buffer size", "Board", "H2D time", "H2D GB/s", "D2H time",
            "D2H GB/s"});
+  bench::BenchSnapshot json("appendix_a_transfers");
   for (std::int64_t bytes : {4 << 10, 64 << 10, 1 << 20, 16 << 20,
                              256 << 20}) {
     for (const auto& board : fpga::EvaluationBoards()) {
@@ -29,10 +30,14 @@ int main() {
       t.AddRow({size_label, board.name, Table::Num(h2d.us(), 1) + " us",
                 Table::Num(gbps(h2d), 2), Table::Num(d2h.us(), 1) + " us",
                 Table::Num(gbps(d2h), 2)});
+      const std::string prefix = board.key + "." + std::to_string(bytes);
+      json.Metric(prefix + ".h2d_gbps", gbps(h2d));
+      json.Metric(prefix + ".d2h_gbps", gbps(d2h));
     }
   }
   t.Print();
   std::printf("\nnetwork-relevant sizes: a LeNet image is 3 KB, an ImageNet "
               "image 588 KB, MobileNet parameters 16.8 MB.\n");
+  json.Write();
   return 0;
 }

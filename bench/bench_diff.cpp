@@ -1,0 +1,18 @@
+// Compares two BENCH_<name>.json snapshots (see bench_util.hpp for the
+// schema) and exits nonzero when any metric regresses beyond its
+// tolerance. CI runs this against the committed baselines under
+// bench/results/ so model or runtime changes that silently slow a
+// deployment fail the build instead of drifting.
+//
+//   bench_diff <baseline.json> <current.json>
+//              [--tol R] [--tol prefix=R]... [--ignore prefix]...
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "prof/bench_compare.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return clflow::prof::RunBenchDiff(args, std::cout);
+}

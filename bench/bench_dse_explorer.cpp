@@ -112,8 +112,8 @@ int main(int argc, char** argv) {
   graph::Graph net = nets::BuildMobileNetV1(rng);
   Tensor image = nets::SyntheticImagenetImage(rng);
 
-  bench::BenchJson json("dse_explorer");
-  json.Value("jobs", jobs);
+  bench::BenchSnapshot json("dse_explorer");
+  json.Metric("jobs", jobs);
   bool mismatch = false;
   double total_seed_us = 0, total_cached_us = 0, total_parallel_us = 0;
 
@@ -196,25 +196,25 @@ int main(int argc, char** argv) {
     total_seed_us += seed_us;
     total_cached_us += cached_us;
     total_parallel_us += parallel_us;
-    json.Value(board.key + ".wall_us.seed", seed_us);
-    json.Value(board.key + ".wall_us.cached_serial", cached_us);
-    json.Value(board.key + ".wall_us.parallel", parallel_us);
-    json.Value(board.key + ".per_candidate_us.seed", per_candidate_us);
-    json.Value(board.key + ".speedup.cached_serial", speedup_cached);
-    json.Value(board.key + ".speedup.parallel", speedup_parallel);
-    json.Value(board.key + ".cache.hit_rate",
+    json.Metric("wall." + board.key + ".wall_us.seed", seed_us);
+    json.Metric("wall." + board.key + ".wall_us.cached_serial", cached_us);
+    json.Metric("wall." + board.key + ".wall_us.parallel", parallel_us);
+    json.Metric("wall." + board.key + ".per_candidate_us.seed", per_candidate_us);
+    json.Metric("wall." + board.key + ".speedup.cached_serial", speedup_cached);
+    json.Metric("wall." + board.key + ".speedup.parallel", speedup_parallel);
+    json.Metric(board.key + ".cache.hit_rate",
                parallel.cache_stats.hit_rate());
-    json.Value(board.key + ".cache.hits",
+    json.Metric(board.key + ".cache.hits",
                static_cast<double>(parallel.cache_stats.hits()));
-    json.Value(board.key + ".cache.misses",
+    json.Metric(board.key + ".cache.misses",
                static_cast<double>(parallel.cache_stats.misses()));
-    json.Value(board.key + ".considered",
+    json.Metric(board.key + ".considered",
                static_cast<double>(result.considered));
-    json.Value(board.key + ".feasible",
+    json.Metric(board.key + ".feasible",
                static_cast<double>(result.feasible_total));
     obs::Registry reg;
     result.ExportMetrics(reg);
-    json.Metrics(board.key + ".dse", reg);
+    json.Registry(board.key + ".dse", reg);
 
     // Compare with the hand-picked Table 6.7 configuration.
     auto hand =
@@ -226,8 +226,8 @@ int main(int argc, char** argv) {
                 "(%.2fx)\n\n",
                 hand_fps, best_fps,
                 hand_fps > 0 ? best_fps / hand_fps : 0.0);
-    json.Value(board.key + ".best_fps", best_fps);
-    json.Value(board.key + ".hand_fps", hand_fps);
+    json.Metric(board.key + ".best_fps", best_fps);
+    json.Metric(board.key + ".hand_fps", hand_fps);
   }
 
   // Whole-evaluation totals: all boards, including the parallel config's
@@ -236,11 +236,11 @@ int main(int argc, char** argv) {
               "parallel(%d) %.0f us (%.2fx) ===\n",
               total_seed_us, total_cached_us, total_seed_us / total_cached_us,
               jobs, total_parallel_us, total_seed_us / total_parallel_us);
-  json.Value("total.wall_us.seed", total_seed_us);
-  json.Value("total.wall_us.cached_serial", total_cached_us);
-  json.Value("total.wall_us.parallel", total_parallel_us);
-  json.Value("total.speedup.cached_serial", total_seed_us / total_cached_us);
-  json.Value("total.speedup.parallel", total_seed_us / total_parallel_us);
+  json.Metric("wall.total.wall_us.seed", total_seed_us);
+  json.Metric("wall.total.wall_us.cached_serial", total_cached_us);
+  json.Metric("wall.total.wall_us.parallel", total_parallel_us);
+  json.Metric("wall.total.speedup.cached_serial", total_seed_us / total_cached_us);
+  json.Metric("wall.total.speedup.parallel", total_seed_us / total_parallel_us);
   json.Write();
   return mismatch ? 1 : 0;
 }

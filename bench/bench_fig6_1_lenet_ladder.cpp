@@ -24,6 +24,7 @@ int main() {
 
   Table table({"Bitstream", "S10MX", "S10MX[CE]", "S10SX", "S10SX[CE]",
                "A10", "A10[CE]"});
+  bench::BenchSnapshot json("fig6_1_lenet_ladder");
   std::vector<std::vector<double>> fps_ce(5);
 
   int row_idx = 0;
@@ -38,6 +39,8 @@ int main() {
       row.push_back(Table::Num(fps_s, 0));
       row.push_back(Table::Num(fps_c, 0));
       fps_ce[static_cast<std::size_t>(row_idx)].push_back(fps_c);
+      json.Metric(board.key + "." + recipe.name + ".fps", fps_s);
+      json.Metric(board.key + "." + recipe.name + ".ce_fps", fps_c);
       ++board_idx;
     }
     table.AddRow(std::move(row));
@@ -59,5 +62,6 @@ int main() {
     ++b;
   }
   summary.Print();
+  json.Write();
   return 0;
 }

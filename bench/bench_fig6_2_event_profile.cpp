@@ -17,7 +17,7 @@ int main() {
 
   Table table({"Board", "Bitstream", "Kernel us", "Write us", "Read us",
                "Write share"});
-  bench::BenchJson json("fig6_2_event_profile");
+  bench::BenchSnapshot json("fig6_2_event_profile");
   for (const auto& board : fpga::EvaluationBoards()) {
     for (const auto* recipe_name : {"Base", "Autorun"}) {
       core::OptimizationRecipe recipe = std::string(recipe_name) == "Base"
@@ -33,13 +33,13 @@ int main() {
                     Table::Num(breakdown.read.us(), 1),
                     Table::Pct(breakdown.write.seconds() / total)});
       const std::string tag = std::string(board.key) + "." + recipe_name;
-      json.Value(tag + ".kernel_us", breakdown.kernel.us());
-      json.Value(tag + ".write_us", breakdown.write.us());
-      json.Value(tag + ".read_us", breakdown.read.us());
+      json.Metric(tag + ".kernel_us", breakdown.kernel.us());
+      json.Metric(tag + ".write_us", breakdown.write.us());
+      json.Metric(tag + ".read_us", breakdown.read.us());
       obs::Registry snapshot;
       d.ExportRuntimeMetrics(
           snapshot, {{"board", board.key}, {"bitstream", recipe_name}});
-      json.Metrics(tag, snapshot);
+      json.Registry(tag, snapshot);
     }
   }
   table.Print();

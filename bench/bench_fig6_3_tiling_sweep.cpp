@@ -62,6 +62,7 @@ int main() {
 
   Table table({"Cfg", "W2/C2/C1", "1x1 DSPs", "Logic", "RAM", "fmax MHz",
                "1x1 time ms", "Improvement"});
+  bench::BenchSnapshot json("fig6_3_tiling_sweep");
   for (const auto& c : configs) {
     auto d = bench::DeployFolded(
         net, core::FoldedWithTiling({.c1 = c.c1, .w2 = c.w2, .c2 = c.c2}),
@@ -78,6 +79,11 @@ int main() {
       if (k.name.find("conv1_s1") != std::string::npos) pw = &k;
     }
     const SimTime t = PointwiseTime(d);
+    json.Metric("cfg" + std::to_string(c.id) + ".pointwise_ms", t.ms());
+    json.Metric("cfg" + std::to_string(c.id) + ".fmax_mhz",
+                d.bitstream().fmax_mhz);
+    json.Metric("cfg" + std::to_string(c.id) + ".speedup",
+                base_time.seconds() / t.seconds());
     table.AddRow(
         {std::to_string(c.id), cfg,
          bench::WithPaper(pw ? static_cast<double>(pw->dsps) : 0,
@@ -101,5 +107,6 @@ int main() {
                 d.ok() ? "synthesized (unexpected!)"
                        : d.bitstream().status_detail.c_str());
   }
+  json.Write();
   return 0;
 }

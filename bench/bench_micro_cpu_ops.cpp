@@ -4,6 +4,7 @@
 // models the comparison tables use (see DESIGN.md on the substitution).
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "cpu/ops.hpp"
@@ -97,6 +98,39 @@ void BM_Pad2d(benchmark::State& state) {
 }
 BENCHMARK(BM_Pad2d)->Unit(benchmark::kMicrosecond);
 
+/// Console output plus a BENCH_micro_cpu_ops.json snapshot. These numbers
+/// are host-dependent, so CI archives the file but never gates on it.
+class SnapshotReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit SnapshotReporter(bench::BenchSnapshot* snap) : snap_(snap) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      // GetAdjustedRealTime is per-iteration, in the benchmark's time unit.
+      snap_->Metric(run.benchmark_name() + ".real_time",
+                    run.GetAdjustedRealTime());
+      for (const auto& [counter_name, counter] : run.counters) {
+        snap_->Metric(run.benchmark_name() + "." + counter_name,
+                      counter.value);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchSnapshot* snap_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench::BenchSnapshot snap("micro_cpu_ops");
+  SnapshotReporter reporter(&snap);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  snap.Write();
+  benchmark::Shutdown();
+  return 0;
+}

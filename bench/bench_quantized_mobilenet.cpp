@@ -29,6 +29,7 @@ int main() {
 
   Table t({"Config", "Precision", "Fit", "FPS", "fmax", "DSPs", "Logic",
            "BRAM"});
+  bench::BenchSnapshot json("quantized_mobilenet");
   auto add_row = [&](const char* cfg, const char* prec,
                      core::OptimizationRecipe recipe,
                      const fpga::BoardSpec& board,
@@ -44,7 +45,9 @@ int main() {
                 "-", "-", "-", "-"});
       return;
     }
-    t.AddRow({cfg, prec, "ok", Table::Num(d.EstimateFps(image), 1),
+    const double fps = d.EstimateFps(image);
+    json.Metric(std::string(cfg) + "." + prec + ".fps", fps);
+    t.AddRow({cfg, prec, "ok", Table::Num(fps, 1),
               Table::Num(d.bitstream().fmax_mhz, 0),
               std::to_string(d.bitstream().totals.dsps),
               Table::Pct(d.bitstream().totals.alut_frac),
@@ -81,6 +84,7 @@ int main() {
     const Tensor f = graph::Execute(fused, image, HardwareThreads());
     const Tensor i8 =
         q.Execute(image, HardwareThreads()).Reshaped(f.shape());
+    json.Metric("mobilenet.sqnr_db", quant::SqnrDb(f, i8));
     std::printf("  MobileNetV1: output SQNR %.1f dB, argmax %s, "
                 "parameters %.1f MB -> %.1f MB\n",
                 quant::SqnrDb(f, i8),
@@ -94,8 +98,11 @@ int main() {
     for (int i = 0; i < 8; ++i) calib.push_back(nets::SyntheticMnistImage(rng));
     for (int i = 0; i < 32; ++i) eval.push_back(nets::SyntheticMnistImage(rng));
     auto q = quant::QuantizedGraph::Calibrate(lenet, calib, 2);
+    const double agree = quant::Top1Agreement(lenet, q, eval, 2);
+    json.Metric("lenet.top1_agree", agree);
     std::printf("  LeNet-5: top-1 agreement with float on %zu inputs: %.0f%%\n",
-                eval.size(), 100.0 * quant::Top1Agreement(lenet, q, eval, 2));
+                eval.size(), 100.0 * agree);
   }
+  json.Write();
   return 0;
 }

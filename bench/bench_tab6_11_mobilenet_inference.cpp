@@ -39,6 +39,7 @@ int main() {
   std::printf("\nFPGA deployments (Table 6.11):\n");
   Table fpga_table({"Platform", "Base FPS", "Opt FPS", "GFLOPS", "Speedup",
                     "Logic", "BRAM", "DSP", "fmax"});
+  bench::BenchSnapshot json("tab6_11_mobilenet_inference");
   std::vector<double> opt_fps;
   int b = 0;
   for (const auto& board : fpga::EvaluationBoards()) {
@@ -50,9 +51,13 @@ int main() {
     if (base.ok()) {
       fps_b = base.EstimateFps(image);
       base_cell = bench::WithPaper(fps_b, paper_base[b], 3);
+      json.Metric(board.key + ".base_fps", fps_b);
     }
     const double fps_o = opt.EstimateFps(image);
     opt_fps.push_back(fps_o);
+    json.Metric(board.key + ".opt_fps", fps_o);
+    json.Metric(board.key + ".gflops", fps_o * cost.flops / 1e9);
+    json.Metric(board.key + ".fmax_mhz", opt.bitstream().fmax_mhz);
     const auto& t = opt.bitstream().totals;
     fpga_table.AddRow(
         {board.name, base_cell, bench::WithPaper(fps_o, paper_opt[b], 1),
@@ -92,5 +97,9 @@ int main() {
                   Table::Num(perfmodel::TvmCpuFps(net, threads), 1)});
   }
   sweep.Print();
+  json.Metric("tf_cpu_fps", tf_cpu);
+  json.Metric("tvm_16t_fps", tvm_16t);
+  json.Metric("tf_gpu_fps", tf_gpu);
+  json.Write();
   return 0;
 }

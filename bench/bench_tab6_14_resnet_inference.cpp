@@ -41,6 +41,7 @@ int main() {
       {"ResNet-34", &r34, 3.2e-3, 4.01e-3, 2.6, 4.6},
   };
 
+  bench::BenchSnapshot json("tab6_14_resnet_inference");
   std::vector<std::vector<double>> opt_fps(2);
   for (int n = 0; n < 2; ++n) {
     auto& row = nets_rows[n];
@@ -72,6 +73,10 @@ int main() {
       }
       const double fps_o = opt.EstimateFps(image);
       opt_fps[static_cast<std::size_t>(n)].push_back(fps_o);
+      json.Metric(std::string(row.label) + "." + board.key + ".opt_fps",
+                  fps_o);
+      json.Metric(std::string(row.label) + "." + board.key + ".gflops",
+                  fps_o * cost.flops / 1e9);
       const auto& tt = opt.bitstream().totals;
       t.AddRow({board.name, base_cell,
                 bench::WithPaper(fps_o, paper_opt, 2),
@@ -115,5 +120,6 @@ int main() {
   }
   std::printf("paper ratios (ResNet-18 S10SX): 0.43x TF-CPU, 1.21x TVM-1T, "
               "0.13x TVM-56T, 0.15x TF-cuDNN\n");
+  json.Write();
   return 0;
 }

@@ -13,6 +13,7 @@ int main() {
   bench::Banner("ResNet per-operation profile", "Table 6.16");
 
   Rng rng(bench::kBenchSeed);
+  bench::BenchSnapshot json("tab6_16_resnet_ops");
   for (int depth : {18, 34}) {
     graph::Graph net = nets::BuildResNet(depth, rng);
     const double total_flops = graph::GraphCost(net).flops;
@@ -26,11 +27,15 @@ int main() {
         if (e.runtime_share < 0.002) continue;
         t.AddRow({e.op_class, Table::Pct(e.flops / total_flops, 1),
                   Table::Num(e.gflops, 2), Table::Pct(e.runtime_share, 1)});
+        json.Metric("resnet" + std::to_string(depth) + "." + board_key +
+                        "." + e.op_class + ".gflops",
+                    e.gflops);
       }
       t.Print();
       std::printf("\n");
     }
   }
+  json.Write();
   std::printf(
       "paper reference (ResNet-34, S10SX): 3x3 S=1 91.2%% of ops at 70.4 "
       "GFLOPS / 49.9%% of time; 7x7 at 9.7 GFLOPS; pad 0 FLOPs / 18%%.\n");

@@ -23,6 +23,7 @@ int main() {
   bench::Banner("Comparison with related work", "Tables 6.17-6.19");
 
   Rng rng(bench::kBenchSeed);
+  bench::BenchSnapshot json("tab6_17_related_work");
 
   // --- Table 6.17: vs Caffeinated FPGAs (3x3 conv GFLOPS) --------------------
   {
@@ -30,6 +31,7 @@ int main() {
     auto d = bench::DeployFolded(r34, core::FoldedResNet(),
                                  fpga::Stratix10SX());
     const double ours = OpClassGflops(d, "3x3 conv S=1");
+    json.Metric("resnet34_3x3_gflops", ours);
     // Sanity-check their Winograd claim with our own implementation: the
     // F(2,3) transform computes identical results with 2.25x fewer
     // multiplies (cpu::Conv2dWinograd; verified in tests).
@@ -53,6 +55,7 @@ int main() {
                                     fpga::Stratix10SX(), true);
     const double fps = d.EstimateFps(image);
     const double latency_ms = 1000.0 / fps;
+    json.Metric("lenet_latency_ms", latency_ms);
     Table t({"", "Hadjis et al. [27]", "This work"});
     t.AddRow({"Workload", "LeNet (batch 1)", "LeNet (batch 1)"});
     t.AddRow({"Platform", "UltraScale+ VU9P, 32b fixed",
@@ -89,6 +92,8 @@ int main() {
     const double mob_gflops =
         dm.ok() ? dm.EstimateFps(img) * graph::GraphCost(mob).flops / 1e9
                 : 0.0;
+    json.Metric("lenet_vs_cpu_speedup", lenet_vs_cpu);
+    json.Metric("mobilenet_a10_gflops", mob_gflops);
     Table t({"", "DNNWeaver [55]", "This work"});
     t.AddRow({"Workload", "LeNet / AlexNet", "LeNet / MobileNetV1"});
     t.AddRow({"Platform", "Arria 10 GX, 16b fixed", "Arria 10 GX, 32b float"});
@@ -136,5 +141,6 @@ int main() {
       "\nAs in the paper, these are *indicative* comparisons: different "
       "networks, precisions, batch sizes, and five years of process/tool "
       "gap (SS6.6).\n");
+  json.Write();
   return 0;
 }

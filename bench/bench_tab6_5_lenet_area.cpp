@@ -12,6 +12,7 @@ int main() {
 
   Rng rng(bench::kBenchSeed);
   graph::Graph lenet = nets::BuildLeNet5(rng);
+  bench::BenchSnapshot json("tab6_5_lenet_area");
 
   for (const auto& board : fpga::EvaluationBoards()) {
     std::printf("-- %s --\n", board.name.c_str());
@@ -22,6 +23,11 @@ int main() {
       table.AddRow({recipe.name, Table::Pct(t.alut_frac),
                     Table::Pct(t.bram_frac), Table::Pct(t.dsp_frac),
                     Table::Num(d.bitstream().fmax_mhz, 0)});
+      const std::string prefix = board.key + "." + recipe.name;
+      json.Metric(prefix + ".alut_frac", t.alut_frac);
+      json.Metric(prefix + ".bram_frac", t.bram_frac);
+      json.Metric(prefix + ".dsp_frac", t.dsp_frac);
+      json.Metric(prefix + ".fmax_mhz", d.bitstream().fmax_mhz);
     }
     table.Print();
     std::printf("\n");
@@ -29,5 +35,6 @@ int main() {
   std::printf(
       "paper reference rows (S10SX): Base 32%%/21%%/3%% @209, "
       "Channels 24%%/18%%/5%% @234, TVM-Autorun 25%%/19%%/5%% @218.\n");
+  json.Write();
   return 0;
 }

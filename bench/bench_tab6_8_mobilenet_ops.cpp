@@ -14,6 +14,7 @@ int main() {
   Rng rng(bench::kBenchSeed);
   graph::Graph net = nets::BuildMobileNetV1(rng);
   const double total_flops = graph::GraphCost(net).flops;
+  bench::BenchSnapshot json("tab6_8_mobilenet_ops");
 
   for (const auto& board : fpga::EvaluationBoards()) {
     auto d = bench::DeployFolded(net, core::FoldedMobileNet(board.key), board);
@@ -24,10 +25,14 @@ int main() {
       if (e.runtime_share < 0.002) continue;
       t.AddRow({e.op_class, Table::Pct(e.flops / total_flops, 1),
                 Table::Num(e.gflops, 2), Table::Pct(e.runtime_share, 1)});
+      const std::string prefix = board.key + "." + e.op_class;
+      json.Metric(prefix + ".gflops", e.gflops);
+      json.Metric(prefix + ".runtime_share", e.runtime_share);
     }
     t.Print();
     std::printf("\n");
   }
+  json.Write();
   std::printf(
       "paper reference (S10SX): 1x1 conv 94.8%% of ops at 88.2 GFLOPS / "
       "30.2%% of time; 3x3 DW conv 1.72 GFLOPS / 44.5%%; pad 0 FLOPs / "

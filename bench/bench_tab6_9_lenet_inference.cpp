@@ -25,6 +25,7 @@ int main() {
   const double paper_fps_opt[] = {1706, 4917, 2653};
   Table fpga_table({"Platform", "Base FPS", "Opt FPS", "GFLOPS", "Speedup",
                     "Logic", "BRAM", "DSP", "fmax"});
+  bench::BenchSnapshot json("tab6_9_lenet_inference");
   std::vector<double> opt_fps;
   int b = 0;
   for (const auto& board : fpga::EvaluationBoards()) {
@@ -43,6 +44,11 @@ int main() {
                        Table::Pct(t.alut_frac), Table::Pct(t.bram_frac),
                        Table::Pct(t.dsp_frac),
                        Table::Num(opt.bitstream().fmax_mhz, 0)});
+    json.Metric(board.key + ".base_fps", fps_b);
+    json.Metric(board.key + ".opt_fps", fps_o);
+    json.Metric(board.key + ".gflops", fps_o * cost.flops / 1e9);
+    json.Metric(board.key + ".fmax_mhz", opt.bitstream().fmax_mhz);
+    json.Metric(board.key + ".dsp_frac", t.dsp_frac);
     ++b;
   }
   fpga_table.Print();
@@ -75,5 +81,9 @@ int main() {
   }
   sweep.Print();
   std::printf("(decreasing with threads, as the paper observes for LeNet)\n");
+  json.Metric("tf_cpu_fps", tf_cpu);
+  json.Metric("tvm_1t_fps", tvm_1t);
+  json.Metric("tf_gpu_fps", tf_gpu);
+  json.Write();
   return 0;
 }

@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -62,36 +64,49 @@ inline void Banner(const char* what, const char* paper_ref) {
               paper_ref);
 }
 
-/// Machine-readable bench output: accumulates scalar result values and an
-/// optional obs::Registry metrics snapshot, then writes
-/// `BENCH_<name>.json` next to the binary so runs can be diffed/plotted
-/// without scraping the printed tables.
-class BenchJson {
+/// Machine-readable bench output, the schema prof::ParseBenchSnapshot and
+/// the bench_diff tool consume:
+///
+///   {"bench":"<name>",
+///    "git_describe":"...",                 // when CLFLOW_GIT_DESCRIBE set
+///    "metrics":{"<key>":<number>,...},     // flat, sorted by key
+///    "registries":{"<label>":{...}, ...}}  // optional Registry::ToJson
+///
+/// Every bench binary writes BENCH_<name>.json next to itself so runs can
+/// be diffed (CI gates the LeNet and DSE benches against the committed
+/// baselines under bench/results/) and plotted without scraping tables.
+/// Keys are sorted so committed baselines diff cleanly across refreshes.
+class BenchSnapshot {
  public:
-  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  explicit BenchSnapshot(std::string name) : name_(std::move(name)) {}
 
-  void Value(const std::string& key, double v) { values_.emplace_back(key, v); }
+  void Metric(const std::string& key, double v) { metrics_[key] = v; }
 
   /// Embeds a full metrics snapshot (counters/gauges/histograms) under
-  /// `metrics.<label>` in the output document.
-  void Metrics(const std::string& label, const obs::Registry& registry) {
-    metrics_.emplace_back(label, registry.ToJson());
+  /// `registries.<label>`; informational, not diffed by bench_diff.
+  void Registry(const std::string& label, const obs::Registry& registry) {
+    registries_.emplace_back(label, registry.ToJson());
   }
 
   /// Writes BENCH_<name>.json; prints the path on success.
   void Write() const {
     std::string out = "{\"bench\":\"" + obs::JsonEscape(name_) + "\"";
-    out += ",\"values\":{";
-    for (std::size_t i = 0; i < values_.size(); ++i) {
-      if (i > 0) out += ",";
-      out += "\"" + obs::JsonEscape(values_[i].first) +
-             "\":" + obs::JsonNum(values_[i].second);
+    if (const char* gd = std::getenv("CLFLOW_GIT_DESCRIBE");
+        gd != nullptr && gd[0] != '\0') {
+      out += ",\"git_describe\":\"" + obs::JsonEscape(gd) + "\"";
     }
-    out += "},\"metrics\":{";
-    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    out += ",\"metrics\":{";
+    bool first = true;
+    for (const auto& [key, v] : metrics_) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + obs::JsonEscape(key) + "\":" + obs::JsonNum(v);
+    }
+    out += "},\"registries\":{";
+    for (std::size_t i = 0; i < registries_.size(); ++i) {
       if (i > 0) out += ",";
-      out += "\"" + obs::JsonEscape(metrics_[i].first) +
-             "\":" + metrics_[i].second;
+      out += "\"" + obs::JsonEscape(registries_[i].first) +
+             "\":" + registries_[i].second;
     }
     out += "}}";
     const std::string path = "BENCH_" + name_ + ".json";
@@ -101,14 +116,14 @@ class BenchJson {
       return;
     }
     f << out << "\n";
-    std::printf("\nwrote %s (%zu values, %zu metric snapshots)\n",
-                path.c_str(), values_.size(), metrics_.size());
+    std::printf("\nwrote %s (%zu metrics, %zu registry snapshots)\n",
+                path.c_str(), metrics_.size(), registries_.size());
   }
 
  private:
   std::string name_;
-  std::vector<std::pair<std::string, double>> values_;
-  std::vector<std::pair<std::string, std::string>> metrics_;  // label -> json
+  std::map<std::string, double> metrics_;
+  std::vector<std::pair<std::string, std::string>> registries_;
 };
 
 }  // namespace clflow::bench

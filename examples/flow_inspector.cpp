@@ -29,6 +29,14 @@
 // --over-tile first inflates the 1x1 tiling to a config known to fail
 // routing on s10sx, demonstrating the recovery.
 //
+// With --profile it runs one timing image through the profiler
+// (prof::BuildProfile): per-kernel bottleneck attribution (II / memory-BW
+// / channel-stall / fmax / launch-overhead), the roofline view, queue
+// busy/idle, and predicted-vs-observed drift. The report is printed as
+// text and written as <base>_profile.txt/.json/.html (the HTML embeds the
+// timeline and attribution bars, no external assets); drift and
+// conservation violations surface as CLF6xx diagnostics.
+//
 // With --dse the folded tiling explorer (core::ExploreFoldedTilings) runs
 // first and the compile uses its best recipe; the ranked table, every
 // rejection counter (divisibility/bandwidth/bound/dominated/fit/route),
@@ -39,7 +47,8 @@
 //
 // usage: example_flow_inspector [lenet|mobilenet|resnet18|resnet34]
 //                               [a10|s10sx|s10mx] [pipelined|folded]
-//                               [outdir] [--report] [--trace-out FILE]
+//                               [outdir] [--report] [--profile]
+//                               [--trace-out FILE]
 //                               [--lint] [--lint-promote CODE]
 //                               [--lint-demote CODE] [--break-channel]
 //                               [--inject-fault SPEC] [--fault-seed N]
@@ -65,6 +74,8 @@
 #include "obs/json.hpp"
 #include "ocl/trace.hpp"
 #include "perfmodel/reference.hpp"
+#include "prof/prof.hpp"
+#include "prof/report.hpp"
 #include "resilience/fault.hpp"
 
 namespace {
@@ -104,6 +115,7 @@ int main(int argc, char** argv) {
   using namespace clflow;
   std::vector<std::string> positional;
   bool report = false;
+  bool profile = false;
   bool lint = false;
   bool break_channel = false;
   bool use_fallback = false;
@@ -119,6 +131,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--report") {
       report = true;
+    } else if (arg == "--profile") {
+      profile = true;
     } else if (arg == "--fallback") {
       use_fallback = true;
     } else if (arg == "--over-tile") {
@@ -413,7 +427,7 @@ int main(int argc, char** argv) {
     if (fault_rc != 0) return fault_rc;
   }
 
-  if (!report && trace_out.empty()) return 0;
+  if (!report && !profile && trace_out.empty()) return 0;
 
   // One timing-only image drives the runtime-side metrics and the trace.
   const auto run = d.Run(image, /*functional=*/false);
@@ -468,6 +482,20 @@ int main(int argc, char** argv) {
               "{\"compile\":" + d.telemetry().registry.ToJson() +
                   ",\"runtime\":" + runtime_registry.ToJson() +
                   ",\"diagnostics\":" + d.diagnostics().ToJson() + "}");
+  }
+
+  if (profile) {
+    prof::ProfileOptions popts;
+    const prof::Profile p = prof::BuildProfile(d, image, popts);
+    prof::EmitDiagnostics(p, d.diagnostics(), popts);
+    std::printf("\n%s", prof::ToText(p).c_str());
+    if (!d.diagnostics().diagnostics().empty()) {
+      std::printf("\n--- profiler diagnostics ---\n");
+      d.diagnostics().SummaryTable().Print();
+    }
+    WriteFile(base + "_profile.txt", prof::ToText(p));
+    WriteFile(base + "_profile.json", prof::ToJson(p));
+    WriteFile(base + "_profile.html", prof::ToHtml(p));
   }
 
   if (!trace_out.empty()) {

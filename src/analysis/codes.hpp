@@ -10,6 +10,8 @@
 //   CLF4xx  schedule primitives: illegal applications (ScheduleError)
 //   CLF5xx  runtime faults: dynamic failures detected (or recovered) by
 //           the hardened ocl::Runtime (RuntimeFaultError)
+//   CLF6xx  profiler: model-vs-measurement discrepancies found by
+//           clflow::prof when attributing runtime behaviour
 //
 // This header is intentionally free of dependencies (and of a .cpp) so
 // that any layer -- including ocl::Runtime, which must name the same code
@@ -180,6 +182,25 @@ inline constexpr CodeInfo kRuntimeChannelProtocol{
     "static dataflow checker enforces (see the CLF2xx code in the "
     "message); run the compile-time gate"};
 
+// --- Profiler ---------------------------------------------------------------
+inline constexpr CodeInfo kProfPredictionDrift{
+    "CLF601", Severity::kWarning,
+    "observed kernel time drifts from the synthesis model", "SS6.2",
+    "the static estimate no longer explains the measured time (fmax droop, "
+    "contention, or a stale cost model); re-synthesize or recalibrate the "
+    "cost model before trusting DSE rankings"};
+inline constexpr CodeInfo kProfAttributionGap{
+    "CLF602", Severity::kError,
+    "bottleneck attribution fails its conservation invariant", "SS6.2",
+    "the attributed components do not sum to the event's wall time; the "
+    "profiler's event/invocation matching is stale -- re-run with a fresh "
+    "event stream (ClearEvents between batches)"};
+inline constexpr CodeInfo kProfOverheadDominant{
+    "CLF603", Severity::kWarning,
+    "launch overhead and queue idle dominate the makespan", "SS4.7",
+    "kernels are too small for per-launch dispatch cost; fold layers "
+    "together, batch inputs, or mark channel-only kernels autorun"};
+
 /// All registered codes, in documentation order.
 inline constexpr const CodeInfo* kAllCodes[] = {
     &kUndefinedVar,     &kOutOfBounds,      &kUnrollDependence,
@@ -192,6 +213,7 @@ inline constexpr const CodeInfo* kAllCodes[] = {
     &kScheduleCacheMisuse,
     &kRuntimeUnknownKernel, &kRuntimeChannelDeadlock, &kRuntimeTransferFailed,
     &kRuntimeKernelCorrupt, &kRuntimeDeviceLost, &kRuntimeChannelProtocol,
+    &kProfPredictionDrift, &kProfAttributionGap, &kProfOverheadDominant,
 };
 
 /// Looks up a code by its "CLFxxx" id; nullptr when unknown.

@@ -117,6 +117,14 @@ class Deployment {
     return invocations_;
   }
 
+  /// Command-queue assignment per invocation (parallel to invocations());
+  /// autorun invocations keep their planned id but never touch a queue.
+  /// Valid when ok(). The profiler uses this to rebuild per-queue
+  /// occupancy from the event stream.
+  [[nodiscard]] const std::vector<int>& invocation_queues() const {
+    return invocation_queues_;
+  }
+
   /// Runs one image. With functional=true the returned output holds real
   /// numbers computed by the verified reference operators; timing-only
   /// runs return an undefined tensor and are much faster.

@@ -217,11 +217,10 @@ Bitstream AssembleBitstream(std::vector<KernelDesign> kernels,
   return bs;
 }
 
-double InvocationCycles(const ir::KernelStats& stats, const BoardSpec& board,
-                        double fmax_mhz, const CostModel& model) {
-  CLFLOW_CHECK(fmax_mhz > 0);
-  // Memory service time: every site pays a burst-efficiency penalty when
-  // its provable contiguous run is shorter than one burst.
+double EffectiveMemoryBytes(const ir::KernelStats& stats,
+                            const CostModel& model) {
+  // Every site pays a burst-efficiency penalty when its provable
+  // contiguous run is shorter than one burst.
   double effective_bytes = 0.0;
   for (const auto& site : stats.accesses) {
     const double run_bytes = std::max(
@@ -233,7 +232,14 @@ double InvocationCycles(const ir::KernelStats& stats, const BoardSpec& board,
     if (site.cached) bytes /= model.cached_lsu_reuse;
     effective_bytes += bytes;
   }
-  const double mem_cycles = effective_bytes / board.BytesPerCycle(fmax_mhz);
+  return effective_bytes;
+}
+
+double InvocationCycles(const ir::KernelStats& stats, const BoardSpec& board,
+                        double fmax_mhz, const CostModel& model) {
+  CLFLOW_CHECK(fmax_mhz > 0);
+  const double mem_cycles =
+      EffectiveMemoryBytes(stats, model) / board.BytesPerCycle(fmax_mhz);
   return std::max(stats.compute_cycles, mem_cycles);
 }
 

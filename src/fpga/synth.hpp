@@ -166,6 +166,14 @@ struct SynthInput {
 
 // --- Runtime timing ---------------------------------------------------------
 
+/// External-memory traffic one invocation presents to the memory system,
+/// in bytes, after burst-efficiency penalties and cached-LSU reuse. The
+/// service time at a given clock is this divided by BytesPerCycle; the
+/// wall time (bytes / ext_bw_gbps) is fmax-independent, which is what the
+/// profiler's compute-vs-memory attribution relies on.
+[[nodiscard]] double EffectiveMemoryBytes(const ir::KernelStats& stats,
+                                          const CostModel& model = {});
+
 /// Cycles for one invocation of a synthesized kernel whose dynamic
 /// behaviour is described by `stats` (re-analyzed per layer for folded
 /// kernels): max of the pipelined compute estimate and the external-memory

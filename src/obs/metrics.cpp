@@ -72,6 +72,7 @@ Histogram::Snapshot Histogram::snapshot() const {
   s.max = sorted.back();
   s.p50 = Percentile(sorted, 0.50);
   s.p95 = Percentile(sorted, 0.95);
+  s.p99 = Percentile(sorted, 0.99);
   return s;
 }
 
@@ -170,7 +171,8 @@ std::string Registry::ToJson() const {
        << LabelsJson(e.labels) << ",\"count\":" << s.count
        << ",\"sum\":" << JsonNum(s.sum) << ",\"min\":" << JsonNum(s.min)
        << ",\"max\":" << JsonNum(s.max) << ",\"p50\":" << JsonNum(s.p50)
-       << ",\"p95\":" << JsonNum(s.p95) << "}";
+       << ",\"p95\":" << JsonNum(s.p95) << ",\"p99\":" << JsonNum(s.p99)
+       << "}";
   }
   os << "]}";
   return os.str();
@@ -198,27 +200,28 @@ std::string Registry::ToCsv() const {
     os << prefix << "max," << JsonNum(s.max) << "\n";
     os << prefix << "p50," << JsonNum(s.p50) << "\n";
     os << prefix << "p95," << JsonNum(s.p95) << "\n";
+    os << prefix << "p99," << JsonNum(s.p99) << "\n";
   }
   return os.str();
 }
 
 Table Registry::SummaryTable() const {
   std::lock_guard lock(mu_);
-  Table table({"Metric", "Kind", "Value", "p50", "p95", "Max"});
+  Table table({"Metric", "Kind", "Value", "p50", "p95", "p99", "Max"});
   for (const auto& [key, e] : counters_) {
     table.AddRow({key, "counter", Table::Num(e.metric->value(), 0), "", "",
-                  ""});
+                  "", ""});
   }
   for (const auto& [key, e] : gauges_) {
     table.AddRow({key, "gauge", Table::Num(e.metric->value(), 2), "", "",
-                  ""});
+                  "", ""});
   }
   for (const auto& [key, e] : histograms_) {
     const Histogram::Snapshot s = e.metric->snapshot();
     table.AddRow({key, "histogram",
                   "n=" + std::to_string(s.count),
                   Table::Num(s.p50, 2), Table::Num(s.p95, 2),
-                  Table::Num(s.max, 2)});
+                  Table::Num(s.p99, 2), Table::Num(s.max, 2)});
   }
   return table;
 }

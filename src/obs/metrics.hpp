@@ -7,7 +7,7 @@
 //
 //   * Counter   - monotone accumulation (pass applications, bytes moved);
 //   * Gauge     - last-write-wins level (area totals, fmax, occupancy);
-//   * Histogram - full-sample distribution with p50/p95/max (span
+//   * Histogram - full-sample distribution with p50/p95/p99/max (span
 //                 durations, per-kernel cycle counts).
 //
 // A Registry owns its instruments and exports them as JSON (machine
@@ -64,7 +64,7 @@ class Histogram {
   struct Snapshot {
     std::int64_t count = 0;
     double sum = 0.0, min = 0.0, max = 0.0;
-    double p50 = 0.0, p95 = 0.0;
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0;
   };
 
   void Observe(double value);
@@ -89,7 +89,7 @@ class Registry {
                                      const Labels& labels = {});
 
   /// {"counters":[{name,labels,value}...],"gauges":[...],
-  ///  "histograms":[{name,labels,count,sum,min,max,p50,p95}...]}
+  ///  "histograms":[{name,labels,count,sum,min,max,p50,p95,p99}...]}
   [[nodiscard]] std::string ToJson() const;
 
   /// kind,name,labels,stat,value rows (histograms expand to one row per

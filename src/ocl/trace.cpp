@@ -1,5 +1,6 @@
 #include "ocl/trace.hpp"
 
+#include <map>
 #include <sstream>
 
 #include "obs/json.hpp"
@@ -9,6 +10,7 @@ namespace clflow::ocl {
 namespace {
 
 using obs::JsonEscape;
+using obs::JsonNum;
 
 const char* KindName(CommandKind kind) {
   switch (kind) {
@@ -33,12 +35,54 @@ void EmitRuntimeEvents(std::ostringstream& os,
   for (const auto& ev : events) {
     // Autorun kernels (queue -1) land on tid 0; queue q on tid q+1.
     const int tid = ev.queue + 1;
+    // Channel-stall time precedes execution (the kernel was dispatched at
+    // start - stall but blocked on its input channels); render it as its
+    // own slice so stalls are visible instead of hiding in args.
+    if (ev.stall.us() > 0) {
+      os << ",{\"name\":\"" << JsonEscape(ev.label)
+         << " [stall]\",\"cat\":\"stall\",\"ph\":\"X\",\"pid\":" << pid
+         << ",\"tid\":" << tid << ",\"ts\":" << (ev.start - ev.stall).us()
+         << ",\"dur\":" << ev.stall.us()
+         << ",\"args\":{\"channel_wait_us\":" << ev.stall.us() << "}}";
+    }
     os << ",{\"name\":\"" << JsonEscape(ev.label) << "\",\"cat\":\""
        << KindName(ev.kind) << "\",\"ph\":\"X\",\"pid\":" << pid
        << ",\"tid\":" << tid << ",\"ts\":" << ev.start.us()
        << ",\"dur\":" << ev.duration().us()
        << ",\"args\":{\"queued_us\":" << ev.queued.us()
        << ",\"stall_us\":" << ev.stall.us() << ",\"bytes\":" << ev.bytes
+       << "}}";
+  }
+}
+
+/// Counter tracks ("ph":"C"): how many commands execute concurrently and
+/// how many transfer bytes are in flight at each instant. Deltas at equal
+/// timestamps merge into one sample, so zero-duration events contribute
+/// nothing (correctly).
+void EmitCounterTracks(std::ostringstream& os,
+                       const std::vector<ProfiledEvent>& events, int pid) {
+  std::map<double, double> occupancy;    // ts -> delta concurrent commands
+  std::map<double, double> outstanding;  // ts -> delta in-flight bytes
+  for (const auto& ev : events) {
+    occupancy[ev.start.us()] += 1;
+    occupancy[ev.end.us()] -= 1;
+    if (ev.kind != CommandKind::kKernel && ev.bytes > 0) {
+      outstanding[ev.start.us()] += static_cast<double>(ev.bytes);
+      outstanding[ev.end.us()] -= static_cast<double>(ev.bytes);
+    }
+  }
+  double commands = 0;
+  for (const auto& [ts, delta] : occupancy) {
+    commands += delta;
+    os << ",{\"name\":\"queue occupancy\",\"ph\":\"C\",\"pid\":" << pid
+       << ",\"ts\":" << ts << ",\"args\":{\"commands\":" << JsonNum(commands)
+       << "}}";
+  }
+  double bytes = 0;
+  for (const auto& [ts, delta] : outstanding) {
+    bytes += delta;
+    os << ",{\"name\":\"outstanding transfer bytes\",\"ph\":\"C\",\"pid\":"
+       << pid << ",\"ts\":" << ts << ",\"args\":{\"bytes\":" << JsonNum(bytes)
        << "}}";
   }
 }
@@ -65,6 +109,7 @@ std::string ExportChromeTrace(const std::vector<ProfiledEvent>& events,
   os << "{\"traceEvents\":[";
   EmitProcessName(os, 1, process_name);
   EmitRuntimeEvents(os, events, /*pid=*/1);
+  EmitCounterTracks(os, events, /*pid=*/1);
   os << "]}";
   return os.str();
 }
@@ -79,6 +124,7 @@ std::string ExportChromeTrace(const std::vector<ProfiledEvent>& events,
   EmitProcessName(os, 2, process_name + " runtime (simulated clock)");
   EmitCompileSpans(os, compile_spans, /*pid=*/1);
   EmitRuntimeEvents(os, events, /*pid=*/2);
+  EmitCounterTracks(os, events, /*pid=*/2);
   os << "]}";
   return os.str();
 }

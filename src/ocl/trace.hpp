@@ -22,6 +22,10 @@ namespace clflow::ocl {
 
 /// Serializes events as a Chrome trace. Timestamps are the simulated
 /// clock in microseconds; queues map to thread ids (autorun = tid 0).
+/// Channel-stall time renders as a separate "<label> [stall]" slice (cat
+/// "stall") preceding the kernel slice, and two counter tracks ("ph":"C")
+/// plot queue occupancy (concurrent commands) and outstanding transfer
+/// bytes over time.
 [[nodiscard]] std::string ExportChromeTrace(
     const std::vector<ProfiledEvent>& events,
     const std::string& process_name = "clflow");

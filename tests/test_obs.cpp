@@ -48,6 +48,7 @@ TEST(Metrics, HistogramPercentilesNearestRank) {
   EXPECT_DOUBLE_EQ(snap.max, 100.0);
   EXPECT_DOUBLE_EQ(snap.p50, 50.0);
   EXPECT_DOUBLE_EQ(snap.p95, 95.0);
+  EXPECT_DOUBLE_EQ(snap.p99, 99.0);
 }
 
 TEST(Metrics, HistogramSingleSample) {
@@ -57,6 +58,7 @@ TEST(Metrics, HistogramSingleSample) {
   EXPECT_EQ(snap.count, 1);
   EXPECT_DOUBLE_EQ(snap.p50, 7.0);
   EXPECT_DOUBLE_EQ(snap.p95, 7.0);
+  EXPECT_DOUBLE_EQ(snap.p99, 7.0);
   EXPECT_DOUBLE_EQ(snap.max, 7.0);
 }
 
@@ -172,6 +174,16 @@ TEST(Json, RegistryToJsonParses) {
   ASSERT_EQ(hists->array.size(), 1u);
   EXPECT_DOUBLE_EQ(hists->array[0].Find("count")->number, 10.0);
   EXPECT_DOUBLE_EQ(hists->array[0].Find("max")->number, 9000.0);
+  // Nearest-rank p99 of {0, 1000, ..., 9000} is the last sample.
+  ASSERT_NE(hists->array[0].Find("p99"), nullptr);
+  EXPECT_DOUBLE_EQ(hists->array[0].Find("p99")->number, 9000.0);
+}
+
+TEST(Json, RegistryCsvHasP99Column) {
+  Registry reg;
+  for (int i = 1; i <= 4; ++i) reg.histogram("h").Observe(i);
+  const std::string csv = reg.ToCsv();
+  EXPECT_NE(csv.find("p99"), std::string::npos);
 }
 
 TEST(Json, RegistryCsvHasOneRowPerStat) {
@@ -207,15 +219,20 @@ TEST(Trace, MergedCompileRuntimeTraceIsValidJson) {
   ASSERT_TRUE(parsed.has_value()) << trace;
   const auto* top = parsed->Find("traceEvents");
   ASSERT_NE(top, nullptr);
-  // 2 process_name metadata + 2 compile spans + 1 runtime event.
-  ASSERT_EQ(top->array.size(), 5u);
+  // 2 process_name metadata + 2 compile spans + 1 runtime event + 2
+  // occupancy counter samples (one kernel: +1 at start, -1 at end).
+  ASSERT_EQ(top->array.size(), 7u);
 
-  int metadata = 0, compile_spans = 0, runtime_events = 0;
+  int metadata = 0, compile_spans = 0, runtime_events = 0, counters = 0;
   for (const auto& ev : top->array) {
     const auto* ph = ev.Find("ph");
     ASSERT_NE(ph, nullptr);
     if (ph->str == "M") {
       ++metadata;
+    } else if (ph->str == "C") {
+      ++counters;
+      EXPECT_EQ(ev.Find("name")->str, "queue occupancy");
+      EXPECT_NE(ev.Find("args")->Find("commands"), nullptr);
     } else {
       ASSERT_EQ(ph->str, "X");
       const double pid = ev.Find("pid")->number;
@@ -233,6 +250,88 @@ TEST(Trace, MergedCompileRuntimeTraceIsValidJson) {
   EXPECT_EQ(metadata, 2);
   EXPECT_EQ(compile_spans, 2);
   EXPECT_EQ(runtime_events, 1);
+  EXPECT_EQ(counters, 2);
+}
+
+TEST(Trace, EmptyEventListIsValidJson) {
+  const std::string trace = ocl::ExportChromeTrace({}, "empty@board");
+  const auto parsed = json::Parse(trace);
+  ASSERT_TRUE(parsed.has_value()) << trace;
+  // Only the process_name metadata event; no counters for no events.
+  ASSERT_EQ(parsed->Find("traceEvents")->array.size(), 1u);
+}
+
+TEST(Trace, ZeroDurationEventContributesNoOccupancy) {
+  std::vector<ocl::ProfiledEvent> events;
+  events.push_back({"k_instant", ocl::CommandKind::kKernel, 0,
+                    SimTime::Us(1), SimTime::Us(2), SimTime::Us(2),
+                    kSimTimeZero, 0});
+  const std::string trace = ocl::ExportChromeTrace(events, "z@board");
+  const auto parsed = json::Parse(trace);
+  ASSERT_TRUE(parsed.has_value()) << trace;
+  for (const auto& ev : parsed->Find("traceEvents")->array) {
+    if (ev.Find("ph")->str != "C") continue;
+    // +1 and -1 at the same instant merge to a zero sample.
+    EXPECT_DOUBLE_EQ(ev.Find("args")->Find("commands")->number, 0.0);
+  }
+}
+
+TEST(Trace, StallRendersAsDistinguishableSlice) {
+  std::vector<ocl::ProfiledEvent> events;
+  // Dispatched at 4us, blocked on channels until 10us, done at 16us.
+  events.push_back({"k_stalled", ocl::CommandKind::kKernel, 1,
+                    SimTime::Us(3), SimTime::Us(10), SimTime::Us(16),
+                    SimTime::Us(6), 0});
+  const std::string trace = ocl::ExportChromeTrace(events, "s@board");
+  const auto parsed = json::Parse(trace);
+  ASSERT_TRUE(parsed.has_value()) << trace;
+  const json::Value* stall = nullptr;
+  const json::Value* kernel = nullptr;
+  for (const auto& ev : parsed->Find("traceEvents")->array) {
+    if (ev.Find("ph")->str != "X") continue;
+    if (ev.Find("name")->str == "k_stalled [stall]") stall = &ev;
+    if (ev.Find("name")->str == "k_stalled") kernel = &ev;
+  }
+  ASSERT_NE(stall, nullptr);
+  ASSERT_NE(kernel, nullptr);
+  EXPECT_EQ(stall->Find("cat")->str, "stall");
+  EXPECT_DOUBLE_EQ(stall->Find("ts")->number, 4.0);
+  EXPECT_DOUBLE_EQ(stall->Find("dur")->number, 6.0);
+  // Same lane, and the stall ends exactly where the kernel slice begins.
+  EXPECT_DOUBLE_EQ(stall->Find("tid")->number, kernel->Find("tid")->number);
+  EXPECT_DOUBLE_EQ(kernel->Find("ts")->number, 10.0);
+  EXPECT_DOUBLE_EQ(kernel->Find("dur")->number, 6.0);
+}
+
+TEST(Trace, TransferBytesCounterAndEscapedLabelsRoundTrip) {
+  std::vector<ocl::ProfiledEvent> events;
+  events.push_back({"h2d \"in\"\n", ocl::CommandKind::kWriteBuffer, 0,
+                    kSimTimeZero, SimTime::Us(0), SimTime::Us(4),
+                    kSimTimeZero, 4096});
+  events.push_back({"d2h", ocl::CommandKind::kReadBuffer, 0,
+                    SimTime::Us(2), SimTime::Us(2), SimTime::Us(6),
+                    kSimTimeZero, 1024});
+  const std::string trace = ocl::ExportChromeTrace(events, "x@board");
+  const auto parsed = json::Parse(trace);
+  ASSERT_TRUE(parsed.has_value()) << trace;
+  bool saw_label = false;
+  std::vector<double> samples;
+  for (const auto& ev : parsed->Find("traceEvents")->array) {
+    if (ev.Find("ph")->str == "X" && ev.Find("name")->str == "h2d \"in\"\n") {
+      saw_label = true;  // escaping round-tripped through the parser
+    }
+    if (ev.Find("ph")->str == "C" &&
+        ev.Find("name")->str == "outstanding transfer bytes") {
+      samples.push_back(ev.Find("args")->Find("bytes")->number);
+    }
+  }
+  EXPECT_TRUE(saw_label);
+  // ts 0: +4096; ts 2: +1024; ts 4: -4096; ts 6: back to zero.
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_DOUBLE_EQ(samples[0], 4096.0);
+  EXPECT_DOUBLE_EQ(samples[1], 5120.0);
+  EXPECT_DOUBLE_EQ(samples[2], 1024.0);
+  EXPECT_DOUBLE_EQ(samples[3], 0.0);
 }
 
 }  // namespace
