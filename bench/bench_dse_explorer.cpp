@@ -199,6 +199,11 @@ int main(int argc, char** argv) {
     json.Metric("wall." + board.key + ".wall_us.seed", seed_us);
     json.Metric("wall." + board.key + ".wall_us.cached_serial", cached_us);
     json.Metric("wall." + board.key + ".wall_us.parallel", parallel_us);
+    // Worker idle time inside the parallel sweep's static chunks -- the
+    // load-imbalance share of the parallel wall clock (EXPERIMENTS.md,
+    // "s10mx parallel sweep" note).
+    json.Metric("wall." + board.key + ".thread_wait_us.parallel",
+                parallel.parallel.imbalance_wait_us);
     json.Metric("wall." + board.key + ".per_candidate_us.seed", per_candidate_us);
     json.Metric("wall." + board.key + ".speedup.cached_serial", speedup_cached);
     json.Metric("wall." + board.key + ".speedup.parallel", speedup_parallel);

@@ -45,10 +45,18 @@
 // candidates on N worker threads (the result is identical for any N);
 // --dse-dominance enables the heuristic dominance filter.
 //
+// With --monitor it drives a batch of timing requests through the
+// telemetry::SloMonitor (p50/p95/p99 latency, goodput, error-budget burn
+// rate against a budget anchored 5% above the first request) and writes
+// <base>_monitor.json plus a Prometheus text exposition of every runtime
+// metric as <base>_metrics.prom. Every run also arms the flight recorder:
+// when a RuntimeFaultError or VerifyError escapes, the recent structured
+// event ring is dumped to <base>_flightrec.json for postmortem debugging.
+//
 // usage: example_flow_inspector [lenet|mobilenet|resnet18|resnet34]
 //                               [a10|s10sx|s10mx] [pipelined|folded]
 //                               [outdir] [--report] [--profile]
-//                               [--trace-out FILE]
+//                               [--monitor] [--trace-out FILE]
 //                               [--lint] [--lint-promote CODE]
 //                               [--lint-demote CODE] [--break-channel]
 //                               [--inject-fault SPEC] [--fault-seed N]
@@ -116,6 +124,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> positional;
   bool report = false;
   bool profile = false;
+  bool monitor = false;
   bool lint = false;
   bool break_channel = false;
   bool use_fallback = false;
@@ -133,6 +142,8 @@ int main(int argc, char** argv) {
       report = true;
     } else if (arg == "--profile") {
       profile = true;
+    } else if (arg == "--monitor") {
+      monitor = true;
     } else if (arg == "--fallback") {
       use_fallback = true;
     } else if (arg == "--over-tile") {
@@ -207,8 +218,13 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const std::string base = outdir + "/" + net.name() + "_" + board_key;
+
   core::DeployOptions opts;
   opts.board = fpga::BoardByKey(board_key);
+  // Arm the flight recorder: a RuntimeFaultError/VerifyError escaping
+  // Compile or Run dumps the recent-event ring here for postmortems.
+  opts.flightrec_path = base + "_flightrec.json";
   const bool pipelined =
       mode_name.empty() ? net_name == "lenet" : mode_name == "pipelined";
   if (pipelined) {
@@ -319,6 +335,8 @@ int main(int argc, char** argv) {
       compiled = core::Deployment::Compile(net, opts);
     } catch (const VerifyError& e) {
       std::fprintf(stderr, "static analysis failed:\n%s", e.what());
+      std::fprintf(stderr, "flight recorder dumped to %s\n",
+                   opts.flightrec_path.c_str());
       return 1;
     }
   }
@@ -346,7 +364,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::string base = outdir + "/" + net.name() + "_" + board_key;
   WriteFile(base + "_fit_report.txt", fpga::WriteFitReport(d.bitstream()));
   if (!d.ok()) {
     std::printf("design does not synthesize: %s\n",
@@ -407,6 +424,8 @@ int main(int argc, char** argv) {
                    e.what(), e.code().c_str(), e.kernel().c_str(),
                    e.channel().c_str(), e.attempts(),
                    e.queue_snapshot().c_str());
+      std::fprintf(stderr, "flight recorder dumped to %s\n",
+                   opts.flightrec_path.c_str());
       fault_rc = 2;
     }
     for (const auto& f : injector->injected()) {
@@ -427,7 +446,7 @@ int main(int argc, char** argv) {
     if (fault_rc != 0) return fault_rc;
   }
 
-  if (!report && !profile && trace_out.empty()) return 0;
+  if (!report && !profile && !monitor && trace_out.empty()) return 0;
 
   // One timing-only image drives the runtime-side metrics and the trace.
   const auto run = d.Run(image, /*functional=*/false);
@@ -496,6 +515,32 @@ int main(int argc, char** argv) {
     WriteFile(base + "_profile.txt", prof::ToText(p));
     WriteFile(base + "_profile.json", prof::ToJson(p));
     WriteFile(base + "_profile.html", prof::ToHtml(p));
+  }
+
+  if (monitor) {
+    // A batch of timing requests through the SLO monitor. The simulated
+    // clock is deterministic, so a healthy deployment shows zero
+    // violations against a budget 5% above the first request; faults and
+    // fmax droop push requests over it and burn the error budget.
+    telemetry::SloSpec spec;
+    spec.latency_objective_us = run.latency.us() * 1.05;
+    spec.window = 16;
+    telemetry::SloMonitor slo(spec);
+    auto& rt = d.runtime();
+    constexpr int kRequests = 24;
+    for (int i = 0; i < kRequests; ++i) {
+      const auto r = d.Run(image, /*functional=*/false);
+      slo.ObserveRequest(ocl::SummarizeRequest(rt.events(), r.trace_id),
+                         &d.diagnostics());
+    }
+    std::printf("\n--- SLO monitor (%d requests) ---\n%s", kRequests,
+                slo.ToText().c_str());
+    obs::Registry reg;
+    slo.ExportMetrics(reg);
+    d.ExportRuntimeMetrics(reg);
+    if (dse) dse->ExportMetrics(reg);
+    WriteFile(base + "_monitor.json", slo.ToJson());
+    WriteFile(base + "_metrics.prom", reg.ToPrometheus());
   }
 
   if (!trace_out.empty()) {

@@ -12,6 +12,8 @@
 //           the hardened ocl::Runtime (RuntimeFaultError)
 //   CLF6xx  profiler: model-vs-measurement discrepancies found by
 //           clflow::prof when attributing runtime behaviour
+//   CLF7xx  telemetry: request-level SLO and flight-recorder findings
+//           raised by clflow::telemetry while monitoring Deployment::Run
 //
 // This header is intentionally free of dependencies (and of a .cpp) so
 // that any layer -- including ocl::Runtime, which must name the same code
@@ -201,6 +203,25 @@ inline constexpr CodeInfo kProfOverheadDominant{
     "kernels are too small for per-launch dispatch cost; fold layers "
     "together, batch inputs, or mark channel-only kernels autorun"};
 
+// --- Telemetry --------------------------------------------------------------
+inline constexpr CodeInfo kSloLatencyBurn{
+    "CLF701", Severity::kWarning,
+    "latency-SLO error budget burning above threshold", "SS6.2",
+    "the windowed violation rate exceeds the declared error budget; check "
+    "telemetry.slo.burn_rate and the per-request flight-recorder spans for "
+    "what slowed the violating requests (fmax droop, retries, stalls)"};
+inline constexpr CodeInfo kRequestStarvation{
+    "CLF702", Severity::kWarning,
+    "request spent most of its latency starved on a queue", "SS4.8",
+    "the request's channel-stall share exceeds the starvation threshold; "
+    "rebalance the queue assignment or raise the starving producer's "
+    "priority before blaming kernel throughput"};
+inline constexpr CodeInfo kFlightRecorderOverflow{
+    "CLF703", Severity::kNote,
+    "flight recorder overflowed before the dump", "SS6.2",
+    "the ring dropped its oldest events; raise DeployOptions::"
+    "flightrec_capacity if the postmortem needs a longer look-back"};
+
 /// All registered codes, in documentation order.
 inline constexpr const CodeInfo* kAllCodes[] = {
     &kUndefinedVar,     &kOutOfBounds,      &kUnrollDependence,
@@ -214,6 +235,7 @@ inline constexpr const CodeInfo* kAllCodes[] = {
     &kRuntimeUnknownKernel, &kRuntimeChannelDeadlock, &kRuntimeTransferFailed,
     &kRuntimeKernelCorrupt, &kRuntimeDeviceLost, &kRuntimeChannelProtocol,
     &kProfPredictionDrift, &kProfAttributionGap, &kProfOverheadDominant,
+    &kSloLatencyBurn,   &kRequestStarvation, &kFlightRecorderOverflow,
 };
 
 /// Looks up a code by its "CLFxxx" id; nullptr when unknown.

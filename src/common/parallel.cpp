@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -14,14 +15,31 @@ int HardwareThreads() {
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedUs(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
+
 void ParallelChunks(std::int64_t begin, std::int64_t end, int num_threads,
-                    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+                    const std::function<void(std::int64_t, std::int64_t)>& fn,
+                    ParallelStats* stats) {
+  if (stats != nullptr) *stats = {};
   const std::int64_t n = end - begin;
   if (n <= 0) return;
   num_threads = std::clamp<int>(num_threads, 1,
                                 static_cast<int>(std::min<std::int64_t>(n, 256)));
+  const Clock::time_point t0 = Clock::now();
   if (num_threads == 1) {
     fn(begin, end);
+    if (stats != nullptr) {
+      stats->workers = 1;
+      stats->wall_us = stats->busy_us = ElapsedUs(t0, Clock::now());
+    }
     return;
   }
 
@@ -29,30 +47,44 @@ void ParallelChunks(std::int64_t begin, std::int64_t end, int num_threads,
   std::mutex error_mutex;
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(num_threads));
+  std::vector<double> busy_us(static_cast<std::size_t>(num_threads), 0.0);
   const std::int64_t chunk = (n + num_threads - 1) / num_threads;
   for (int t = 0; t < num_threads; ++t) {
     const std::int64_t lo = begin + t * chunk;
     const std::int64_t hi = std::min<std::int64_t>(lo + chunk, end);
     if (lo >= hi) break;
-    workers.emplace_back([&, lo, hi] {
+    workers.emplace_back([&, lo, hi, t] {
+      const Clock::time_point w0 = Clock::now();
       try {
         fn(lo, hi);
       } catch (...) {
         const std::scoped_lock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
+      busy_us[static_cast<std::size_t>(t)] = ElapsedUs(w0, Clock::now());
     });
   }
   for (auto& w : workers) w.join();
+  if (stats != nullptr) {
+    stats->workers = static_cast<int>(workers.size());
+    stats->wall_us = ElapsedUs(t0, Clock::now());
+    for (std::size_t t = 0; t < workers.size(); ++t) {
+      stats->busy_us += busy_us[t];
+      stats->imbalance_wait_us += std::max(0.0, stats->wall_us - busy_us[t]);
+    }
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 
 void ParallelFor(std::int64_t begin, std::int64_t end, int num_threads,
-                 const std::function<void(std::int64_t)>& fn) {
-  ParallelChunks(begin, end, num_threads,
-                 [&fn](std::int64_t lo, std::int64_t hi) {
-                   for (std::int64_t i = lo; i < hi; ++i) fn(i);
-                 });
+                 const std::function<void(std::int64_t)>& fn,
+                 ParallelStats* stats) {
+  ParallelChunks(
+      begin, end, num_threads,
+      [&fn](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) fn(i);
+      },
+      stats);
 }
 
 }  // namespace clflow

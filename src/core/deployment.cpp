@@ -91,6 +91,8 @@ Deployment Deployment::Compile(const graph::Graph& g,
   d.telemetry_ = std::make_shared<obs::Telemetry>();
   d.diags_ =
       std::make_shared<analysis::DiagnosticEngine>(&d.telemetry_->registry);
+  d.flightrec_ = std::make_shared<telemetry::FlightRecorder>(
+      options.flightrec_capacity);
   for (const auto& [code, severity] : options.analysis.severity_overrides) {
     d.diags_->OverrideSeverity(code, severity);
   }
@@ -108,7 +110,7 @@ Deployment Deployment::Compile(const graph::Graph& g,
     d.telemetry_->registry.counter("compile.nodes_fused")
         .Add(static_cast<double>(before - after));
   }
-  {
+  try {
     obs::ScopedSpan span(tracer, "lowering");
     // Gate every schedule primitive applied while lowering: a pass
     // composition that produces malformed IR aborts at the pass that
@@ -132,9 +134,21 @@ Deployment Deployment::Compile(const graph::Graph& g,
     span.Arg("kernels", static_cast<std::int64_t>(d.kernels_.size()));
     span.Arg("invocations",
              static_cast<std::int64_t>(d.invocations_.size()));
+  } catch (const VerifyError& e) {
+    // Compile-time postmortem: the rejected pass's diagnostics go out
+    // through the same flight-recorder dump as a runtime fault would.
+    d.flightrec_->Note("fault", "VerifyError", {}, e.what());
+    d.DumpFlightRecorder();
+    throw;
   }
   d.AssignQueues();
-  if (options.analysis.verify) d.RunAnalysisGate();
+  try {
+    if (options.analysis.verify) d.RunAnalysisGate();
+  } catch (const VerifyError& e) {
+    d.flightrec_->Note("fault", "VerifyError", {}, e.what());
+    d.DumpFlightRecorder();
+    throw;
+  }
   {
     obs::ScopedSpan span(tracer, "synthesis");
     d.SynthesizeAll();
@@ -828,6 +842,7 @@ void Deployment::RunAnalysisGate() {
 
 void Deployment::PrepareRuntime() {
   runtime_ = std::make_unique<ocl::Runtime>(bitstream_, options_.cost_model);
+  runtime_->set_flight_recorder(flightrec_.get());
   input_buffer_ = runtime_->CreateBuffer(
       fused_.node(fused_.input_id()).output_shape.NumElements());
   output_buffer_ = runtime_->CreateBuffer(
@@ -869,6 +884,31 @@ ocl::KernelLaunch Deployment::MakeLaunch(const PlannedInvocation& inv,
   return launch;
 }
 
+void Deployment::DumpFlightRecorder() const {
+  if (options_.flightrec_path.empty() || flightrec_ == nullptr) return;
+  // Mirror the accumulated diagnostics so the dump stands alone: the
+  // postmortem reader gets CLF codes next to the command stream without
+  // needing the process's diagnostics output.
+  for (const analysis::Diagnostic& diag : diags_->diagnostics()) {
+    telemetry::FlightEvent ev;
+    ev.kind = "diag";
+    ev.label = diag.code;
+    ev.detail = diag.message;
+    flightrec_->Record(std::move(ev));
+  }
+  if (flightrec_->overflowed()) {
+    const std::string msg =
+        "flight recorder dropped " + std::to_string(flightrec_->dropped()) +
+        " event(s) before the dump (capacity " +
+        std::to_string(flightrec_->capacity()) + ")";
+    diags_->Report(analysis::Diagnostic::Make(
+        analysis::kFlightRecorderOverflow, {}, msg));
+    flightrec_->Note("diag", std::string(analysis::kFlightRecorderOverflow.id),
+                     {}, msg);
+  }
+  flightrec_->DumpToFile(options_.flightrec_path);
+}
+
 RunResult Deployment::Run(const Tensor& input, bool functional) {
   if (!ok()) {
     throw RuntimeApiError("deployment did not synthesize: " +
@@ -881,6 +921,15 @@ RunResult Deployment::Run(const Tensor& input, bool functional) {
 
   const std::int64_t reprograms_before = runtime_->reprograms();
   RunResult result;
+  // Open the request context: a deterministic trace id (monotonic per
+  // deployment) stamped into every event this run enqueues, so the trace
+  // export can chain them causally and the flight recorder can attribute
+  // its window to requests.
+  result.trace_id = ++next_trace_id_;
+  const telemetry::TraceContext ctx{result.trace_id, result.trace_id};
+  runtime_->set_trace_context(ctx);
+  flightrec_->Note("request", "run#" + std::to_string(result.trace_id), ctx,
+                   functional ? "functional" : "timing");
   try {
     runtime_->EnqueueWrite(0, input_buffer_, input.data(), "write_input");
     int last_queue = 0;
@@ -917,8 +966,13 @@ RunResult Deployment::Run(const Tensor& input, bool functional) {
                           ? std::string()
                           : " [" + e.queue_snapshot() + "]")));
     }
+    // The fault escapes this Run: close the request and write the
+    // postmortem (the runtime already recorded the fault event itself).
+    runtime_->clear_trace_context();
+    DumpFlightRecorder();
     throw;
   }
+  runtime_->clear_trace_context();
   if (runtime_->reprograms() > reprograms_before) {
     // The run survived a device loss: record the recovery as a warning.
     diags_->Report(analysis::Diagnostic::Make(

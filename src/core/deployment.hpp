@@ -24,6 +24,7 @@
 #include "ir/op_kernels.hpp"
 #include "obs/span.hpp"
 #include "ocl/runtime.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace clflow::core {
 
@@ -56,11 +57,21 @@ struct DeployOptions {
   /// this deployment's telemetry. Null (the default) compiles everything
   /// from scratch.
   std::shared_ptr<CompileCache> compile_cache;
+  /// When non-empty, the flight recorder is dumped to this path whenever a
+  /// RuntimeFaultError or VerifyError escapes Run()/Compile() (the
+  /// "_flightrec.json" postmortem). Empty (the default) records but never
+  /// writes a file -- tests that intentionally inject faults stay quiet.
+  std::string flightrec_path;
+  /// Ring capacity of the flight recorder (events retained at dump time).
+  std::size_t flightrec_capacity = telemetry::FlightRecorder::kDefaultCapacity;
 };
 
 struct RunResult {
   Tensor output;    ///< undefined on timing-only runs
   SimTime latency;  ///< simulated end-to-end time for this image
+  /// Deterministic request id of this Run (first call = 1); every
+  /// ProfiledEvent the request produced carries it as trace_id.
+  std::uint64_t trace_id = 0;
 };
 
 /// Per-operation-class profile row (Tables 6.8 / 6.16).
@@ -157,6 +168,13 @@ class Deployment {
     return *diags_;
   }
 
+  /// The flight recorder fed by the runtime's command/fault stream and the
+  /// request boundaries of Run(). Always present after Compile; dumped to
+  /// options().flightrec_path (when set) on an escaping fault.
+  [[nodiscard]] telemetry::FlightRecorder& flight_recorder() const {
+    return *flightrec_;
+  }
+
   /// The launch plan as the dataflow checker sees it: one PlanStep per
   /// invocation in enqueue order with queue assignments, channel endpoints,
   /// and graph dependence edges. Exposed so external tools (flow_inspector
@@ -184,12 +202,19 @@ class Deployment {
   void AssignQueues();
   void RunAnalysisGate();
   void PrepareRuntime();
+  /// Mirrors accumulated diagnostics into the recorder and writes it to
+  /// options_.flightrec_path (no-op when the path is empty). Reports
+  /// CLF703 when the ring dropped events. Never throws (runs in catches).
+  void DumpFlightRecorder() const;
   [[nodiscard]] ocl::KernelLaunch MakeLaunch(const PlannedInvocation& inv,
                                              bool functional);
 
   DeployOptions options_;
   std::shared_ptr<obs::Telemetry> telemetry_;
   std::shared_ptr<analysis::DiagnosticEngine> diags_;
+  std::shared_ptr<telemetry::FlightRecorder> flightrec_;
+  /// Request counter backing RunResult::trace_id (first Run = 1).
+  std::uint64_t next_trace_id_ = 0;
   graph::Graph fused_;
   std::vector<PlannedKernel> kernels_;
   std::vector<PlannedInvocation> invocations_;

@@ -53,8 +53,14 @@ void DseResult::ExportMetrics(obs::Registry& registry) const {
       static_cast<double>(cache_stats.design_misses));
   set("dse.cache.lower.hits", static_cast<double>(cache_stats.lower_hits));
   set("dse.cache.lower.misses", static_cast<double>(cache_stats.lower_misses));
+  set("dse.cache.stats.hits", static_cast<double>(cache_stats.stats_hits));
+  set("dse.cache.stats.misses", static_cast<double>(cache_stats.stats_misses));
   set("dse.cache.entries", static_cast<double>(cache_stats.entries));
   set("dse.cache.bytes", static_cast<double>(cache_stats.bytes));
+  // Wall-clock series: machine-dependent, reported for attribution only
+  // (bench gates ignore the wall. prefix).
+  set("dse.wall.parallel_us", parallel.wall_us);
+  set("dse.wall.thread_wait_us", parallel.imbalance_wait_us);
 }
 
 FoldedBound BoundFoldedCandidate(const ConvTiling& conv1x1,
@@ -268,6 +274,7 @@ DseResult ExploreFoldedTilings(const graph::Graph& g,
         batch.push_back(s);
       }
     }
+    ParallelStats batch_stats;
     ParallelFor(0, static_cast<std::int64_t>(batch.size()), jobs,
                 [&](std::int64_t bi) {
                   const std::size_t s = batch[static_cast<std::size_t>(bi)];
@@ -301,7 +308,9 @@ DseResult ExploreFoldedTilings(const graph::Graph& g,
                     e.feasible = true;
                   }
                   e.compiled = true;
-                });
+                },
+                &batch_stats);
+    result.parallel += batch_stats;
     for (std::size_t s : batch) {
       const Eval& e = evals[s];
       if (e.cand.status == fpga::SynthStatus::kFitError) {

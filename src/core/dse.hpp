@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "core/compile_cache.hpp"
 #include "core/deployment.hpp"
 
@@ -142,6 +143,12 @@ struct DseResult {
   /// counts are NOT part of the jobs-invariance contract (racing misses
   /// may compute a design twice) -- every other field above is.
   CompileCacheStats cache_stats;
+  /// Wall-clock accounting accumulated over the candidate-compile
+  /// ParallelFor batches. Machine-dependent ("wall." semantics -- never
+  /// gated); `imbalance_wait_us` is the worker idle time lost to static
+  /// chunk skew, the figure that explains why a cache-cold parallel sweep
+  /// can trail a cache-warm serial one (see EXPERIMENTS.md, s10mx).
+  ParallelStats parallel;
 
   [[nodiscard]] bool truncated() const {
     return feasible_total > ranked.size();

@@ -42,6 +42,25 @@ double Gauge::value() const {
 void Histogram::Observe(double value) {
   std::lock_guard lock(mu_);
   samples_.push_back(value);
+  if (window_ > 0 && samples_.size() > window_) samples_.pop_front();
+}
+
+void Histogram::set_window(std::size_t n) {
+  std::lock_guard lock(mu_);
+  window_ = n;
+  if (window_ > 0) {
+    while (samples_.size() > window_) samples_.pop_front();
+  }
+}
+
+std::size_t Histogram::window() const {
+  std::lock_guard lock(mu_);
+  return window_;
+}
+
+std::vector<double> Histogram::window_samples() const {
+  std::lock_guard lock(mu_);
+  return {samples_.begin(), samples_.end()};
 }
 
 namespace {
@@ -61,7 +80,7 @@ Histogram::Snapshot Histogram::snapshot() const {
   std::vector<double> sorted;
   {
     std::lock_guard lock(mu_);
-    sorted = samples_;
+    sorted.assign(samples_.begin(), samples_.end());
   }
   std::sort(sorted.begin(), sorted.end());
   Snapshot s;
@@ -201,6 +220,104 @@ std::string Registry::ToCsv() const {
     os << prefix << "p50," << JsonNum(s.p50) << "\n";
     os << prefix << "p95," << JsonNum(s.p95) << "\n";
     os << prefix << "p99," << JsonNum(s.p99) << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Maps a clflow metric name onto a Prometheus identifier: dots (our
+/// namespacing) become underscores; anything else outside [a-zA-Z0-9_:]
+/// is folded to '_' as well.
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, "_");
+  return out;
+}
+
+/// Label-value escaping per the text format: backslash, quote, newline.
+std::string PromEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// {k="v",...} rendering; `extra` appends one more label when non-empty.
+std::string PromLabels(const Labels& labels, const std::string& extra_key = "",
+                       const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += PromName(k) + "=\"" + PromEscape(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + PromEscape(extra_value) + "\"";
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+std::string Registry::ToPrometheus() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream os;
+  std::string last_type_line;
+  auto type_header = [&os, &last_type_line](const std::string& name,
+                                            const char* type) {
+    // One TYPE line per metric name; series of the same name (different
+    // labels) sort adjacently in the map, so tracking the last header
+    // suffices.
+    const std::string line = "# TYPE " + name + " " + type + "\n";
+    if (line != last_type_line) {
+      os << line;
+      last_type_line = line;
+    }
+  };
+  for (const auto& [key, e] : counters_) {
+    const std::string name = PromName(e.name);
+    type_header(name, "counter");
+    os << name << PromLabels(e.labels) << " " << JsonNum(e.metric->value())
+       << "\n";
+  }
+  for (const auto& [key, e] : gauges_) {
+    const std::string name = PromName(e.name);
+    type_header(name, "gauge");
+    os << name << PromLabels(e.labels) << " " << JsonNum(e.metric->value())
+       << "\n";
+  }
+  for (const auto& [key, e] : histograms_) {
+    const std::string name = PromName(e.name);
+    const Histogram::Snapshot s = e.metric->snapshot();
+    type_header(name, "summary");
+    os << name << PromLabels(e.labels, "quantile", "0.5") << " "
+       << JsonNum(s.p50) << "\n";
+    os << name << PromLabels(e.labels, "quantile", "0.95") << " "
+       << JsonNum(s.p95) << "\n";
+    os << name << PromLabels(e.labels, "quantile", "0.99") << " "
+       << JsonNum(s.p99) << "\n";
+    os << name << "_sum" << PromLabels(e.labels) << " " << JsonNum(s.sum)
+       << "\n";
+    os << name << "_count" << PromLabels(e.labels) << " " << s.count << "\n";
   }
   return os.str();
 }

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -70,9 +71,23 @@ class Histogram {
   void Observe(double value);
   [[nodiscard]] Snapshot snapshot() const;
 
+  /// Makes this a sliding-window histogram keeping only the most recent
+  /// `n` observations (0 restores the unbounded default). Shrinking the
+  /// window immediately evicts the oldest samples, so a rotated window
+  /// never carries stale samples into its statistics; an empty or
+  /// single-sample window reports consistent zeros / the lone sample for
+  /// every percentile in JSON, CSV, and the summary table alike.
+  void set_window(std::size_t n);
+  [[nodiscard]] std::size_t window() const;
+
+  /// Copy of the currently retained samples, oldest first (all samples
+  /// when unbounded).
+  [[nodiscard]] std::vector<double> window_samples() const;
+
  private:
   mutable std::mutex mu_;
-  std::vector<double> samples_;
+  std::deque<double> samples_;
+  std::size_t window_ = 0;  ///< 0 = unbounded
 };
 
 class Registry {
@@ -95,6 +110,13 @@ class Registry {
   /// kind,name,labels,stat,value rows (histograms expand to one row per
   /// statistic).
   [[nodiscard]] std::string ToCsv() const;
+
+  /// Prometheus text exposition format (version 0.0.4): one `# TYPE`
+  /// header per metric name, counters/gauges as single samples, histograms
+  /// as summaries (quantile series plus _sum/_count). Dots in metric names
+  /// become underscores (Prometheus identifier rules); label values are
+  /// escaped per the format.
+  [[nodiscard]] std::string ToPrometheus() const;
 
   /// Human-readable summary, one instrument per row.
   [[nodiscard]] Table SummaryTable() const;

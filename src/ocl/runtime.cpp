@@ -12,6 +12,7 @@
 // genuinely runtime-only faults carry their own CLF5xx codes.
 #include "analysis/codes.hpp"
 #include "common/error.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace clflow::ocl {
 
@@ -53,6 +54,39 @@ int Runtime::CreateQueue() {
 }
 
 int Runtime::num_queues() const { return static_cast<int>(queues_.size()); }
+
+void Runtime::RecordEvent(ProfiledEvent ev) {
+  ev.trace_id = trace_ctx_.trace_id;
+  ev.parent_span_id = trace_ctx_.parent_span_id;
+  ev.span_id = ++next_span_id_;
+  if (flightrec_ != nullptr) {
+    telemetry::FlightEvent f;
+    f.kind = "command";
+    f.label = ev.label;
+    f.trace_id = ev.trace_id;
+    f.span_id = ev.span_id;
+    f.parent_span_id = ev.parent_span_id;
+    f.t_us = ev.start.us();
+    f.dur_us = ev.duration().us();
+    f.queue = ev.queue;
+    flightrec_->Record(std::move(f));
+  }
+  events_.push_back(std::move(ev));
+}
+
+void Runtime::RecordFault(const RuntimeFaultError& fault) {
+  if (flightrec_ == nullptr) return;
+  telemetry::FlightEvent f;
+  f.kind = "fault";
+  f.label = fault.code() +
+            (fault.kernel().empty() ? std::string() : " " + fault.kernel());
+  f.trace_id = trace_ctx_.trace_id;
+  f.parent_span_id = trace_ctx_.parent_span_id;
+  f.t_us = clock_.us();
+  f.queue = 0;
+  f.detail = fault.what();
+  flightrec_->Record(std::move(f));
+}
 
 std::string Runtime::QueueSnapshot() const {
   std::ostringstream os;
@@ -102,8 +136,8 @@ void Runtime::EnqueueTransfer(int queue, bool is_write,
 
     if (fault.action == resilience::TransferFault::Action::kNone) {
       copy();
-      events_.push_back({std::move(label), kind, queue, host_time_, start,
-                         end, kSimTimeZero, bytes});
+      RecordEvent({std::move(label), kind, queue, host_time_, start, end,
+                   kSimTimeZero, bytes});
       // Reads block the host by nature (the host consumes the data);
       // writes only do so under the event profiler.
       if (!is_write || profiling_) host_time_ = end;
@@ -120,13 +154,12 @@ void Runtime::EnqueueTransfer(int queue, bool is_write,
         dest[i] = FlipBits(dest[i], fault.mask);
       }
     }
-    events_.push_back({label + (corrupt ? " [corrupt#" : " [fail#") +
-                           std::to_string(attempt) + "]",
-                       kind, queue, host_time_, start, end, kSimTimeZero,
-                       bytes});
+    RecordEvent({label + (corrupt ? " [corrupt#" : " [fail#") +
+                     std::to_string(attempt) + "]",
+                 kind, queue, host_time_, start, end, kSimTimeZero, bytes});
     ++xfer_retries_;
     if (attempt + 1 >= retry_policy_.max_attempts) {
-      throw RuntimeFaultError(
+      RuntimeFaultError fault(
           std::string(analysis::kRuntimeTransferFailed.id),
           std::string(is_write ? "host->device" : "device->host") +
               " transfer '" + label + "' " +
@@ -135,6 +168,8 @@ void Runtime::EnqueueTransfer(int queue, bool is_write,
               " on all " + std::to_string(attempt + 1) +
               " attempts (RetryPolicy::max_attempts)",
           "", "", QueueSnapshot(), attempt + 1);
+      RecordFault(fault);
+      throw fault;
     }
     const SimTime backoff = retry_policy_.BackoffFor(attempt);
     backoff_time_ += backoff;
@@ -177,22 +212,26 @@ SimTime Runtime::KernelReady(const KernelLaunch& launch, SimTime base) {
       // be an unbounded hardware hang into a structured fault.
       channel_stall_[chan] += watchdog_timeout_;
       clock_ = std::max(clock_, base + watchdog_timeout_);
-      throw RuntimeFaultError(
+      RuntimeFaultError fault(
           std::string(analysis::kRuntimeChannelDeadlock.id),
           "watchdog: kernel " + launch.name + " blocked on channel " + chan +
               " for " + std::to_string(watchdog_timeout_.us()) +
               " us; writer " + hung->second +
               " hung and will never deliver (deadlock on hardware)",
           launch.name, chan, QueueSnapshot());
+      RecordFault(fault);
+      throw fault;
     }
     auto it = channel_ready_.find(chan);
     if (it == channel_ready_.end()) {
-      throw RuntimeFaultError(
+      RuntimeFaultError fault(
           std::string(analysis::kRuntimeChannelProtocol.id),
           std::string(analysis::kChannelNoWriter.id) + ": kernel " +
               launch.name + " reads channel " + chan +
               " with no enqueued producer: this deadlocks on hardware",
           launch.name, chan, QueueSnapshot());
+      RecordFault(fault);
+      throw fault;
     }
     if (it->second > base) channel_stall_[chan] += it->second - base;
     ready = std::max(ready, it->second);
@@ -204,10 +243,12 @@ void Runtime::RecordKernel(const KernelLaunch& launch, int queue,
                            bool autorun) {
   const fpga::KernelDesign* design = bitstream_.Find(launch.name);
   if (design == nullptr) {
-    throw RuntimeFaultError(
+    RuntimeFaultError fault(
         std::string(analysis::kRuntimeUnknownKernel.id),
         "kernel " + launch.name + " is not in the programmed bitstream",
         launch.name, "", QueueSnapshot());
+    RecordFault(fault);
+    throw fault;
   }
   resilience::KernelFault fault;
   if (injector_) fault = injector_->OnKernelDispatch(launch.name);
@@ -220,18 +261,20 @@ void Runtime::RecordKernel(const KernelLaunch& launch, int queue,
     host_time_ += retry_policy_.reprogram_cost;
     clock_ = std::max(clock_, host_time_);
     ++reprograms_;
-    events_.push_back({"reprogram [" + launch.name + "]",
-                       CommandKind::kKernel, autorun ? -1 : queue, start,
-                       start, host_time_, kSimTimeZero, 0});
+    RecordEvent({"reprogram [" + launch.name + "]", CommandKind::kKernel,
+                 autorun ? -1 : queue, start, start, host_time_, kSimTimeZero,
+                 0});
   }
   if (fault.corrupt_times >= retry_policy_.max_attempts) {
-    throw RuntimeFaultError(
+    RuntimeFaultError err(
         std::string(analysis::kRuntimeKernelCorrupt.id),
         "kernel " + launch.name + " output checksum failed " +
             std::to_string(fault.corrupt_times) +
             " consecutive executions (RetryPolicy::max_attempts=" +
             std::to_string(retry_policy_.max_attempts) + ")",
         launch.name, "", QueueSnapshot(), retry_policy_.max_attempts);
+    RecordFault(err);
+    throw err;
   }
 
   SimTime ready;
@@ -267,9 +310,9 @@ void Runtime::RecordKernel(const KernelLaunch& launch, int queue,
       hung_channels_[chan] = launch.name;
     }
     if (hung_kernel_.empty()) hung_kernel_ = launch.name;
-    events_.push_back({launch.name + " [hung]", CommandKind::kKernel,
-                       autorun ? -1 : queue, autorun ? ready : host_time_,
-                       ready, end, stall, 0});
+    RecordEvent({launch.name + " [hung]", CommandKind::kKernel,
+                 autorun ? -1 : queue, autorun ? ready : host_time_, ready,
+                 end, stall, 0});
     clock_ = std::max(clock_, end);
     return;
   }
@@ -298,12 +341,14 @@ void Runtime::RecordKernel(const KernelLaunch& launch, int queue,
   for (const auto& chan : launch.writes_channels) {
     channel_ready_[chan] = end;
     if (++channel_writers_[chan] > 1) {
-      throw RuntimeFaultError(
+      RuntimeFaultError fault2(
           std::string(analysis::kRuntimeChannelProtocol.id),
           std::string(analysis::kChannelEndpoints.id) + ": channel " + chan +
               " written by more than one kernel in a batch (last: " +
               launch.name + "); Intel channels are strictly point-to-point",
           launch.name, chan, QueueSnapshot());
+      RecordFault(fault2);
+      throw fault2;
     }
   }
   clock_ = std::max(clock_, end);
@@ -312,12 +357,11 @@ void Runtime::RecordKernel(const KernelLaunch& launch, int queue,
   ++usage.invocations;
   for (int e = 0; e < executions; ++e) {
     const SimTime s = ready + exec * e;
-    events_.push_back({e == 0 ? launch.name
-                              : launch.name + " [rerun#" + std::to_string(e) +
-                                    "]",
-                       CommandKind::kKernel, autorun ? -1 : queue,
-                       autorun ? ready : host_time_, s, s + exec,
-                       e == 0 ? stall : kSimTimeZero, 0});
+    RecordEvent({e == 0 ? launch.name
+                        : launch.name + " [rerun#" + std::to_string(e) + "]",
+                 CommandKind::kKernel, autorun ? -1 : queue,
+                 autorun ? ready : host_time_, s, s + exec,
+                 e == 0 ? stall : kSimTimeZero, 0});
   }
   if (profiling_ && !autorun) host_time_ = end;
 }
@@ -356,7 +400,7 @@ SimTime Runtime::Finish() {
       }
     }
     hung_channels_.clear();
-    throw RuntimeFaultError(
+    RuntimeFaultError fault(
         std::string(analysis::kRuntimeChannelDeadlock.id),
         "watchdog: kernel " + kernel + " never completed within " +
             std::to_string(watchdog_timeout_.us()) +
@@ -365,6 +409,8 @@ SimTime Runtime::Finish() {
                              : " and channel " + channel +
                                    " will never be ready"),
         kernel, channel, QueueSnapshot());
+    RecordFault(fault);
+    throw fault;
   }
   return makespan;
 }

@@ -34,6 +34,14 @@
 #include "ir/analysis.hpp"
 #include "obs/metrics.hpp"
 #include "resilience/fault.hpp"
+#include "telemetry/context.hpp"
+
+namespace clflow {
+class RuntimeFaultError;
+namespace telemetry {
+class FlightRecorder;
+}
+}  // namespace clflow
 
 namespace clflow::ocl {
 
@@ -67,6 +75,14 @@ struct ProfiledEvent {
   SimTime stall;
   /// Payload size for transfer commands; 0 for kernels.
   std::int64_t bytes = 0;
+  /// Request-scoped causal identity, stamped by the runtime at record
+  /// time: which Deployment::Run this command served (0 outside any
+  /// request), this command's own span id (monotonic enqueue order on the
+  /// single host thread, hence deterministic), and the request span it
+  /// descends from. ExportChromeTrace turns these into flow arrows.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
 
   [[nodiscard]] SimTime duration() const { return end - start; }
 };
@@ -141,6 +157,30 @@ class Runtime {
   /// snapshot RuntimeFaultError carries when the watchdog fires.
   [[nodiscard]] std::string QueueSnapshot() const;
 
+  // --- Telemetry ------------------------------------------------------------
+
+  /// Installs the request context stamped into every ProfiledEvent (and
+  /// flight-recorder entry) recorded until clear_trace_context().
+  /// Deployment::Run brackets its command stream with these.
+  void set_trace_context(const telemetry::TraceContext& ctx) {
+    trace_ctx_ = ctx;
+  }
+  void clear_trace_context() { trace_ctx_ = {}; }
+  [[nodiscard]] const telemetry::TraceContext& trace_context() const {
+    return trace_ctx_;
+  }
+
+  /// Attaches a flight recorder that receives every command completion
+  /// (including retry/rerun/hung slices) and every fault the runtime
+  /// raises. Not owned; nullptr detaches. Recording never affects span-id
+  /// assignment, so traces are identical with or without a recorder.
+  void set_flight_recorder(telemetry::FlightRecorder* recorder) {
+    flightrec_ = recorder;
+  }
+  [[nodiscard]] telemetry::FlightRecorder* flight_recorder() const {
+    return flightrec_;
+  }
+
   void EnqueueWrite(int queue, const BufferPtr& buffer,
                     std::span<const float> src, std::string label = "write");
   void EnqueueRead(int queue, const BufferPtr& buffer, std::span<float> dst,
@@ -213,6 +253,12 @@ class Runtime {
                        std::string label,
                        const std::function<void()>& copy,
                        std::span<float> dest);
+  /// The single event sink: stamps the current trace context and the next
+  /// span id onto `ev`, mirrors it into the flight recorder, and appends
+  /// it to events_. Every push site goes through here.
+  void RecordEvent(ProfiledEvent ev);
+  /// Mirrors a fault into the flight recorder just before it is thrown.
+  void RecordFault(const RuntimeFaultError& fault);
 
   fpga::Bitstream bitstream_;
   fpga::CostModel cost_model_;
@@ -244,6 +290,12 @@ class Runtime {
   std::unordered_map<std::string, std::string> hung_channels_;  ///< ch->kernel
   /// First kernel that hung this batch ("" when none): Finish() deadlocks.
   std::string hung_kernel_;
+  // Telemetry state.
+  telemetry::TraceContext trace_ctx_;
+  telemetry::FlightRecorder* flightrec_ = nullptr;  ///< not owned
+  /// Next command span id; host enqueue order is single-threaded, so this
+  /// numbering is deterministic across runs and thread counts.
+  std::uint64_t next_span_id_ = 0;
 };
 
 }  // namespace clflow::ocl

@@ -51,7 +51,34 @@ void EmitRuntimeEvents(std::ostringstream& os,
        << ",\"dur\":" << ev.duration().us()
        << ",\"args\":{\"queued_us\":" << ev.queued.us()
        << ",\"stall_us\":" << ev.stall.us() << ",\"bytes\":" << ev.bytes
-       << "}}";
+       << ",\"trace_id\":" << ev.trace_id << ",\"span_id\":" << ev.span_id
+       << ",\"parent_span_id\":" << ev.parent_span_id << "}}";
+  }
+}
+
+/// Causal flow arrows per request: every event carrying the same non-zero
+/// trace_id chains into one flow ("s" at the first command, "t" through
+/// the middle, "f" binding-to-enclosing at the last), so Perfetto renders
+/// the request's path across queues. Events are already in span order
+/// (the recorder numbers them on the single host thread).
+void EmitFlowEvents(std::ostringstream& os,
+                    const std::vector<ProfiledEvent>& events, int pid) {
+  std::map<std::uint64_t, std::vector<const ProfiledEvent*>> requests;
+  for (const auto& ev : events) {
+    if (ev.trace_id != 0) requests[ev.trace_id].push_back(&ev);
+  }
+  for (const auto& [trace_id, evs] : requests) {
+    if (evs.size() < 2) continue;
+    for (std::size_t i = 0; i < evs.size(); ++i) {
+      const ProfiledEvent& ev = *evs[i];
+      const int tid = ev.queue + 1;
+      const char* ph = i == 0 ? "s" : (i + 1 == evs.size() ? "f" : "t");
+      os << ",{\"name\":\"request\",\"cat\":\"request\",\"ph\":\"" << ph
+         << "\",\"id\":" << trace_id << ",\"pid\":" << pid
+         << ",\"tid\":" << tid << ",\"ts\":" << ev.start.us();
+      if (ph[0] == 'f') os << ",\"bp\":\"e\"";
+      os << "}";
+    }
   }
 }
 
@@ -109,6 +136,7 @@ std::string ExportChromeTrace(const std::vector<ProfiledEvent>& events,
   os << "{\"traceEvents\":[";
   EmitProcessName(os, 1, process_name);
   EmitRuntimeEvents(os, events, /*pid=*/1);
+  EmitFlowEvents(os, events, /*pid=*/1);
   EmitCounterTracks(os, events, /*pid=*/1);
   os << "]}";
   return os.str();
@@ -124,9 +152,38 @@ std::string ExportChromeTrace(const std::vector<ProfiledEvent>& events,
   EmitProcessName(os, 2, process_name + " runtime (simulated clock)");
   EmitCompileSpans(os, compile_spans, /*pid=*/1);
   EmitRuntimeEvents(os, events, /*pid=*/2);
+  EmitFlowEvents(os, events, /*pid=*/2);
   EmitCounterTracks(os, events, /*pid=*/2);
   os << "]}";
   return os.str();
+}
+
+telemetry::RequestSummary SummarizeRequest(
+    const std::vector<ProfiledEvent>& events, std::uint64_t trace_id) {
+  telemetry::RequestSummary req;
+  req.trace_id = trace_id;
+  SimTime first_queued, last_end;
+  SimTime worst_stall;
+  bool any = false;
+  for (const auto& ev : events) {
+    if (ev.trace_id != trace_id) continue;
+    ++req.events;
+    if (!any || ev.queued < first_queued) first_queued = ev.queued;
+    if (!any || ev.end > last_end) last_end = ev.end;
+    any = true;
+    req.stall_us += ev.stall.us();
+    // Enqueue-to-start wait minus the channel-stall share already
+    // attributed above; clamped, as autorun events have no queue wait.
+    const double wait = (ev.start - ev.queued - ev.stall).us();
+    if (ev.queue >= 0 && wait > 0.0) req.queue_wait_us += wait;
+    if (ev.stall > worst_stall) {
+      worst_stall = ev.stall;
+      req.queue = ev.queue;
+    }
+  }
+  req.max_stall_us = worst_stall.us();
+  if (any) req.latency_us = (last_end - first_queued).us();
+  return req;
 }
 
 }  // namespace clflow::ocl

@@ -12,11 +12,13 @@
 // that explicit.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "obs/span.hpp"
 #include "ocl/runtime.hpp"
+#include "telemetry/slo.hpp"
 
 namespace clflow::ocl {
 
@@ -32,9 +34,25 @@ namespace clflow::ocl {
 
 /// Same, plus compile-phase spans as an extra process ("compile, wall
 /// clock"). Span nesting renders via duration containment on one track.
+///
+/// Events stamped with a request trace context (ProfiledEvent::trace_id
+/// != 0) additionally emit causal flow arrows (ph "s"/"t"/"f", flow id =
+/// trace_id) chaining every command of one request across its queues, so
+/// Perfetto draws each inference request as one connected path instead of
+/// flat per-queue slices. Flow ids are the deterministic trace ids, so
+/// the export is bit-stable across runs and thread counts.
 [[nodiscard]] std::string ExportChromeTrace(
     const std::vector<ProfiledEvent>& events,
     const std::vector<obs::SpanRecord>& compile_spans,
     const std::string& process_name = "clflow");
+
+/// Folds one request's events (those whose trace_id matches) into the
+/// summary the SLO monitor consumes: latency spans first-enqueue to
+/// last-completion, stall/queue-wait attribution, and the queue carrying
+/// the dominant stall. `ok` is left true; the caller flips it when the
+/// request faulted. Lives in ocl (not telemetry) so clflow_telemetry
+/// never depends on the runtime layer.
+[[nodiscard]] telemetry::RequestSummary SummarizeRequest(
+    const std::vector<ProfiledEvent>& events, std::uint64_t trace_id);
 
 }  // namespace clflow::ocl

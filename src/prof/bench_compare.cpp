@@ -64,21 +64,29 @@ std::string_view MetricStatusName(MetricStatus s) {
     case MetricStatus::kMissing: return "MISSING";
     case MetricStatus::kNew: return "new";
     case MetricStatus::kIgnored: return "ignored";
+    case MetricStatus::kInvalid: return "INVALID";
   }
   return "?";
 }
 
-std::optional<BenchSnapshot> ParseBenchSnapshot(const std::string& json_text) {
+std::optional<BenchSnapshot> ParseBenchSnapshot(const std::string& json_text,
+                                                std::string* error) {
+  const auto fail = [error](std::string why) -> std::optional<BenchSnapshot> {
+    if (error != nullptr) *error = std::move(why);
+    return std::nullopt;
+  };
   const auto doc = obs::json::Parse(json_text);
   if (!doc || doc->kind != obs::json::Value::Kind::kObject) {
-    return std::nullopt;
+    return fail("not a JSON object");
   }
   const auto* bench = doc->Find("bench");
+  if (bench == nullptr || bench->kind != obs::json::Value::Kind::kString) {
+    return fail("missing string \"bench\" key");
+  }
   const auto* metrics = doc->Find("metrics");
-  if (bench == nullptr || bench->kind != obs::json::Value::Kind::kString ||
-      metrics == nullptr ||
+  if (metrics == nullptr ||
       metrics->kind != obs::json::Value::Kind::kObject) {
-    return std::nullopt;
+    return fail("missing object \"metrics\" key");
   }
   BenchSnapshot snap;
   snap.bench = bench->str;
@@ -87,7 +95,9 @@ std::optional<BenchSnapshot> ParseBenchSnapshot(const std::string& json_text) {
     snap.git_describe = gd->str;
   }
   for (const auto& [key, value] : metrics->object) {
-    if (value.kind != obs::json::Value::Kind::kNumber) return std::nullopt;
+    if (value.kind != obs::json::Value::Kind::kNumber) {
+      return fail("metric \"" + key + "\" is not a number");
+    }
     snap.metrics[key] = value.number;
   }
   return snap;
@@ -110,8 +120,18 @@ DiffResult DiffSnapshots(const BenchSnapshot& baseline,
     if (base_it != baseline.metrics.end()) d.baseline = base_it->second;
     if (cur_it != current.metrics.end()) d.current = cur_it->second;
 
+    // Non-finite values poison every comparison below (NaN fails the
+    // `<= tolerance` check *and* both direction checks, which used to
+    // classify it as an improvement), so catch them first.
+    const bool base_bad =
+        base_it != baseline.metrics.end() && !std::isfinite(base_it->second);
+    const bool cur_bad =
+        cur_it != current.metrics.end() && !std::isfinite(cur_it->second);
+
     if (Ignored(key, opts)) {
       d.status = MetricStatus::kIgnored;
+    } else if (base_bad || cur_bad) {
+      d.status = MetricStatus::kInvalid;
     } else if (base_it == baseline.metrics.end()) {
       d.status = MetricStatus::kNew;
     } else if (cur_it == current.metrics.end()) {
@@ -140,6 +160,7 @@ DiffResult DiffSnapshots(const BenchSnapshot& baseline,
         d.status == MetricStatus::kMissing) {
       result.regressed = true;
     }
+    if (d.status == MetricStatus::kInvalid) result.invalid = true;
     result.deltas.push_back(std::move(d));
   }
   return result;
@@ -156,11 +177,11 @@ std::optional<BenchSnapshot> LoadSnapshot(const std::string& path,
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  auto snap = ParseBenchSnapshot(buf.str());
+  std::string error;
+  auto snap = ParseBenchSnapshot(buf.str(), &error);
   if (!snap) {
-    out << "bench_diff: " << path
-        << " is not a valid bench snapshot (need top-level \"bench\" and "
-           "numeric \"metrics\")\n";
+    out << "bench_diff: " << path << " is not a valid bench snapshot: "
+        << error << "\n";
   }
   return snap;
 }
@@ -220,11 +241,13 @@ int RunBenchDiff(const std::vector<std::string>& args, std::ostream& out) {
   const DiffResult diff = DiffSnapshots(*baseline, *current, opts);
   Table table({"Metric", "Baseline", "Current", "Change", "Tol", "Status"});
   int regressions = 0;
+  int invalids = 0;
   for (const auto& d : diff.deltas) {
     if (d.status == MetricStatus::kRegressed ||
         d.status == MetricStatus::kMissing) {
       ++regressions;
     }
+    if (d.status == MetricStatus::kInvalid) ++invalids;
     table.AddRow(
         {d.key, Table::Num(d.baseline, 4), Table::Num(d.current, 4),
          (d.rel_change >= 0 ? "+" : "") + Table::Pct(d.rel_change, 1),
@@ -233,6 +256,12 @@ int RunBenchDiff(const std::vector<std::string>& args, std::ostream& out) {
   out << "bench_diff: " << baseline->bench << " (" << diff.deltas.size()
       << " metrics)\n";
   out << table.ToString();
+  if (diff.invalid) {
+    out << "FAIL: " << invalids
+        << " metric(s) are non-finite (NaN/Inf) -- the bench output is "
+           "corrupt and cannot be gated\n";
+    return 2;
+  }
   if (diff.regressed) {
     out << "FAIL: " << regressions
         << " metric(s) regressed beyond tolerance\n";

@@ -36,9 +36,11 @@ struct BenchSnapshot {
 };
 
 /// Parses a snapshot document; nullopt when the text is not valid JSON or
-/// lacks the "bench"/"metrics" keys.
+/// lacks the "bench"/"metrics" keys. When `error` is non-null it receives
+/// a one-line reason naming the offending key (e.g. a metric whose value
+/// is a string), so tools can say *why* a snapshot was rejected.
 [[nodiscard]] std::optional<BenchSnapshot> ParseBenchSnapshot(
-    const std::string& json_text);
+    const std::string& json_text, std::string* error = nullptr);
 
 struct DiffOptions {
   double default_tolerance = 0.05;  ///< relative
@@ -56,6 +58,7 @@ enum class MetricStatus {
   kMissing,   ///< in baseline, absent now (counts as a regression)
   kNew,       ///< absent from baseline
   kIgnored,   ///< matched an ignore prefix
+  kInvalid,   ///< NaN/Inf on either side -- the bench output is corrupt
 };
 
 [[nodiscard]] std::string_view MetricStatusName(MetricStatus s);
@@ -72,6 +75,11 @@ struct MetricDelta {
 struct DiffResult {
   std::vector<MetricDelta> deltas;  ///< union of keys, sorted
   bool regressed = false;           ///< any kRegressed or kMissing
+  /// Any kInvalid: a non-finite value can never pass a tolerance gate, so
+  /// it is a hard failure (exit 2), not a soft regression. A NaN that
+  /// silently compared "not greater than tolerance" would otherwise read
+  /// as an improvement.
+  bool invalid = false;
 };
 
 [[nodiscard]] DiffResult DiffSnapshots(const BenchSnapshot& baseline,
@@ -82,8 +90,9 @@ struct DiffResult {
 ///   bench_diff <baseline.json> <current.json>
 ///              [--tol R] [--tol prefix=R]... [--ignore prefix]...
 /// Prints a comparison table to `out`; returns 0 when clean, 1 on
-/// regression, 2 on usage or I/O errors. The bench_diff binary's main()
-/// is a direct wrapper, so tests exercise exit semantics here.
+/// regression, 2 on usage/I/O errors or corrupt data (non-numeric metric
+/// values, NaN/Inf on either side). The bench_diff binary's main() is a
+/// direct wrapper, so tests exercise exit semantics here.
 [[nodiscard]] int RunBenchDiff(const std::vector<std::string>& args,
                                std::ostream& out);
 

@@ -1,0 +1,82 @@
+// Flight recorder: a fixed-size ring of recent structured events.
+//
+// The observability registry answers "what did the whole run cost"; the
+// flight recorder answers "what was the runtime doing just before it
+// died". Producers (ocl::Runtime command completions including every
+// [fail#n]/[corrupt#n]/[rerun#n]/[hung] retry slice, Deployment request
+// boundaries, CLF diagnostics) append FlightEvents; the ring keeps the
+// most recent `capacity` of them and counts what it had to drop. When a
+// RuntimeFaultError or VerifyError escapes Deployment::Run the recorder
+// is dumped to <base>_flightrec.json, every event carrying the trace id
+// of the request it belonged to -- the crash-cart view the postmortem
+// starts from.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/context.hpp"
+
+namespace clflow::telemetry {
+
+/// One recorded moment. `kind` is a small vocabulary ("command",
+/// "fault", "diag", "request", "note"); `detail` is free-form text
+/// (fault message, diagnostic rendering, queue snapshot).
+struct FlightEvent {
+  std::uint64_t seq = 0;  ///< global append index (survives ring drops)
+  std::string kind;
+  std::string label;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  double t_us = 0.0;    ///< simulated start time (0 for host-side events)
+  double dur_us = 0.0;  ///< simulated duration (0 for instants)
+  int queue = 0;        ///< command queue (-1 autorun, 0 host-side)
+  std::string detail;
+};
+
+/// Bounded, thread-safe ring of FlightEvents. Appends never fail: when
+/// full the oldest event is evicted and `dropped()` advances (that
+/// overflow surfaces as CLF703 at dump time, a hint to raise the
+/// capacity before the next postmortem).
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  void Record(FlightEvent event);
+
+  /// Convenience for instant host-side notes.
+  void Note(std::string kind, std::string label, const TraceContext& ctx,
+            std::string detail = "");
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t total_recorded() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] bool overflowed() const { return dropped() > 0; }
+
+  /// Oldest-first copy of the retained window.
+  [[nodiscard]] std::vector<FlightEvent> snapshot() const;
+
+  /// {"capacity":N,"total_recorded":N,"dropped":N,"events":[...]}
+  [[nodiscard]] std::string ToJson() const;
+
+  /// Writes ToJson() to `path`; returns false when the file cannot be
+  /// opened (the dump path must never throw -- it runs inside a catch).
+  bool DumpToFile(const std::string& path) const;
+
+  void Clear();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<FlightEvent> ring_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace clflow::telemetry

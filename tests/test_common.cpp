@@ -75,6 +75,40 @@ TEST(ParallelChunks, ChunksPartitionTheRange) {
   EXPECT_EQ(total.load(), 1003);
 }
 
+TEST(ParallelStats, InlineExecutionHasNoImbalance) {
+  ParallelStats stats;
+  ParallelFor(
+      0, 100, 1, [](std::int64_t) {}, &stats);
+  EXPECT_EQ(stats.workers, 1);
+  EXPECT_DOUBLE_EQ(stats.imbalance_wait_us, 0.0);
+  EXPECT_DOUBLE_EQ(stats.wall_us, stats.busy_us);
+}
+
+TEST(ParallelStats, SkewedChunksShowImbalanceWait) {
+  // Static chunking puts all the work in the first chunk: the other
+  // workers finish instantly and wait for the straggler.
+  ParallelStats stats;
+  ParallelChunks(
+      0, 4, 4,
+      [](std::int64_t lo, std::int64_t) {
+        if (lo == 0) {
+          volatile double sink = 0;
+          for (int i = 0; i < 2000000; ++i) sink += i;
+        }
+      },
+      &stats);
+  EXPECT_EQ(stats.workers, 4);
+  EXPECT_GT(stats.wall_us, 0.0);
+  EXPECT_GT(stats.imbalance_wait_us, 0.0);
+  // Each call overwrites rather than accumulates; += merges manually.
+  ParallelStats merged = stats;
+  merged += stats;
+  EXPECT_DOUBLE_EQ(merged.wall_us, 2 * stats.wall_us);
+  ParallelFor(
+      0, 2, 2, [](std::int64_t) {}, &stats);
+  EXPECT_EQ(stats.workers, 2);
+}
+
 TEST(HardwareThreads, AtLeastOne) { EXPECT_GE(HardwareThreads(), 1); }
 
 TEST(Check, ThrowsWithLocation) {

@@ -7,6 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.hpp"
+#include "core/dse.hpp"
+#include "nets/nets.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -332,6 +335,155 @@ TEST(Trace, TransferBytesCounterAndEscapedLabelsRoundTrip) {
   EXPECT_DOUBLE_EQ(samples[1], 5120.0);
   EXPECT_DOUBLE_EQ(samples[2], 1024.0);
   EXPECT_DOUBLE_EQ(samples[3], 0.0);
+}
+
+// ------------------------------------------------- histogram windowing
+
+TEST(Metrics, HistogramSlidingWindowEvictsOldest) {
+  Histogram h;
+  h.set_window(3);
+  for (int i = 1; i <= 5; ++i) h.Observe(i);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3);  // only {3, 4, 5} retained
+  EXPECT_DOUBLE_EQ(snap.min, 3.0);
+  EXPECT_DOUBLE_EQ(snap.max, 5.0);
+  EXPECT_DOUBLE_EQ(snap.sum, 12.0);
+  EXPECT_DOUBLE_EQ(snap.p50, 4.0);
+
+  const auto samples = h.window_samples();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(samples.front(), 3.0);  // oldest first
+  EXPECT_DOUBLE_EQ(samples.back(), 5.0);
+}
+
+TEST(Metrics, HistogramShrinkingWindowEvictsImmediately) {
+  Histogram h;
+  for (int i = 1; i <= 10; ++i) h.Observe(i);
+  h.set_window(2);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 2);
+  EXPECT_DOUBLE_EQ(snap.min, 9.0);
+  EXPECT_DOUBLE_EQ(snap.max, 10.0);
+  // Widening again never resurrects evicted samples.
+  h.set_window(0);
+  EXPECT_EQ(h.snapshot().count, 2);
+}
+
+TEST(Metrics, HistogramEmptyAndSingleSampleWindowsAreConsistent) {
+  Histogram h;
+  h.set_window(4);
+  // Empty: every statistic is exactly zero, no stale carryover possible.
+  auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_DOUBLE_EQ(snap.p50, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p95, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p99, 0.0);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0);
+
+  // One sample: every percentile is that sample.
+  h.Observe(42.0);
+  snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1);
+  EXPECT_DOUBLE_EQ(snap.p50, 42.0);
+  EXPECT_DOUBLE_EQ(snap.p95, 42.0);
+  EXPECT_DOUBLE_EQ(snap.p99, 42.0);
+
+  // Full rotation: statistics reflect only the live window, nothing of
+  // the original sample remains.
+  for (int i = 0; i < 4; ++i) h.Observe(7.0);
+  snap = h.snapshot();
+  EXPECT_EQ(snap.count, 4);
+  EXPECT_DOUBLE_EQ(snap.min, 7.0);
+  EXPECT_DOUBLE_EQ(snap.max, 7.0);
+  EXPECT_DOUBLE_EQ(snap.p99, 7.0);
+  EXPECT_DOUBLE_EQ(snap.sum, 28.0);
+}
+
+// ------------------------------------------------- Prometheus export
+
+TEST(Metrics, ToPrometheusExposesAllMetricKinds) {
+  Registry reg;
+  reg.counter("compile.cache.hits").Add(3);
+  reg.gauge("telemetry.slo.burn_rate", {{"board", "s10mx"}}).Set(1.5);
+  Histogram& h = reg.histogram("telemetry.slo.latency_us");
+  for (int i = 1; i <= 100; ++i) h.Observe(i);
+
+  const std::string text = reg.ToPrometheus();
+  // Dots fold to underscores; counters/gauges typed; labels preserved.
+  EXPECT_NE(text.find("# TYPE compile_cache_hits counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("compile_cache_hits 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE telemetry_slo_burn_rate gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("telemetry_slo_burn_rate{board=\"s10mx\"} 1.5"),
+            std::string::npos);
+  // Histograms export as summaries: quantiles plus _sum/_count.
+  EXPECT_NE(text.find("# TYPE telemetry_slo_latency_us summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("telemetry_slo_latency_us{quantile=\"0.5\"} 50"),
+            std::string::npos);
+  EXPECT_NE(text.find("telemetry_slo_latency_us{quantile=\"0.99\"} 99"),
+            std::string::npos);
+  EXPECT_NE(text.find("telemetry_slo_latency_us_count 100"),
+            std::string::npos);
+  EXPECT_NE(text.find("telemetry_slo_latency_us_sum 5050"),
+            std::string::npos);
+}
+
+TEST(Metrics, ToPrometheusDeduplicatesTypeHeadersAcrossLabelSets) {
+  Registry reg;
+  reg.gauge("queue.busy", {{"queue", "0"}}).Set(1.0);
+  reg.gauge("queue.busy", {{"queue", "1"}}).Set(2.0);
+  const std::string text = reg.ToPrometheus();
+  std::size_t headers = 0;
+  for (std::size_t pos = 0;
+       (pos = text.find("# TYPE queue_busy gauge", pos)) != std::string::npos;
+       ++pos) {
+    ++headers;
+  }
+  EXPECT_EQ(headers, 1u);
+  EXPECT_NE(text.find("queue_busy{queue=\"0\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("queue_busy{queue=\"1\"} 2"), std::string::npos);
+}
+
+// ------------------------------------- flow-id determinism vs DSE jobs
+
+TEST(Trace, FlowEventIdsAreIdenticalAcrossDseJobCounts) {
+  // The whole causal-tracing pipeline must be thread-count invariant:
+  // explore tilings serially and with every hardware thread, deploy each
+  // winner, and demand the runtime Chrome traces -- flow-event ids
+  // included -- come out byte-identical.
+  Rng rng(7);
+  graph::Graph net = nets::BuildLeNet5(rng);
+  const Shape& in_shape = net.node(net.input_id()).output_shape;
+  Rng img_rng(3);
+  Tensor image = Tensor::Random(in_shape, img_rng, 0.0f, 1.0f);
+
+  auto trace_with_jobs = [&](int jobs) {
+    core::DseOptions dopts;
+    dopts.jobs = jobs;
+    const auto dse =
+        core::ExploreFoldedTilings(net, fpga::Stratix10SX(), dopts);
+    EXPECT_FALSE(dse.ranked.empty());
+    core::DeployOptions opts;
+    opts.mode = core::ExecutionMode::kFolded;
+    opts.recipe = dse.BestRecipe("s10sx");
+    opts.board = fpga::Stratix10SX();
+    auto d = core::Deployment::Compile(net, opts);
+    EXPECT_TRUE(d.ok());
+    for (int i = 0; i < 2; ++i) (void)d.Run(image, /*functional=*/false);
+    return ocl::ExportChromeTrace(d.runtime().events());
+  };
+
+  const std::string serial = trace_with_jobs(1);
+  const std::string parallel = trace_with_jobs(HardwareThreads());
+  EXPECT_EQ(serial, parallel);
+
+  // And the flow arrows are actually present in what we compared.
+  EXPECT_NE(serial.find("\"ph\":\"s\",\"id\":1"), std::string::npos);
+  EXPECT_NE(serial.find("\"ph\":\"s\",\"id\":2"), std::string::npos);
 }
 
 }  // namespace

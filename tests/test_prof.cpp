@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -352,6 +353,70 @@ TEST(BenchDiff, CliExitCodes) {
   std::remove(base.c_str());
   std::remove(same.c_str());
   std::remove(reg.c_str());
+}
+
+TEST(BenchDiff, NonFiniteValuesAreInvalidNotImprovements) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  // A NaN current value used to slip through: it fails the tolerance
+  // check AND both direction checks, landing in kImproved.
+  auto r = prof::DiffSnapshots(Snap({{"fps", 100.0}}), Snap({{"fps", nan}}));
+  EXPECT_TRUE(r.invalid);
+  ASSERT_EQ(r.deltas.size(), 1u);
+  EXPECT_EQ(r.deltas[0].status, prof::MetricStatus::kInvalid);
+
+  // Inf on either side, and NaN in the *baseline*, are equally invalid.
+  EXPECT_TRUE(prof::DiffSnapshots(Snap({{"lat_us", 10.0}}),
+                                  Snap({{"lat_us", inf}}))
+                  .invalid);
+  EXPECT_TRUE(prof::DiffSnapshots(Snap({{"fps", nan}}),
+                                  Snap({{"fps", 100.0}}))
+                  .invalid);
+  // Invalid is orthogonal to regression: a clean metric next to a NaN
+  // one doesn't regress, but the result still fails.
+  r = prof::DiffSnapshots(Snap({{"fps", 100.0}, {"x", 1.0}}),
+                          Snap({{"fps", nan}, {"x", 1.0}}));
+  EXPECT_TRUE(r.invalid);
+  EXPECT_FALSE(r.regressed);
+}
+
+TEST(BenchDiff, CliFailsHardOnNonFiniteAndNamesBadKeys) {
+  const std::string base = testing::TempDir() + "clf_nan_base.json";
+  const std::string naninf = testing::TempDir() + "clf_nan_cur.json";
+  const std::string nonnum = testing::TempDir() + "clf_nan_str.json";
+  std::ofstream(base) << "{\"bench\":\"t\",\"metrics\":{\"fps\":100}}";
+  // 1e999 overflows to +inf in the JSON parser's strtod.
+  std::ofstream(naninf) << "{\"bench\":\"t\",\"metrics\":{\"fps\":1e999}}";
+  std::ofstream(nonnum)
+      << "{\"bench\":\"t\",\"metrics\":{\"fps\":\"oops\"}}";
+
+  std::ostringstream out;
+  EXPECT_EQ(prof::RunBenchDiff({base, naninf}, out), 2);
+  EXPECT_NE(out.str().find("non-finite"), std::string::npos) << out.str();
+
+  out.str("");
+  EXPECT_EQ(prof::RunBenchDiff({base, nonnum}, out), 2);
+  EXPECT_NE(out.str().find("metric \"fps\" is not a number"),
+            std::string::npos)
+      << out.str();
+
+  std::remove(base.c_str());
+  std::remove(naninf.c_str());
+  std::remove(nonnum.c_str());
+}
+
+TEST(BenchDiff, ParseErrorNamesTheReason) {
+  std::string error;
+  EXPECT_FALSE(prof::ParseBenchSnapshot("not json", &error).has_value());
+  EXPECT_EQ(error, "not a JSON object");
+  EXPECT_FALSE(
+      prof::ParseBenchSnapshot("{\"metrics\":{}}", &error).has_value());
+  EXPECT_EQ(error, "missing string \"bench\" key");
+  EXPECT_FALSE(
+      prof::ParseBenchSnapshot(
+          "{\"bench\":\"x\",\"metrics\":{\"bad.key\":\"s\"}}", &error)
+          .has_value());
+  EXPECT_EQ(error, "metric \"bad.key\" is not a number");
 }
 
 }  // namespace
