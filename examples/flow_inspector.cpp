@@ -18,6 +18,17 @@
 // bogus channel read into the launch plan to demonstrate the checker
 // rejecting statically what previously only failed at runtime.
 //
+// With --lint-src the emitted OpenCL source is re-parsed and validated
+// against the plan by clflow::srclint (the CLF8xx family: translation
+// validation, loop-carried dependences, provable OOB indices, hygiene
+// lints). Diagnostics print as a table and land in <base>_srclint.json;
+// any error-severity finding exits nonzero. --srclint-inject MODE
+// demonstrates each code firing deterministically: modes parse/sig/
+// chan-endpoint/unroll/chan-type/restrict corrupt the real emission
+// before linting (CLF800/801/802/803/804/807), while loop-dep/oob/
+// dead-store/uninit lint a built-in defective kernel plan-free
+// (CLF805/806/808/809).
+//
 // With --inject-fault SPEC (repeatable; see resilience/fault.hpp for the
 // spec grammar, e.g. xfer-fail:write:0:2 or hang:k_conv1) it runs one
 // functional image under a deterministic fault plan (--fault-seed N, 17
@@ -59,6 +70,7 @@
 //                               [--monitor] [--trace-out FILE]
 //                               [--lint] [--lint-promote CODE]
 //                               [--lint-demote CODE] [--break-channel]
+//                               [--lint-src] [--srclint-inject MODE]
 //                               [--inject-fault SPEC] [--fault-seed N]
 //                               [--fallback] [--over-tile]
 //                               [--dse] [--dse-jobs N] [--dse-dominance]
@@ -85,6 +97,8 @@
 #include "prof/prof.hpp"
 #include "prof/report.hpp"
 #include "resilience/fault.hpp"
+#include "srclint/inject.hpp"
+#include "srclint/srclint.hpp"
 
 namespace {
 
@@ -126,6 +140,8 @@ int main(int argc, char** argv) {
   bool profile = false;
   bool monitor = false;
   bool lint = false;
+  bool lint_src = false;
+  std::string srclint_inject;
   bool break_channel = false;
   bool use_fallback = false;
   bool over_tile = false;
@@ -174,6 +190,15 @@ int main(int argc, char** argv) {
       fault_seed = std::stoull(argv[++i]);
     } else if (arg == "--lint") {
       lint = true;
+    } else if (arg == "--lint-src") {
+      lint_src = true;
+    } else if (arg == "--srclint-inject") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--srclint-inject requires a mode argument\n");
+        return 1;
+      }
+      lint_src = true;
+      srclint_inject = argv[++i];
     } else if (arg == "--break-channel") {
       lint = true;
       break_channel = true;
@@ -360,6 +385,56 @@ int main(int argc, char** argv) {
     if (!diags.diagnostics().empty()) diags.SummaryTable().Print();
     if (diags.HasErrors()) {
       std::fprintf(stderr, "lint: %d error(s)\n", diags.error_count());
+      return 1;
+    }
+  }
+
+  if (lint_src) {
+    // A fresh engine: the compile gate already ran srclint once; this is
+    // the offline view of the same check (optionally over a corrupted
+    // emission or a built-in defective kernel).
+    analysis::DiagnosticEngine sdiags;
+    for (const auto& [code, severity] : overrides) {
+      sdiags.OverrideSeverity(code, severity);
+    }
+    std::string source;
+    if (const char* snippet =
+            srclint_inject.empty()
+                ? nullptr
+                : srclint::SyntheticDefectSnippet(srclint_inject)) {
+      source = snippet;
+      srclint::LintSource(source, sdiags);
+      std::printf("\nsrclint: built-in '%s' kernel, linted plan-free\n",
+                  srclint_inject.c_str());
+    } else {
+      source = d.GeneratedSource();
+      if (!srclint_inject.empty()) {
+        auto corrupted =
+            srclint::InjectDefect(srclint_inject, std::move(source));
+        if (!corrupted) {
+          std::fprintf(stderr,
+                       "--srclint-inject %s: unknown mode or no anchor text "
+                       "in this design's emission\n",
+                       srclint_inject.c_str());
+          return 1;
+        }
+        source = std::move(*corrupted);
+        std::printf("\nsrclint: emission corrupted with mode '%s'\n",
+                    srclint_inject.c_str());
+      }
+      std::vector<const ir::Kernel*> planned;
+      planned.reserve(d.kernels().size());
+      for (const auto& pk : d.kernels()) {
+        planned.push_back(&pk.built.kernel);
+      }
+      srclint::LintProgram(source, planned, sdiags);
+    }
+    std::printf("\n--- srclint (%d error(s), %d warning(s)) ---\n",
+                sdiags.error_count(), sdiags.warning_count());
+    if (!sdiags.diagnostics().empty()) sdiags.SummaryTable().Print();
+    WriteFile(base + "_srclint.json", sdiags.ToJson());
+    if (sdiags.HasErrors()) {
+      std::fprintf(stderr, "srclint: %d error(s)\n", sdiags.error_count());
       return 1;
     }
   }

@@ -14,6 +14,9 @@
 //           clflow::prof when attributing runtime behaviour
 //   CLF7xx  telemetry: request-level SLO and flight-recorder findings
 //           raised by clflow::telemetry while monitoring Deployment::Run
+//   CLF8xx  source linter: clflow::srclint re-parses the emitted OpenCL C
+//           and proves it matches the plan (translation validation), plus
+//           source-level dependence/bounds/hygiene lints
 //
 // This header is intentionally free of dependencies (and of a .cpp) so
 // that any layer -- including ocl::Runtime, which must name the same code
@@ -222,6 +225,70 @@ inline constexpr CodeInfo kFlightRecorderOverflow{
     "the ring dropped its oldest events; raise DeployOptions::"
     "flightrec_capacity if the postmortem needs a longer look-back"};
 
+// --- Source linter (srclint) ------------------------------------------------
+inline constexpr CodeInfo kSrcParseFailure{
+    "CLF800", Severity::kError,
+    "emitted source does not parse as the expected dialect", "SS4.9",
+    "the .cl text left the emitter's grammar -- an emitter bug or external "
+    "edit; repro: flow_inspector <net> <board> --srclint-inject parse "
+    "--lint-src"};
+inline constexpr CodeInfo kSrcSignatureMismatch{
+    "CLF801", Severity::kError,
+    "kernel signature does not match the plan", "SS4.9",
+    "argument names/types/qualifiers or autorun attributes diverge from "
+    "the scheduled kernel; repro: flow_inspector <net> <board> "
+    "--srclint-inject sig --lint-src"};
+inline constexpr CodeInfo kSrcChannelSequence{
+    "CLF802", Severity::kError,
+    "channel op sequence does not match the plan", "SS4.6/SS4.9",
+    "the ordered read/write_channel_intel ops in the source diverge from "
+    "the kernel's channel graph; repro: flow_inspector <net> <board> "
+    "--srclint-inject chan-endpoint --lint-src"};
+inline constexpr CodeInfo kSrcUnrollMismatch{
+    "CLF803", Severity::kError,
+    "loop structure or unroll pragma does not match the schedule", "SS4.1",
+    "a '#pragma unroll' annotation was dropped, added, or re-factored "
+    "relative to the scheduled loop nest; repro: flow_inspector <net> "
+    "<board> --srclint-inject unroll --lint-src"};
+inline constexpr CodeInfo kSrcChannelDecl{
+    "CLF804", Severity::kError,
+    "channel declaration does not match the plan", "SS4.6",
+    "channel element type/depth/extension pragma diverge from the channel "
+    "graph (a wrong element type silently reinterprets every payload); "
+    "repro: flow_inspector <net> <board> --srclint-inject chan-type "
+    "--lint-src"};
+inline constexpr CodeInfo kSrcLoopCarried{
+    "CLF805", Severity::kError,
+    "loop-carried dependence on an on-chip array", "SS4.1/SS5.1.1",
+    "an iteration reads an element a previous iteration wrote (distance "
+    "reported); restructure to a shift register or do not pipeline; "
+    "repro: flow_inspector <net> <board> --srclint-inject loop-dep "
+    "--lint-src"};
+inline constexpr CodeInfo kSrcIndexOob{
+    "CLF806", Severity::kError,
+    "provably out-of-bounds on-chip array index", "SS4.2",
+    "interval analysis proves the index exceeds the declared extent for "
+    "some reachable iteration; repro: flow_inspector <net> <board> "
+    "--srclint-inject oob --lint-src"};
+inline constexpr CodeInfo kSrcMissingRestrict{
+    "CLF807", Severity::kWarning,
+    "global pointer argument lacks 'restrict'", "SS4.4",
+    "without restrict AOC must assume aliasing and serializes bursts; add "
+    "the qualifier in the emitter; repro: flow_inspector <net> <board> "
+    "--srclint-inject restrict --lint-src"};
+inline constexpr CodeInfo kSrcDeadStore{
+    "CLF808", Severity::kWarning,
+    "on-chip buffer is written but never read", "SS4.5",
+    "the array burns BRAM/registers without feeding any output or "
+    "channel; drop it or wire it up; repro: flow_inspector <net> <board> "
+    "--srclint-inject dead-store --lint-src"};
+inline constexpr CodeInfo kSrcUninitSrcRead{
+    "CLF809", Severity::kWarning,
+    "read of a private/local buffer before any store", "SS4.5",
+    "the first-iteration read sees undefined data; emit an init loop "
+    "before the accumulation; repro: flow_inspector <net> <board> "
+    "--srclint-inject uninit --lint-src"};
+
 /// All registered codes, in documentation order.
 inline constexpr const CodeInfo* kAllCodes[] = {
     &kUndefinedVar,     &kOutOfBounds,      &kUnrollDependence,
@@ -236,6 +303,10 @@ inline constexpr const CodeInfo* kAllCodes[] = {
     &kRuntimeKernelCorrupt, &kRuntimeDeviceLost, &kRuntimeChannelProtocol,
     &kProfPredictionDrift, &kProfAttributionGap, &kProfOverheadDominant,
     &kSloLatencyBurn,   &kRequestStarvation, &kFlightRecorderOverflow,
+    &kSrcParseFailure,  &kSrcSignatureMismatch, &kSrcChannelSequence,
+    &kSrcUnrollMismatch, &kSrcChannelDecl,  &kSrcLoopCarried,
+    &kSrcIndexOob,      &kSrcMissingRestrict, &kSrcDeadStore,
+    &kSrcUninitSrcRead,
 };
 
 /// Looks up a code by its "CLFxxx" id; nullptr when unknown.

@@ -1,7 +1,8 @@
 #include "codegen/opencl_codegen.hpp"
 
+#include <charconv>
+#include <cstdio>
 #include <set>
-#include <sstream>
 #include <unordered_set>
 
 #include "common/error.hpp"
@@ -18,13 +19,30 @@ using ir::ScalarType;
 using ir::Stmt;
 using ir::StmtKind;
 
+/// Single-pass emitter: every production appends into one output string
+/// (no intermediate per-subexpression strings, no stream formatting on
+/// the hot compile path -- ROADMAP item 4a). The DSE fingerprints
+/// pipelined kernels through this code, so its cost is paid per candidate,
+/// not just once per shipped .cl file.
 class Emitter {
  public:
   explicit Emitter(const CodegenOptions& options) : options_(options) {}
 
   std::string Kernel(const ir::Kernel& k) {
     k.Validate();
-    os_.str("");
+    out_.clear();
+    out_.reserve(4096);
+    AppendKernel(k);
+    return std::move(out_);
+  }
+
+  std::string Expr(const ir::Expr& e) {
+    out_.clear();
+    AppendExpr(e);
+    return std::move(out_);
+  }
+
+  void AppendKernel(const ir::Kernel& k) {
     // Collect buffers that are only read (for const qualification).
     std::unordered_set<const ir::BufferNode*> stored;
     ir::VisitStmts(k.body, [&](const Stmt& s) {
@@ -32,100 +50,133 @@ class Emitter {
     });
 
     if (k.autorun) {
-      os_ << "__attribute__((max_global_work_dim(0)))\n"
-          << "__attribute__((autorun))\n";
+      out_ += "__attribute__((max_global_work_dim(0)))\n"
+              "__attribute__((autorun))\n";
     }
-    os_ << "__kernel void " << k.name << "(";
+    out_ += "__kernel void ";
+    out_ += k.name;
+    out_ += '(';
     bool first = true;
     for (const auto& b : k.buffer_args) {
-      if (!first) os_ << ", ";
+      if (!first) out_ += ", ";
       first = false;
       const bool readonly = options_.const_qualify_readonly &&
                             stored.find(b.get()) == stored.end();
-      os_ << (b->scope == MemScope::kConstant ? "__constant " : "__global ");
-      if (readonly) os_ << "const ";
-      os_ << TypeName(b->dtype) << "* restrict " << b->name;
+      out_ += b->scope == MemScope::kConstant ? "__constant " : "__global ";
+      if (readonly) out_ += "const ";
+      out_ += ClTypeName(b->dtype);
+      out_ += "* restrict ";
+      out_ += b->name;
     }
     for (const auto& v : k.scalar_args) {
-      if (!first) os_ << ", ";
+      if (!first) out_ += ", ";
       first = false;
-      os_ << "int " << v->name;
+      out_ += "int ";
+      out_ += v->name;
     }
-    os_ << ") {\n";
+    out_ += ") {\n";
     indent_ = 1;
     for (const auto& b : k.local_buffers) {
       Indent();
-      os_ << (b->scope == MemScope::kLocal ? "__local " : "")
-          << TypeName(b->dtype) << ' ' << b->name;
+      if (b->scope == MemScope::kLocal) out_ += "__local ";
+      out_ += ClTypeName(b->dtype);
+      out_ += ' ';
+      out_ += b->name;
       for (const auto& d : b->shape) {
-        os_ << '[' << Expr2C(d) << ']';
+        out_ += '[';
+        AppendExpr(d);
+        out_ += ']';
       }
-      os_ << ";\n";
+      out_ += ";\n";
     }
-    Emit(k.body);
-    os_ << "}\n";
-    return os_.str();
+    AppendStmt(k.body);
+    out_ += "}\n";
   }
 
-  std::string Expr2C(const Expr& e) {
+  void AppendExpr(const ir::Expr& e) {
     switch (e->kind) {
       case ExprKind::kIntImm:
-        return std::to_string(e->int_value);
-      case ExprKind::kFloatImm: {
-        std::ostringstream fs;
-        fs.precision(9);
-        fs << e->float_value;
-        std::string s = fs.str();
-        if (s.find('.') == std::string::npos &&
-            s.find('e') == std::string::npos) {
-          s += ".0";
-        }
-        return s + "f";
-      }
+        AppendInt(e->int_value);
+        return;
+      case ExprKind::kFloatImm:
+        AppendFloat(e->float_value);
+        return;
       case ExprKind::kVar:
-        return e->var->name;
+        out_ += e->var->name;
+        return;
       case ExprKind::kBinary:
-        return Binary2C(e);
+        AppendBinary(e);
+        return;
       case ExprKind::kLoad: {
-        std::string s = e->buffer->name;
+        out_ += e->buffer->name;
         for (const auto& idx : LinearizedIndices(e->buffer, e->indices)) {
-          s += '[' + Expr2C(idx) + ']';
+          out_ += '[';
+          AppendExpr(idx);
+          out_ += ']';
         }
-        return s;
+        return;
       }
       case ExprKind::kCall: {
         if (e->callee == "read_channel") {
-          return "read_channel_intel(" + e->buffer->name + ")";
+          out_ += "read_channel_intel(";
+          out_ += e->buffer->name;
+          out_ += ')';
+          return;
         }
-        std::string s = e->callee + "(";
+        out_ += e->callee;
+        out_ += '(';
         for (std::size_t i = 0; i < e->args.size(); ++i) {
-          if (i) s += ", ";
-          s += Expr2C(e->args[i]);
+          if (i) out_ += ", ";
+          AppendExpr(e->args[i]);
         }
-        return s + ")";
+        out_ += ')';
+        return;
       }
       case ExprKind::kSelect:
-        return "(" + Expr2C(e->a) + " ? " + Expr2C(e->b) + " : " +
-               Expr2C(e->c) + ")";
+        out_ += '(';
+        AppendExpr(e->a);
+        out_ += " ? ";
+        AppendExpr(e->b);
+        out_ += " : ";
+        AppendExpr(e->c);
+        out_ += ')';
+        return;
     }
     throw IrError("codegen: bad expression");
   }
 
  private:
-  static std::string_view TypeName(ScalarType t) {
-    return t == ScalarType::kFloat32 ? "float" : "int";
+  void AppendInt(std::int64_t v) {
+    char buf[24];
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    (void)ec;
+    out_.append(buf, end);
+  }
+
+  void AppendFloat(double v) {
+    // "%.9g" matches ostringstream with precision(9) (default float
+    // format), which the golden tests pin down.
+    char buf[40];
+    const int n = std::snprintf(buf, sizeof(buf), "%.9g", v);
+    const std::string_view s(buf, static_cast<std::size_t>(n));
+    out_ += s;
+    if (s.find('.') == std::string_view::npos &&
+        s.find('e') == std::string_view::npos) {
+      out_ += ".0";
+    }
+    out_ += 'f';
   }
 
   /// Global buffers are flat pointers in OpenCL C: multi-dimensional
   /// accesses are linearized (with explicit strides when present). Local
   /// and private arrays keep their array-of-array form.
-  std::vector<Expr> LinearizedIndices(const ir::BufferPtr& buffer,
-                                      const std::vector<Expr>& indices) {
+  std::vector<ir::Expr> LinearizedIndices(const ir::BufferPtr& buffer,
+                                          const std::vector<ir::Expr>& indices) {
     if (buffer->scope == MemScope::kLocal ||
         buffer->scope == MemScope::kPrivate) {
       return indices;
     }
-    Expr flat;
+    ir::Expr flat;
     if (!buffer->strides.empty()) {
       flat = ir::IntImm(0);
       for (std::size_t d = 0; d < indices.size(); ++d) {
@@ -140,102 +191,133 @@ class Emitter {
     return {ir::Simplify(flat)};
   }
 
-  std::string Binary2C(const Expr& e) {
-    const std::string a = Expr2C(e->a);
-    const std::string b = Expr2C(e->b);
+  void AppendBinary(const ir::Expr& e) {
     const bool is_float = e->dtype == ScalarType::kFloat32;
+    std::string_view infix;
     switch (e->op) {
       case BinOp::kMin:
-        return (is_float ? "fmin(" : "min(") + a + ", " + b + ")";
-      case BinOp::kMax:
-        return (is_float ? "fmax(" : "max(") + a + ", " + b + ")";
-      case BinOp::kAdd: return "(" + a + " + " + b + ")";
-      case BinOp::kSub: return "(" + a + " - " + b + ")";
-      case BinOp::kMul: return "(" + a + " * " + b + ")";
-      case BinOp::kDiv: return "(" + a + " / " + b + ")";
-      case BinOp::kMod: return "(" + a + " % " + b + ")";
-      case BinOp::kLt: return "(" + a + " < " + b + ")";
-      case BinOp::kGe: return "(" + a + " >= " + b + ")";
-      case BinOp::kEq: return "(" + a + " == " + b + ")";
-      case BinOp::kAnd: return "(" + a + " && " + b + ")";
+      case BinOp::kMax: {
+        out_ += e->op == BinOp::kMin ? (is_float ? "fmin(" : "min(")
+                                     : (is_float ? "fmax(" : "max(");
+        AppendExpr(e->a);
+        out_ += ", ";
+        AppendExpr(e->b);
+        out_ += ')';
+        return;
+      }
+      case BinOp::kAdd: infix = " + "; break;
+      case BinOp::kSub: infix = " - "; break;
+      case BinOp::kMul: infix = " * "; break;
+      case BinOp::kDiv: infix = " / "; break;
+      case BinOp::kMod: infix = " % "; break;
+      case BinOp::kLt: infix = " < "; break;
+      case BinOp::kGe: infix = " >= "; break;
+      case BinOp::kEq: infix = " == "; break;
+      case BinOp::kAnd: infix = " && "; break;
+      default:
+        throw IrError("codegen: bad binary op");
     }
-    throw IrError("codegen: bad binary op");
+    out_ += '(';
+    AppendExpr(e->a);
+    out_ += infix;
+    AppendExpr(e->b);
+    out_ += ')';
   }
 
-  void Indent() {
-    for (int i = 0; i < indent_; ++i) os_ << "  ";
-  }
+  void Indent() { out_.append(static_cast<std::size_t>(indent_) * 2, ' '); }
 
-  void Emit(const Stmt& s) {
+  void AppendStmt(const Stmt& s) {
     if (!s) return;
     switch (s->kind) {
       case StmtKind::kFor: {
         if (s->ann.unroll == -1 || s->ann.vectorized) {
           Indent();
-          os_ << "#pragma unroll\n";
+          out_ += "#pragma unroll\n";
         } else if (s->ann.unroll > 1) {
           Indent();
-          os_ << "#pragma unroll " << s->ann.unroll << "\n";
+          out_ += "#pragma unroll ";
+          AppendInt(s->ann.unroll);
+          out_ += '\n';
         }
         Indent();
-        const std::string v = s->var->name;
-        os_ << "for (int " << v << " = " << Expr2C(s->min) << "; " << v
-            << " < " << Expr2C(ir::Simplify(ir::Add(s->min, s->extent)))
-            << "; ++" << v << ") {\n";
+        const std::string& v = s->var->name;
+        out_ += "for (int ";
+        out_ += v;
+        out_ += " = ";
+        AppendExpr(s->min);
+        out_ += "; ";
+        out_ += v;
+        out_ += " < ";
+        AppendExpr(ir::Simplify(ir::Add(s->min, s->extent)));
+        out_ += "; ++";
+        out_ += v;
+        out_ += ") {\n";
         ++indent_;
-        Emit(s->body);
+        AppendStmt(s->body);
         --indent_;
         Indent();
-        os_ << "}\n";
+        out_ += "}\n";
         break;
       }
       case StmtKind::kStore: {
         Indent();
-        os_ << s->buffer->name;
-        for (const auto& idx :
-             LinearizedIndices(s->buffer, s->indices)) {
-          os_ << '[' << Expr2C(idx) << ']';
+        out_ += s->buffer->name;
+        for (const auto& idx : LinearizedIndices(s->buffer, s->indices)) {
+          out_ += '[';
+          AppendExpr(idx);
+          out_ += ']';
         }
-        os_ << " = " << Expr2C(s->value) << ";\n";
+        out_ += " = ";
+        AppendExpr(s->value);
+        out_ += ";\n";
         break;
       }
       case StmtKind::kBlock:
-        for (const auto& child : s->stmts) Emit(child);
+        for (const auto& child : s->stmts) AppendStmt(child);
         break;
       case StmtKind::kIf: {
         Indent();
-        os_ << "if (" << Expr2C(s->cond) << ") {\n";
+        out_ += "if (";
+        AppendExpr(s->cond);
+        out_ += ") {\n";
         ++indent_;
-        Emit(s->then_body);
+        AppendStmt(s->then_body);
         --indent_;
         Indent();
-        os_ << "}";
+        out_ += "}";
         if (s->else_body) {
-          os_ << " else {\n";
+          out_ += " else {\n";
           ++indent_;
-          Emit(s->else_body);
+          AppendStmt(s->else_body);
           --indent_;
           Indent();
-          os_ << "}";
+          out_ += "}";
         }
-        os_ << "\n";
+        out_ += '\n';
         break;
       }
       case StmtKind::kWriteChannel: {
         Indent();
-        os_ << "write_channel_intel(" << s->buffer->name << ", "
-            << Expr2C(s->value) << ");\n";
+        out_ += "write_channel_intel(";
+        out_ += s->buffer->name;
+        out_ += ", ";
+        AppendExpr(s->value);
+        out_ += ");\n";
         break;
       }
     }
   }
 
   const CodegenOptions& options_;
-  std::ostringstream os_;
+  std::string out_;
   int indent_ = 0;
 };
 
 }  // namespace
+
+std::string_view ClTypeName(ir::ScalarType t) {
+  return t == ir::ScalarType::kFloat32 ? "float" : "int";
+}
 
 std::string EmitKernel(const ir::Kernel& kernel,
                        const CodegenOptions& options) {
@@ -246,38 +328,47 @@ std::string EmitKernel(const ir::Kernel& kernel,
 std::string EmitExpr(const ir::Expr& expr) {
   CodegenOptions options;
   Emitter emitter(options);
-  return emitter.Expr2C(expr);
+  return emitter.Expr(expr);
 }
 
 std::string EmitProgram(const std::vector<const ir::Kernel*>& kernels,
                         const CodegenOptions& options) {
-  std::ostringstream os;
+  std::string out;
   // Gather channels across all kernels, by pointer identity, emit once.
   std::set<const ir::BufferNode*> channels;
-  bool any_channels = false;
   for (const auto* k : kernels) {
     for (const auto& c : k->channels_read) channels.insert(c.get());
     for (const auto& c : k->channels_written) channels.insert(c.get());
   }
-  any_channels = !channels.empty();
+  const bool any_channels = !channels.empty();
 
   if (any_channels && options.declare_channel_extension) {
-    os << "#pragma OPENCL EXTENSION cl_intel_channels : enable\n\n";
+    out += "#pragma OPENCL EXTENSION cl_intel_channels : enable\n\n";
   }
   for (const auto* c : channels) {
-    os << "channel float " << c->name;
+    // The element type follows the channel buffer's dtype: a quantized
+    // (int) channel declared "channel float" compiles under AOC but
+    // reinterprets every payload -- exactly the emitter-trusted-blindly
+    // class of bug srclint's CLF804 cross-check exists to catch.
+    out += "channel ";
+    out += ClTypeName(c->dtype);
+    out += ' ';
+    out += c->name;
     if (c->channel_depth > 0) {
-      os << " __attribute__((depth(" << c->channel_depth << ")))";
+      out += " __attribute__((depth(";
+      out += std::to_string(c->channel_depth);
+      out += ")))";
     }
-    os << ";\n";
+    out += ";\n";
   }
-  if (any_channels) os << "\n";
+  if (any_channels) out += '\n';
 
+  Emitter emitter(options);
   for (std::size_t i = 0; i < kernels.size(); ++i) {
-    if (i) os << "\n";
-    os << EmitKernel(*kernels[i], options);
+    if (i) out += '\n';
+    out += emitter.Kernel(*kernels[i]);
   }
-  return os.str();
+  return out;
 }
 
 }  // namespace clflow::codegen

@@ -36,4 +36,9 @@ struct CodegenOptions {
 /// Emits a single expression (exposed for tests).
 [[nodiscard]] std::string EmitExpr(const ir::Expr& expr);
 
+/// The OpenCL C spelling of a scalar type ("float" / "int"). Shared by
+/// the kernel emitter and the program-level channel declarations so every
+/// emission site agrees on the dtype mapping.
+[[nodiscard]] std::string_view ClTypeName(ir::ScalarType t);
+
 }  // namespace clflow::codegen

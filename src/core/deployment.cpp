@@ -11,6 +11,8 @@
 #include "common/error.hpp"
 #include "core/compile_cache.hpp"
 #include "ir/passes.hpp"
+#include "srclint/inject.hpp"
+#include "srclint/srclint.hpp"
 
 namespace clflow::core {
 
@@ -832,6 +834,26 @@ void Deployment::RunAnalysisGate() {
     }
     span.Arg("errors", static_cast<std::int64_t>(diags_->error_count()));
     span.Arg("warnings", static_cast<std::int64_t>(diags_->warning_count()));
+  }
+  if (options_.analysis.lint_source) {
+    // Translation validation: re-parse the .cl text the emitter just
+    // produced and prove it matches the plan (CLF8xx). This is the only
+    // gate that checks the *source* rather than the IR, so an emitter
+    // bug cannot ship a kernel the static analyses never saw.
+    obs::ScopedSpan span(tracer, "srclint");
+    std::vector<const ir::Kernel*> kernels;
+    kernels.reserve(kernels_.size());
+    for (const auto& pk : kernels_) kernels.push_back(&pk.built.kernel);
+    std::string source = codegen::EmitProgram(kernels);
+    if (!options_.analysis.srclint_inject.empty()) {
+      if (auto corrupted = srclint::InjectDefect(
+              options_.analysis.srclint_inject, source)) {
+        source = std::move(*corrupted);
+      }
+    }
+    srclint::LintProgram(source, kernels, *diags_);
+    span.Arg("bytes", static_cast<std::int64_t>(source.size()));
+    span.Arg("errors", static_cast<std::int64_t>(diags_->error_count()));
   }
   diags_->MirrorToTrace(telemetry_->tracer);
   if (diags_->HasErrors()) {

@@ -36,10 +36,19 @@ struct AnalysisOptions {
   /// checker / perf linter on the finished plan. Error-severity findings
   /// abort compilation with VerifyError.
   bool verify = true;
+  /// Re-parse the emitted OpenCL source and prove it matches the plan
+  /// (clflow::srclint, the CLF8xx family). Runs inside the same gate as
+  /// `verify`; error-severity findings abort compilation with VerifyError.
+  bool lint_source = true;
   /// Per-code severity overrides ("CLF301" -> kError promotes a lint to a
   /// compile failure; "CLF203" -> kWarning demotes a deadlock check for
   /// experiments that knowingly violate it on the simulator).
   std::map<std::string, analysis::Severity> severity_overrides;
+  /// Test/demo hook: corrupts the emitted source with the named
+  /// srclint::InjectDefect mode before the in-gate lint runs, proving the
+  /// gate rejects a broken emission (mirrors `flow_inspector
+  /// --srclint-inject`). Empty (the default) lints the real emission.
+  std::string srclint_inject;
 };
 
 struct DeployOptions {

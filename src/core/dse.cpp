@@ -297,6 +297,7 @@ DseResult ExploreFoldedTilings(const graph::Graph& g,
                   dep.cost_model = model;
                   dep.compile_cache = cache;
                   dep.analysis.verify = options.verify_candidates;
+                  dep.analysis.lint_source = options.verify_candidates;
                   auto d = Deployment::Compile(fused, dep);
                   e.cand.status = d.bitstream().status;
                   e.cand.status_detail = d.bitstream().status_detail;

@@ -99,11 +99,13 @@ struct DseOptions {
   /// the fallback ladder and repeated sweeps share entries).
   bool use_cache = true;
   std::shared_ptr<CompileCache> cache;
-  /// Run the IR verifier / dataflow checker / perf linter on every
-  /// candidate compile. Off by default: candidates are evaluated for
-  /// synthesis feasibility only (the builders emit verified schedules,
-  /// and the winning recipe gets the full analysis gate when the caller
-  /// compiles it), and the gate costs more than a cache-warm compile.
+  /// Run the static-analysis gate (IR verifier / dataflow checker / perf
+  /// linter / source lint) on every candidate compile. Off by default:
+  /// candidates are evaluated for synthesis feasibility only (the
+  /// builders emit verified schedules, and the winning recipe gets the
+  /// full analysis gate -- including srclint's emit+reparse -- when the
+  /// caller compiles it), and the gate costs more than a cache-warm
+  /// compile.
   /// Never affects the ranking -- analysis reads the plan, synthesis
   /// does not read analysis.
   bool verify_candidates = false;

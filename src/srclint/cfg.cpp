@@ -1,0 +1,149 @@
+#include "srclint/cfg.hpp"
+
+#include <set>
+
+namespace clflow::srclint {
+
+namespace {
+
+class Builder {
+ public:
+  Cfg Build(const SrcKernel& k) {
+    cfg_.nodes.emplace_back();
+    cfg_.entry = 0;
+    int cur = 0;
+    for (const auto& s : k.body) cur = Stmt(*s, cur);
+    cfg_.exit = cur;
+    return std::move(cfg_);
+  }
+
+ private:
+  int NewNode() {
+    cfg_.nodes.emplace_back();
+    return static_cast<int>(cfg_.nodes.size()) - 1;
+  }
+  void Edge(int from, int to) { cfg_.nodes[from].succs.push_back(to); }
+
+  void Read(int node, const std::string& var, int line) {
+    cfg_.nodes[node].events.push_back({false, var, line});
+  }
+  void Write(int node, const std::string& var, int line) {
+    cfg_.nodes[node].events.push_back({true, var, line});
+  }
+
+  /// Appends read events for every variable the expression evaluates.
+  void ExprReads(const SrcExpr& e, int node) {
+    switch (e.kind) {
+      case SrcExprKind::kIdent:
+        Read(node, e.name, e.line);
+        return;
+      case SrcExprKind::kIndex:
+        // Base is read; index expressions are evaluated (= read) too.
+        for (const auto& a : e.args) ExprReads(*a, node);
+        return;
+      case SrcExprKind::kCall:
+        for (const auto& a : e.args) ExprReads(*a, node);
+        return;
+      default:
+        for (const auto& a : e.args) ExprReads(*a, node);
+        return;
+    }
+  }
+
+  /// Trip count provably >= 1: constant bounds with extent > 0, or a
+  /// zero-based loop over a plain shape parameter (runtime dims are
+  /// assumed >= 1; enclosing loop variables can be zero, so they do not
+  /// qualify).
+  bool TripAtLeastOne(const SrcStmt& loop) const {
+    const SrcExpr& init = *loop.init;
+    const SrcExpr& bound = *loop.bound;
+    if (init.kind == SrcExprKind::kIntLit &&
+        bound.kind == SrcExprKind::kIntLit) {
+      return bound.int_value > init.int_value;
+    }
+    if (init.kind == SrcExprKind::kIntLit && init.int_value == 0 &&
+        bound.kind == SrcExprKind::kIdent &&
+        loop_vars_.find(bound.name) == loop_vars_.end()) {
+      return true;
+    }
+    return false;
+  }
+
+  int Stmts(const std::vector<SrcStmtPtr>& body, int cur) {
+    for (const auto& s : body) cur = Stmt(*s, cur);
+    return cur;
+  }
+
+  int Stmt(const SrcStmt& s, int cur) {
+    switch (s.kind) {
+      case SrcStmtKind::kAssign: {
+        // Value and target indices are evaluated before the element is
+        // written, so `acc = acc + x` reads before it writes.
+        ExprReads(*s.value, cur);
+        if (s.target->kind == SrcExprKind::kIndex) {
+          for (std::size_t i = 1; i < s.target->args.size(); ++i) {
+            ExprReads(*s.target->args[i], cur);
+          }
+          Write(cur, s.target->args[0]->name, s.line);
+        } else {
+          Write(cur, s.target->name, s.line);
+        }
+        return cur;
+      }
+      case SrcStmtKind::kCallStmt:
+        ExprReads(*s.call, cur);
+        return cur;
+      case SrcStmtKind::kIf: {
+        ExprReads(*s.cond, cur);
+        const int then_start = NewNode();
+        Edge(cur, then_start);
+        const int then_end = Stmts(s.then_body, then_start);
+        const int join = NewNode();
+        Edge(then_end, join);
+        if (s.else_body.empty()) {
+          Edge(cur, join);
+        } else {
+          const int else_start = NewNode();
+          Edge(cur, else_start);
+          Edge(Stmts(s.else_body, else_start), join);
+        }
+        return join;
+      }
+      case SrcStmtKind::kFor: {
+        ExprReads(*s.init, cur);
+        ExprReads(*s.bound, cur);
+        Write(cur, s.loop_var, s.line);
+        loop_vars_.insert(s.loop_var);
+
+        // Peeled first iteration, then the steady-state loop.
+        const int first = NewNode();
+        Edge(cur, first);
+        const int first_end = Stmts(s.body, first);
+        const int header = NewNode();
+        Edge(first_end, header);
+        const int repeat = NewNode();
+        Edge(header, repeat);
+        Edge(Stmts(s.body, repeat), header);  // back edge
+        const int after = NewNode();
+        Edge(header, after);
+        if (!TripAtLeastOne(s)) Edge(cur, after);  // zero-trip bypass
+
+        loop_vars_.erase(s.loop_var);
+        return after;
+      }
+    }
+    return cur;
+  }
+
+  Cfg cfg_;
+  std::set<std::string> loop_vars_;
+};
+
+}  // namespace
+
+Cfg BuildCfg(const SrcKernel& kernel) {
+  Builder builder;
+  return builder.Build(kernel);
+}
+
+}  // namespace clflow::srclint

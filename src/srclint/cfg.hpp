@@ -1,0 +1,48 @@
+// AST -> CFG for the source linter (CLF8xx tentpole, stage 3 of 3).
+//
+// The CFG's nodes carry ordered read/write access events on kernel
+// variables; its edges encode the execution order the dataflow analyses
+// (analyses.cpp) iterate to a fixpoint. Two refinements matter for
+// precision on the emitted kernels:
+//
+//  * Loops are peeled: the first iteration's events appear on a
+//    dedicated path before the loop header, so a read that is only
+//    uninitialized on iteration 0 (the classic missing-init accumulator,
+//    `acc[x] = acc[x] + w` with no zeroing loop) is seen against the
+//    true loop-entry state instead of the back-edge join.
+//  * Loops whose trip count is provably >= 1 (constant bounds, or a
+//    zero-based bound on a shape parameter -- runtime dims are assumed
+//    >= 1) get no zero-trip bypass edge, so a whole-array init loop
+//    makes the array *definitely* initialized afterwards.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "srclint/ast.hpp"
+
+namespace clflow::srclint {
+
+struct AccessEvent {
+  bool is_write = false;
+  std::string var;  ///< base variable of the access (array or scalar)
+  int line = 0;
+};
+
+struct CfgNode {
+  std::vector<AccessEvent> events;  ///< straight-line execution order
+  std::vector<int> succs;
+};
+
+struct Cfg {
+  std::vector<CfgNode> nodes;
+  int entry = 0;
+  int exit = 0;
+};
+
+/// Builds the peeled CFG over the kernel body. Every identifier
+/// occurrence becomes an event (loop variables and parameters included);
+/// analyses filter by the variable set they track.
+[[nodiscard]] Cfg BuildCfg(const SrcKernel& kernel);
+
+}  // namespace clflow::srclint

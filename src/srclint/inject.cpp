@@ -1,0 +1,117 @@
+#include "srclint/inject.hpp"
+
+#include <cstddef>
+#include <string_view>
+
+namespace clflow::srclint {
+
+std::optional<std::string> InjectDefect(const std::string& mode,
+                                        std::string source) {
+  auto replace_first = [&](std::string_view from, std::string_view to) {
+    const std::size_t pos = source.find(from);
+    if (pos == std::string::npos) return false;
+    source.replace(pos, from.size(), to);
+    return true;
+  };
+  if (mode == "parse") {
+    // A stray token the emitted dialect cannot contain -> CLF800.
+    source += "@\n";
+    return source;
+  }
+  if (mode == "sig") {
+    // Rename the first kernel -> plan kernel missing + unplanned kernel
+    // (CLF801 both ways).
+    if (!replace_first("__kernel void k_", "__kernel void x_")) {
+      return std::nullopt;
+    }
+    return source;
+  }
+  if (mode == "chan-endpoint") {
+    // Drop the first channel write statement -> the source's channel-op
+    // sequence no longer matches the plan (CLF802).
+    const std::size_t pos = source.find("write_channel_intel(");
+    if (pos == std::string::npos) return std::nullopt;
+    const std::size_t bol = source.rfind('\n', pos) + 1;
+    const std::size_t eol = source.find('\n', pos);
+    source.erase(bol, eol - bol + 1);
+    return source;
+  }
+  if (mode == "unroll") {
+    // Drop the first unroll pragma -> the schedule's annotation is gone
+    // from the source (CLF803).
+    const std::size_t pos = source.find("#pragma unroll");
+    if (pos == std::string::npos) return std::nullopt;
+    const std::size_t eol = source.find('\n', pos);
+    source.erase(pos, eol - pos + 1);
+    return source;
+  }
+  if (mode == "chan-type") {
+    // Re-type the first channel declaration -> every payload would be
+    // reinterpreted (CLF804; the bug class the emitter once had).
+    if (!replace_first("channel float ", "channel int ")) return std::nullopt;
+    return source;
+  }
+  if (mode == "restrict") {
+    // Strip the first restrict qualifier -> AOC assumes aliasing
+    // (CLF807 warning).
+    if (!replace_first("* restrict ", "* ")) return std::nullopt;
+    return source;
+  }
+  return std::nullopt;
+}
+
+const char* SyntheticDefectSnippet(const std::string& mode) {
+  if (mode == "loop-dep") {
+    // win[t+1] reads win[t] written one iteration earlier -> CLF805.
+    return "__kernel void k_shift(__global const float* restrict in, "
+           "__global float* restrict out) {\n"
+           "  float win[8];\n"
+           "  for (int i = 0; i < 64; ++i) {\n"
+           "    win[0] = in[i];\n"
+           "    for (int t = 0; t < 7; ++t) {\n"
+           "      win[(t + 1)] = win[t];\n"
+           "    }\n"
+           "    out[i] = win[7];\n"
+           "  }\n"
+           "}\n";
+  }
+  if (mode == "oob") {
+    // The second loop runs to 9 over an 8-element array -> CLF806.
+    return "__kernel void k_oob(__global const float* restrict in, "
+           "__global float* restrict out) {\n"
+           "  float acc[8];\n"
+           "  for (int i = 0; i < 8; ++i) {\n"
+           "    acc[i] = 0.0f;\n"
+           "  }\n"
+           "  for (int i = 0; i < 9; ++i) {\n"
+           "    acc[i] = (acc[i] + in[i]);\n"
+           "  }\n"
+           "  out[0] = acc[7];\n"
+           "}\n";
+  }
+  if (mode == "dead-store") {
+    // scratch is filled but never read -> CLF808.
+    return "__kernel void k_dead(__global const float* restrict in, "
+           "__global float* restrict out) {\n"
+           "  float scratch[4];\n"
+           "  for (int i = 0; i < 4; ++i) {\n"
+           "    scratch[i] = in[i];\n"
+           "  }\n"
+           "  out[0] = in[0];\n"
+           "}\n";
+  }
+  if (mode == "uninit") {
+    // The accumulator is read on iteration 0 before any store -> CLF809.
+    return "__kernel void k_uninit(__global const float* restrict in, "
+           "__global float* restrict out) {\n"
+           "  float acc[4];\n"
+           "  for (int i = 0; i < 16; ++i) {\n"
+           "    acc[(i % 4)] = (acc[(i % 4)] + in[i]);\n"
+           "  }\n"
+           "  out[0] = acc[0];\n"
+           "}\n";
+  }
+  return nullptr;
+}
+
+}  // namespace clflow::srclint

@@ -1,0 +1,138 @@
+#include "srclint/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace clflow::srclint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  auto push = [&](TokKind kind, std::string text) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '#') {
+      // '#pragma <body>' captured to end of line; the parser decides
+      // whether the body is an unroll annotation or the extension pragma.
+      std::size_t eol = source.find('\n', i);
+      if (eol == std::string::npos) eol = n;
+      std::string text = source.substr(i, eol - i);
+      if (text.rfind("#pragma", 0) != 0) {
+        throw SrcParseError("unsupported preprocessor line '" + text + "'",
+                            line);
+      }
+      std::string body = text.substr(7);
+      while (!body.empty() && body.front() == ' ') body.erase(body.begin());
+      push(TokKind::kPragma, body);
+      i = eol;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      std::size_t start = i;
+      while (i < n && IsIdentChar(source[i])) ++i;
+      push(TokKind::kIdent, source.substr(start, i - start));
+      continue;
+    }
+    if (IsDigit(c)) {
+      std::size_t start = i;
+      bool is_float = false;
+      while (i < n && IsDigit(source[i])) ++i;
+      if (i < n && source[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && IsDigit(source[i])) ++i;
+      }
+      if (i < n && (source[i] == 'e' || source[i] == 'E')) {
+        is_float = true;
+        ++i;
+        if (i < n && (source[i] == '+' || source[i] == '-')) ++i;
+        if (i >= n || !IsDigit(source[i])) {
+          throw SrcParseError("malformed exponent in numeric literal", line);
+        }
+        while (i < n && IsDigit(source[i])) ++i;
+      }
+      const std::string spelling = source.substr(start, i - start);
+      if (i < n && (source[i] == 'f' || source[i] == 'F')) {
+        is_float = true;
+        ++i;
+      }
+      Token t;
+      t.kind = is_float ? TokKind::kFloatLit : TokKind::kIntLit;
+      t.text = spelling;
+      t.line = line;
+      if (is_float) {
+        t.float_value = std::strtod(spelling.c_str(), nullptr);
+      } else {
+        t.int_value = std::strtoll(spelling.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Punctuation; longest-match multi-char operators first.
+    static constexpr std::string_view kMulti[] = {
+        "++", "&&", "||", ">=", "<=", "==", "!=",
+    };
+    bool matched = false;
+    for (const auto op : kMulti) {
+      if (source.compare(i, op.size(), op) == 0) {
+        push(TokKind::kPunct, std::string(op));
+        i += op.size();
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static constexpr std::string_view kSingle = "(){}[];,=+-*/%<>?:!&|.";
+    if (kSingle.find(c) != std::string_view::npos) {
+      push(TokKind::kPunct, std::string(1, c));
+      ++i;
+      continue;
+    }
+    throw SrcParseError(std::string("unexpected character '") + c + "'",
+                        line);
+  }
+  Token eof;
+  eof.kind = TokKind::kEof;
+  eof.line = line;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace clflow::srclint

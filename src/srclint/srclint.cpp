@@ -1,0 +1,46 @@
+#include "srclint/srclint.hpp"
+
+#include "srclint/analyses.hpp"
+#include "srclint/parser.hpp"
+
+namespace clflow::srclint {
+
+std::string_view ExpectedTypeName(ir::ScalarType t) {
+  switch (t) {
+    case ir::ScalarType::kFloat32: return "float";
+    case ir::ScalarType::kInt32: return "int";
+  }
+  return "?";
+}
+
+std::optional<SrcProgram> LintSource(const std::string& source,
+                                     analysis::DiagnosticEngine& diags,
+                                     const LintOptions& options) {
+  SrcProgram program;
+  try {
+    program = ParseProgram(source);
+  } catch (const SrcParseError& e) {
+    diags.Report(analysis::Diagnostic::Make(
+        analysis::kSrcParseFailure, analysis::DiagLocation{},
+        std::string(e.what())));
+    return std::nullopt;
+  }
+  for (const auto& kernel : program.kernels) {
+    LintKernelSource(kernel, options, diags);
+  }
+  return program;
+}
+
+bool LintProgram(const std::string& source,
+                 const std::vector<const ir::Kernel*>& kernels,
+                 analysis::DiagnosticEngine& diags,
+                 const LintOptions& options) {
+  const int errors_before = diags.error_count();
+  const auto program = LintSource(source, diags, options);
+  if (program) {
+    ValidateAgainstPlan(*program, kernels, options, diags);
+  }
+  return diags.error_count() == errors_before;
+}
+
+}  // namespace clflow::srclint

@@ -103,6 +103,23 @@ TEST(EmitProgram, DeclaresChannelsOnce) {
   EXPECT_TRUE(Contains(src, "read_channel_intel(c0)"));
 }
 
+TEST(EmitProgram, ChannelDeclarationUsesChannelDtype) {
+  // Regression: the declaration loop once printed `channel float` for
+  // every channel regardless of its dtype, silently reinterpreting
+  // integer payloads. srclint re-detects this class from the source
+  // (CLF804, see test_srclint.cpp); this pins the emitter itself.
+  auto ci = ir::MakeBuffer("ch_i", {ir::IntImm(1)}, ir::MemScope::kChannel,
+                           /*is_arg=*/false, ir::ScalarType::kInt32);
+  ci->channel_depth = 4;
+  auto producer =
+      ir::BuildCopyKernel(16, "iprod", {.input = nullptr, .output = ci});
+  auto consumer =
+      ir::BuildCopyKernel(16, "icons", {.input = ci, .output = nullptr});
+  const std::string src = EmitProgram({&producer.kernel, &consumer.kernel});
+  EXPECT_TRUE(Contains(src, "channel int ch_i __attribute__((depth(4)));"));
+  EXPECT_FALSE(Contains(src, "channel float ch_i"));
+}
+
 TEST(EmitProgram, AutorunAttributesEmitted) {
   auto cin = ir::MakeBuffer("ci", {ir::IntImm(1)}, ir::MemScope::kChannel);
   auto cout = ir::MakeBuffer("co", {ir::IntImm(1)}, ir::MemScope::kChannel);

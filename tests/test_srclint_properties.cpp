@@ -1,0 +1,120 @@
+// Property tests for the srclint parser: every source the emitter can
+// produce -- across the pipelined ladder, the shipped folded recipes,
+// and a DSE candidate sweep -- must (1) parse, (2) survive a
+// print -> parse -> print fixpoint, and (3) still validate cleanly
+// against its plan after reprinting. Together these prove the AST is a
+// faithful reconstruction: nothing the emitter writes is dropped or
+// distorted by the parser.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/deployment.hpp"
+#include "core/dse.hpp"
+#include "nets/nets.hpp"
+#include "srclint/parser.hpp"
+#include "srclint/srclint.hpp"
+
+namespace clflow::srclint {
+namespace {
+
+std::vector<const ir::Kernel*> Planned(const core::Deployment& d) {
+  std::vector<const ir::Kernel*> kernels;
+  for (const auto& pk : d.kernels()) kernels.push_back(&pk.built.kernel);
+  return kernels;
+}
+
+/// The round-trip property for one deployment: parse the emission,
+/// reprint it canonically, and require (a) the reprint is a fixpoint and
+/// (b) the reprint still lints clean against the same plan.
+void ExpectRoundTrip(const core::Deployment& d, const std::string& tag) {
+  const std::string emitted = d.GeneratedSource();
+  SrcProgram parsed;
+  ASSERT_NO_THROW(parsed = ParseProgram(emitted)) << tag;
+
+  // Structural sanity: one parsed kernel per planned kernel, same names.
+  ASSERT_EQ(parsed.kernels.size(), d.kernels().size()) << tag;
+  for (std::size_t i = 0; i < parsed.kernels.size(); ++i) {
+    EXPECT_EQ(parsed.kernels[i].name, d.kernels()[i].built.kernel.name)
+        << tag;
+  }
+
+  const std::string printed = ToSource(parsed);
+  SrcProgram reparsed;
+  ASSERT_NO_THROW(reparsed = ParseProgram(printed)) << tag;
+  EXPECT_EQ(printed, ToSource(reparsed)) << tag << ": printer not a fixpoint";
+
+  analysis::DiagnosticEngine diags;
+  EXPECT_TRUE(LintProgram(printed, Planned(d), diags)) << tag;
+  EXPECT_EQ(diags.error_count(), 0) << tag << "\n" << diags.ToText();
+  EXPECT_EQ(diags.warning_count(), 0) << tag << "\n" << diags.ToText();
+}
+
+TEST(SrclintRoundTrip, EveryPipelineRecipeOnEveryBoard) {
+  Rng rng(77);
+  graph::Graph net = nets::BuildLeNet5(rng);
+  for (const auto& board : fpga::EvaluationBoards()) {
+    for (const auto& recipe : core::PipelineLadder()) {
+      core::DeployOptions o;
+      o.mode = core::ExecutionMode::kPipelined;
+      o.recipe = recipe;
+      o.board = board;
+      auto d = core::Deployment::Compile(net, o);
+      ExpectRoundTrip(d, board.key + "/" + recipe.name);
+    }
+  }
+}
+
+TEST(SrclintRoundTrip, ShippedFoldedRecipes) {
+  Rng rng(77);
+  {
+    graph::Graph net = nets::BuildMobileNetV1(rng);
+    core::DeployOptions o;
+    o.mode = core::ExecutionMode::kFolded;
+    o.recipe = core::FoldedMobileNet(fpga::Stratix10SX().key);
+    o.board = fpga::Stratix10SX();
+    ExpectRoundTrip(core::Deployment::Compile(net, o), "folded/mobilenet");
+  }
+  {
+    graph::Graph net = nets::BuildResNet(18, rng);
+    core::DeployOptions o;
+    o.mode = core::ExecutionMode::kFolded;
+    o.recipe = core::FoldedResNet();
+    o.board = fpga::Stratix10SX();
+    ExpectRoundTrip(core::Deployment::Compile(net, o), "folded/resnet18");
+  }
+}
+
+TEST(SrclintRoundTrip, DseCandidateSweep) {
+  // Every tiling the explorer ranks feasible produces a different
+  // parameterized emission; all of them must round-trip. A reduced
+  // factor set keeps the sweep fast while still varying all three
+  // unroll dimensions.
+  Rng rng(77);
+  graph::Graph net = nets::BuildMobileNetV1(rng);
+  core::DseOptions opts;
+  opts.c1_factors = {1, 4};
+  opts.w2_factors = {1, 7};
+  opts.c2_factors = {1, 8, 16};
+  const auto result =
+      core::ExploreFoldedTilings(net, fpga::Stratix10SX(), opts);
+  ASSERT_FALSE(result.ranked.empty());
+  for (std::size_t i = 0; i < result.ranked.size(); ++i) {
+    const auto& c = result.ranked[i];
+    core::OptimizationRecipe recipe =
+        core::FoldedMobileNet(fpga::Stratix10SX().key);
+    recipe.conv1x1 = c.conv1x1;
+    recipe.conv3x3 = c.conv3x3;
+    recipe.conv_dw = c.conv_dw;
+    core::DeployOptions o;
+    o.mode = core::ExecutionMode::kFolded;
+    o.recipe = recipe;
+    o.board = fpga::Stratix10SX();
+    auto d = core::Deployment::Compile(net, o);
+    ExpectRoundTrip(d, "dse candidate " + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace clflow::srclint
