@@ -64,6 +64,16 @@
 // when a RuntimeFaultError or VerifyError escapes, the recent structured
 // event ring is dumped to <base>_flightrec.json for postmortem debugging.
 //
+// With --replicas N the faulted image (or a clean one) is routed through
+// an ha::ReplicaSet of N boards instead of a single deployment: any
+// --inject-fault plan lands on board 0, the dispatcher fails the batch
+// over, and the per-board health table plus the ha.* gauges are printed.
+// With --chaos a deterministic ha::ChaosCampaign sweeps seeded fault
+// plans (--chaos-scenarios N, --chaos-seed N) across fresh replica sets
+// and asserts the four recovery invariants per scenario; the summary
+// prints, any violation exits nonzero, and --chaos-report additionally
+// writes the per-scenario JSON table to <base>_chaos.json.
+//
 // usage: example_flow_inspector [lenet|mobilenet|resnet18|resnet34]
 //                               [a10|s10sx|s10mx] [pipelined|folded]
 //                               [outdir] [--report] [--profile]
@@ -74,6 +84,9 @@
 //                               [--inject-fault SPEC] [--fault-seed N]
 //                               [--fallback] [--over-tile]
 //                               [--dse] [--dse-jobs N] [--dse-dominance]
+//                               [--replicas N] [--chaos]
+//                               [--chaos-scenarios N] [--chaos-seed N]
+//                               [--chaos-report]
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -85,7 +98,10 @@
 
 #include "analysis/dataflow_checker.hpp"
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
+#include "ha/chaos.hpp"
+#include "ha/replica_set.hpp"
 #include "core/dse.hpp"
 #include "core/fallback.hpp"
 #include "core/host_codegen.hpp"
@@ -150,6 +166,11 @@ int main(int argc, char** argv) {
   int dse_jobs = 1;
   std::vector<std::string> fault_specs;
   std::uint64_t fault_seed = 17;
+  int replicas = 0;
+  bool chaos = false;
+  bool chaos_report = false;
+  int chaos_scenarios = 200;
+  std::uint64_t chaos_seed = 2021;
   std::vector<std::pair<std::string, analysis::Severity>> overrides;
   std::string trace_out;
   for (int i = 1; i < argc; ++i) {
@@ -188,6 +209,32 @@ int main(int argc, char** argv) {
         return 1;
       }
       fault_seed = std::stoull(argv[++i]);
+    } else if (arg == "--replicas") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--replicas requires an integer argument\n");
+        return 1;
+      }
+      replicas = std::stoi(argv[++i]);
+    } else if (arg == "--chaos") {
+      chaos = true;
+    } else if (arg == "--chaos-report") {
+      chaos = true;
+      chaos_report = true;
+    } else if (arg == "--chaos-scenarios") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "--chaos-scenarios requires an integer argument\n");
+        return 1;
+      }
+      chaos = true;
+      chaos_scenarios = std::stoi(argv[++i]);
+    } else if (arg == "--chaos-seed") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--chaos-seed requires an integer argument\n");
+        return 1;
+      }
+      chaos = true;
+      chaos_seed = std::stoull(argv[++i]);
     } else if (arg == "--lint") {
       lint = true;
     } else if (arg == "--lint-src") {
@@ -461,6 +508,95 @@ int main(int argc, char** argv) {
 
   const Shape& in_shape = net.node(net.input_id()).output_shape;
   Tensor image = Tensor::Random(in_shape, rng, 0.0f, 1.0f);
+
+  if (chaos) {
+    ha::ChaosOptions copts;
+    copts.scenarios = chaos_scenarios;
+    copts.seed = chaos_seed;
+    copts.replicas = replicas > 0 ? replicas : 2;
+    copts.jobs = HardwareThreads();
+    // Scenario postmortems (quarantine + escaping-fault dumps) land next
+    // to the other artifacts as <base>_chaos_s<i>_board<j>_*.json.
+    copts.flightrec_prefix = base + "_chaos_";
+    std::printf(
+        "\n--- chaos campaign: %d scenario(s), seed %llu, %d replica(s), "
+        "%d job(s) ---\n",
+        copts.scenarios, static_cast<unsigned long long>(copts.seed),
+        copts.replicas, copts.jobs);
+    const ha::ChaosReport rep = ha::RunChaosCampaign(net, opts, copts);
+    std::printf("%s", rep.SummaryTable().c_str());
+    std::printf("digest %016llx\n",
+                static_cast<unsigned long long>(rep.Digest()));
+    if (chaos_report) WriteFile(base + "_chaos.json", rep.ToJson());
+    if (!rep.ok()) {
+      std::fprintf(stderr, "chaos: %d scenario(s) violated an invariant\n",
+                   rep.failed);
+      return 3;
+    }
+    return 0;
+  }
+
+  if (replicas > 0) {
+    ha::HaOptions haopts;
+    haopts.replicas = replicas;
+    haopts.flightrec_prefix = base + "_ha_";
+    std::printf("\n--- replica set: %d board(s) ---\n", replicas);
+    ha::ReplicaSet rs(net, opts, haopts);
+    if (!fault_specs.empty()) {
+      resilience::FaultPlan plan;
+      plan.seed = fault_seed;
+      try {
+        for (const auto& spec : fault_specs) {
+          plan.specs.push_back(resilience::ParseFaultSpec(spec));
+        }
+      } catch (const Error& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+      }
+      rs.set_fault_injector(
+          0, std::make_shared<resilience::FaultInjector>(plan));
+      std::printf("fault plan (seed %llu, %zu spec(s)) armed on board 0\n",
+                  static_cast<unsigned long long>(fault_seed),
+                  plan.specs.size());
+    }
+    const ha::HaRunResult r = rs.Run(image, /*functional=*/true);
+    const Tensor expected = graph::Execute(d.fused_graph(), image, 1);
+    const Tensor got = r.output.Reshaped(expected.shape());
+    const auto g_span = got.data();
+    const auto e_span = expected.data();
+    const bool exact =
+        std::equal(g_span.begin(), g_span.end(), e_span.begin());
+    const std::string served_by =
+        r.used_fallback ? "the folded fallback"
+                        : "board " + std::to_string(r.board);
+    std::printf(
+        "batch served by %s after %d failover(s): latency %.1f us, "
+        "recovery %.1f us, output %s the oracle\n",
+        served_by.c_str(), r.failovers(), r.latency.us(),
+        r.recovery_time.us(),
+        exact ? "bit-exactly matches" : "DIVERGES from");
+    Table health({"Board", "Health", "Dispatched", "Completed", "Faults",
+                  "Quarantines", "Probes"});
+    for (int b = 0; b < rs.num_replicas(); ++b) {
+      const ha::BoardState& st = rs.board_state(b);
+      health.AddRow({std::to_string(b),
+                     std::string(ha::BoardHealthName(st.health)),
+                     std::to_string(st.dispatched),
+                     std::to_string(st.completed),
+                     std::to_string(st.faults),
+                     std::to_string(st.quarantines),
+                     std::to_string(st.probes)});
+    }
+    health.Print();
+    obs::Registry hareg;
+    rs.ExportMetrics(hareg);
+    std::printf("\n--- ha metrics ---\n");
+    hareg.SummaryTable().Print();
+    if (!rs.diagnostics().diagnostics().empty()) {
+      rs.diagnostics().SummaryTable().Print();
+    }
+    return exact ? 0 : 2;
+  }
 
   if (!fault_specs.empty()) {
     resilience::FaultPlan plan;

@@ -186,6 +186,33 @@ inline constexpr CodeInfo kRuntimeChannelProtocol{
     "the launch stream violated the point-to-point channel contract the "
     "static dataflow checker enforces (see the CLF2xx code in the "
     "message); run the compile-time gate"};
+inline constexpr CodeInfo kRuntimeBadOptions{
+    "CLF507", Severity::kError,
+    "runtime options failed validation", "App. A",
+    "RuntimeOptions requires watchdog_timeout > 0, retry.max_attempts >= 1, "
+    "retry.backoff_multiplier > 0, and non-negative backoff_base / "
+    "reprogram_cost; fix DeployOptions::runtime before compiling"};
+
+// --- High availability ------------------------------------------------------
+inline constexpr CodeInfo kReplicaQuarantined{
+    "CLF508", Severity::kWarning,
+    "replica quarantined by the circuit breaker", "SS6.2",
+    "consecutive hard faults crossed HaOptions::quarantine_after; the "
+    "board's flight recorder was dumped and it re-enters service via a "
+    "half-open probe after cooldown_batches successful dispatches "
+    "elsewhere"};
+inline constexpr CodeInfo kBatchFailover{
+    "CLF509", Severity::kNote,
+    "in-flight batch re-issued on a replica", "SS6.2",
+    "the serving board raised a CLF5xx fault mid-batch; the dispatcher "
+    "replayed the batch on a healthy replica (host memory holds the "
+    "functional state, so the replay is bit-exact)"};
+inline constexpr CodeInfo kAllReplicasDown{
+    "CLF510", Severity::kWarning,
+    "all replicas quarantined; serving from the folded fallback", "SS6.2",
+    "every board's circuit breaker is open; batches degrade to the "
+    "CompileWithFallback folded baseline until a half-open probe "
+    "succeeds"};
 
 // --- Profiler ---------------------------------------------------------------
 inline constexpr CodeInfo kProfPredictionDrift{
@@ -301,6 +328,8 @@ inline constexpr const CodeInfo* kAllCodes[] = {
     &kScheduleCacheMisuse,
     &kRuntimeUnknownKernel, &kRuntimeChannelDeadlock, &kRuntimeTransferFailed,
     &kRuntimeKernelCorrupt, &kRuntimeDeviceLost, &kRuntimeChannelProtocol,
+    &kRuntimeBadOptions, &kReplicaQuarantined, &kBatchFailover,
+    &kAllReplicasDown,
     &kProfPredictionDrift, &kProfAttributionGap, &kProfOverheadDominant,
     &kSloLatencyBurn,   &kRequestStarvation, &kFlightRecorderOverflow,
     &kSrcParseFailure,  &kSrcSignatureMismatch, &kSrcChannelSequence,

@@ -89,6 +89,10 @@ std::string IoDesc(const ir::ChannelIO& io) {
 Deployment Deployment::Compile(const graph::Graph& g,
                                const DeployOptions& options) {
   Deployment d;
+  // Fail fast on malformed hardening knobs (CLF507): a watchdog of zero or
+  // a zero retry budget would otherwise surface as a confusing runtime
+  // fault on the first batch.
+  ocl::ValidateRuntimeOptions(options.runtime);
   d.options_ = options;
   d.telemetry_ = std::make_shared<obs::Telemetry>();
   d.diags_ =
@@ -863,7 +867,8 @@ void Deployment::RunAnalysisGate() {
 }
 
 void Deployment::PrepareRuntime() {
-  runtime_ = std::make_unique<ocl::Runtime>(bitstream_, options_.cost_model);
+  runtime_ = std::make_unique<ocl::Runtime>(bitstream_, options_.cost_model,
+                                            options_.runtime);
   runtime_->set_flight_recorder(flightrec_.get());
   input_buffer_ = runtime_->CreateBuffer(
       fused_.node(fused_.input_id()).output_shape.NumElements());
@@ -928,7 +933,12 @@ void Deployment::DumpFlightRecorder() const {
     flightrec_->Note("diag", std::string(analysis::kFlightRecorderOverflow.id),
                      {}, msg);
   }
-  flightrec_->DumpToFile(options_.flightrec_path);
+  // Sequence the dump filename: the first postmortem keeps the documented
+  // path, later ones get ".1", ".2", ... so a run with several escaping
+  // faults never overwrites an earlier crash's evidence.
+  flightrec_->DumpToFile(
+      telemetry::SequencedDumpPath(options_.flightrec_path,
+                                   flightrec_dumps_++));
 }
 
 RunResult Deployment::Run(const Tensor& input, bool functional) {

@@ -66,10 +66,18 @@ struct DeployOptions {
   /// this deployment's telemetry. Null (the default) compiles everything
   /// from scratch.
   std::shared_ptr<CompileCache> compile_cache;
+  /// Hardening knobs for the simulated runtime this deployment constructs
+  /// (Finish() watchdog timeout, retry/backoff caps). Validated at the top
+  /// of Compile: non-positive values are rejected with a structured
+  /// CLF507 RuntimeFaultError rather than silently misbehaving.
+  ocl::RuntimeOptions runtime;
   /// When non-empty, the flight recorder is dumped to this path whenever a
   /// RuntimeFaultError or VerifyError escapes Run()/Compile() (the
   /// "_flightrec.json" postmortem). Empty (the default) records but never
   /// writes a file -- tests that intentionally inject faults stay quiet.
+  /// The second and later dumps of one deployment get a monotonic sequence
+  /// suffix (telemetry::SequencedDumpPath) so no postmortem overwrites a
+  /// previous one.
   std::string flightrec_path;
   /// Ring capacity of the flight recorder (events retained at dump time).
   std::size_t flightrec_capacity = telemetry::FlightRecorder::kDefaultCapacity;
@@ -222,6 +230,9 @@ class Deployment {
   std::shared_ptr<obs::Telemetry> telemetry_;
   std::shared_ptr<analysis::DiagnosticEngine> diags_;
   std::shared_ptr<telemetry::FlightRecorder> flightrec_;
+  /// Dumps written so far; sequences the postmortem filenames (mutable:
+  /// DumpFlightRecorder runs inside const catch paths).
+  mutable std::uint64_t flightrec_dumps_ = 0;
   /// Request counter backing RunResult::trace_id (first Run = 1).
   std::uint64_t next_trace_id_ = 0;
   graph::Graph fused_;

@@ -36,12 +36,59 @@ Buffer::Buffer(std::int64_t num_floats)
   CLFLOW_CHECK_MSG(num_floats > 0, "empty buffer");
 }
 
-Runtime::Runtime(fpga::Bitstream bitstream, fpga::CostModel cost_model)
+void ValidateRuntimeOptions(const RuntimeOptions& options) {
+  auto reject = [](const std::string& what) {
+    throw RuntimeFaultError(std::string(analysis::kRuntimeBadOptions.id),
+                            "invalid RuntimeOptions: " + what);
+  };
+  if (options.watchdog_timeout <= kSimTimeZero) {
+    reject("watchdog_timeout must be > 0 (got " +
+           std::to_string(options.watchdog_timeout.us()) + " us)");
+  }
+  if (options.retry.max_attempts <= 0) {
+    reject("retry.max_attempts must be >= 1 (got " +
+           std::to_string(options.retry.max_attempts) + ")");
+  }
+  if (options.retry.backoff_multiplier <= 0.0) {
+    reject("retry.backoff_multiplier must be > 0 (got " +
+           std::to_string(options.retry.backoff_multiplier) + ")");
+  }
+  if (options.retry.backoff_base < kSimTimeZero) {
+    reject("retry.backoff_base must be >= 0 (got " +
+           std::to_string(options.retry.backoff_base.us()) + " us)");
+  }
+  if (options.retry.reprogram_cost < kSimTimeZero) {
+    reject("retry.reprogram_cost must be >= 0 (got " +
+           std::to_string(options.retry.reprogram_cost.us()) + " us)");
+  }
+}
+
+Runtime::Runtime(fpga::Bitstream bitstream, fpga::CostModel cost_model,
+                 const RuntimeOptions& options)
     : bitstream_(std::move(bitstream)), cost_model_(cost_model) {
   CLFLOW_CHECK_MSG(bitstream_.ok(),
                    "cannot create a runtime from a bitstream that did not "
                    "synthesize: " +
                        bitstream_.status_detail);
+  ValidateRuntimeOptions(options);
+  retry_policy_ = options.retry;
+  watchdog_timeout_ = options.watchdog_timeout;
+}
+
+void Runtime::set_retry_policy(const resilience::RetryPolicy& policy) {
+  RuntimeOptions probe;
+  probe.retry = policy;
+  probe.watchdog_timeout = watchdog_timeout_;
+  ValidateRuntimeOptions(probe);
+  retry_policy_ = policy;
+}
+
+void Runtime::set_watchdog_timeout(SimTime timeout) {
+  RuntimeOptions probe;
+  probe.retry = retry_policy_;
+  probe.watchdog_timeout = timeout;
+  ValidateRuntimeOptions(probe);
+  watchdog_timeout_ = timeout;
 }
 
 BufferPtr Runtime::CreateBuffer(std::int64_t num_floats) {
@@ -413,6 +460,23 @@ SimTime Runtime::Finish() {
     throw fault;
   }
   return makespan;
+}
+
+void Runtime::AbortBatch() {
+  // Same bookkeeping as Finish(), minus the makespan and the hung-kernel
+  // raise: the batch is declared lost, not drained. A fault thrown
+  // mid-enqueue leaves channel_writers_/hung_channels_ populated; without
+  // this clear, the next batch on this runtime would trip spurious
+  // CLF506/CLF502 faults on the stale state.
+  for (QueueState& q : queues_) {
+    q.idle += clock_ - std::max(q.last_end, batch_start_);
+  }
+  host_time_ = std::max(host_time_, clock_);
+  batch_start_ = clock_;
+  channel_ready_.clear();
+  channel_writers_.clear();
+  hung_channels_.clear();
+  hung_kernel_.clear();
 }
 
 Runtime::QueueUsage Runtime::queue_usage(int queue) const {

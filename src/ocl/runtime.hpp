@@ -97,9 +97,26 @@ struct KernelLaunch {
   std::vector<std::string> writes_channels;
 };
 
+/// Hardening knobs for one Runtime instance, configurable per deployment
+/// (DeployOptions::runtime) instead of the former hard-coded constants.
+struct RuntimeOptions {
+  /// Retry/backoff/reprogram parameters for fault recovery.
+  resilience::RetryPolicy retry;
+  /// Simulated-time bound the Finish() watchdog charges to a kernel
+  /// blocked on a channel whose writer never arrives before declaring
+  /// deadlock (CLF502).
+  SimTime watchdog_timeout = SimTime::Ms(100.0);
+};
+
+/// Rejects non-positive knobs (watchdog_timeout <= 0, retry.max_attempts
+/// <= 0, retry.backoff_multiplier <= 0, negative backoff_base /
+/// reprogram_cost) with a structured RuntimeFaultError carrying CLF507.
+void ValidateRuntimeOptions(const RuntimeOptions& options);
+
 class Runtime {
  public:
-  Runtime(fpga::Bitstream bitstream, fpga::CostModel cost_model = {});
+  Runtime(fpga::Bitstream bitstream, fpga::CostModel cost_model = {},
+          const RuntimeOptions& options = {});
 
   [[nodiscard]] const fpga::Bitstream& bitstream() const { return bitstream_; }
   [[nodiscard]] const fpga::BoardSpec& board() const {
@@ -133,17 +150,17 @@ class Runtime {
     return injector_;
   }
 
-  /// Retry/backoff/reprogram parameters for fault recovery.
-  void set_retry_policy(const resilience::RetryPolicy& policy) {
-    retry_policy_ = policy;
-  }
+  /// Retry/backoff/reprogram parameters for fault recovery. Validated as
+  /// in ValidateRuntimeOptions (throws CLF507 on non-positive knobs).
+  void set_retry_policy(const resilience::RetryPolicy& policy);
   [[nodiscard]] const resilience::RetryPolicy& retry_policy() const {
     return retry_policy_;
   }
 
   /// Simulated-time bound the watchdog charges to a kernel blocked on a
   /// channel whose writer never arrives before declaring deadlock.
-  void set_watchdog_timeout(SimTime timeout) { watchdog_timeout_ = timeout; }
+  /// Validated: a timeout <= 0 throws CLF507.
+  void set_watchdog_timeout(SimTime timeout);
   [[nodiscard]] SimTime watchdog_timeout() const { return watchdog_timeout_; }
 
   /// Recovery counters, accumulated across batches.
@@ -195,6 +212,14 @@ class Runtime {
   /// Blocks (in simulated time) until all queues drain; returns the
   /// makespan of everything enqueued since the previous Finish().
   SimTime Finish();
+
+  /// Abandons the current batch after a RuntimeFaultError escaped
+  /// mid-enqueue: clears per-batch channel/hang state and advances the
+  /// batch boundary so the runtime is reusable (the HA dispatcher calls
+  /// this before re-issuing the batch on a replica, and before half-open
+  /// probes of this board). Accumulated metrics and recovery counters
+  /// survive; the lost batch's events stay in the trace.
+  void AbortBatch();
 
   [[nodiscard]] SimTime now() const { return clock_; }
   [[nodiscard]] const std::vector<ProfiledEvent>& events() const {

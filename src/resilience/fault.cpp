@@ -31,6 +31,13 @@ std::string FaultSpec::ToString() const {
   return os.str();
 }
 
+std::string FaultPlan::ToString() const {
+  std::ostringstream os;
+  os << "seed=" << seed;
+  for (const FaultSpec& s : specs) os << ' ' << s.ToString();
+  return os.str();
+}
+
 FaultSpec ParseFaultSpec(const std::string& spec) {
   std::vector<std::string> parts;
   std::string cur;

@@ -71,6 +71,9 @@ struct FaultSpec {
 struct FaultPlan {
   std::uint64_t seed = 0;
   std::vector<FaultSpec> specs;
+
+  /// "seed=N spec spec ..." -- the chaos-report rendering of a scenario.
+  [[nodiscard]] std::string ToString() const;
 };
 
 /// Retry/backoff/watchdog parameters the hardened runtime applies when a

@@ -8,6 +8,18 @@
 
 namespace clflow::telemetry {
 
+std::string SequencedDumpPath(const std::string& path, std::uint64_t seq) {
+  if (seq == 0) return path;
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  const std::string suffix = "." + std::to_string(seq);
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + suffix;  // no extension: append
+  }
+  return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
 FlightRecorder::FlightRecorder(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 

@@ -38,6 +38,14 @@ struct FlightEvent {
   std::string detail;
 };
 
+/// Dump path for the `seq`-th postmortem of one base path: seq 0 returns
+/// `path` unchanged (the documented artifact name stays stable); seq n > 0
+/// inserts ".n" before the extension ("x_flightrec.json" ->
+/// "x_flightrec.1.json"), so multiple faults in one run each keep their
+/// dump instead of overwriting the previous one.
+[[nodiscard]] std::string SequencedDumpPath(const std::string& path,
+                                            std::uint64_t seq);
+
 /// Bounded, thread-safe ring of FlightEvents. Appends never fail: when
 /// full the oldest event is evicted and `dropped()` advances (that
 /// overflow surfaces as CLF703 at dump time, a hint to raise the

@@ -494,6 +494,201 @@ TEST(Fallback, ExhaustedLadderReportsEveryRung) {
   EXPECT_TRUE(switched);
 }
 
+// --- Concurrent fault kinds in one plan -------------------------------------
+
+TEST(Resilience, ConcurrentDroopAndCorruptionRecoverBitExactly) {
+  // Thermal throttling AND a corrupted transfer AND kernel output
+  // corruption in one plan: the clock scaling must not perturb the
+  // retry/rerun machinery, and the recovered output stays bit-exact.
+  Rng rng(7);
+  graph::Graph net = nets::BuildLeNet5(rng);
+  auto clean = core::Deployment::Compile(net, LenetPipelinedOptions());
+  auto d = core::Deployment::Compile(net, LenetPipelinedOptions());
+  ASSERT_TRUE(d.ok());
+
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.specs.push_back(ParseFaultSpec("fmax-droop:0.85"));
+  plan.specs.push_back(ParseFaultSpec("xfer-corrupt:write:0"));
+  plan.specs.push_back(ParseFaultSpec("corrupt:k_conv1:0:2"));
+  d.runtime().set_fault_injector(std::make_shared<FaultInjector>(plan));
+
+  const Shape& in_shape = net.node(net.input_id()).output_shape;
+  Tensor image = Tensor::Random(in_shape, rng, 0.0f, 1.0f);
+  const auto faulted = d.Run(image, /*functional=*/true);
+  const auto baseline = clean.Run(image, /*functional=*/true);
+
+  const Tensor expected = graph::Execute(d.fused_graph(), image, 1);
+  const Tensor got = faulted.output.Reshaped(expected.shape());
+  const auto gs = got.data();
+  const auto es = expected.data();
+  EXPECT_TRUE(std::equal(gs.begin(), gs.end(), es.begin()));
+
+  auto& rt = d.runtime();
+  EXPECT_EQ(rt.xfer_retries(), 1);   // the corrupted write
+  EXPECT_EQ(rt.kernel_reruns(), 2);  // two corrupt executions of k_conv1
+  // The droop slows every kernel, so even the recovered run is strictly
+  // slower than the clean baseline by more than retry overhead alone.
+  EXPECT_GT(faulted.latency, baseline.latency);
+}
+
+TEST(Resilience, ConcurrentResetAndTransferFailureInOnePlan) {
+  Rng rng(7);
+  graph::Graph net = nets::BuildLeNet5(rng);
+  auto d = core::Deployment::Compile(net, LenetPipelinedOptions());
+  ASSERT_TRUE(d.ok());
+
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.specs.push_back(ParseFaultSpec("reset:k_conv1:0"));
+  plan.specs.push_back(ParseFaultSpec("xfer-fail:write:0:2"));
+  d.runtime().set_fault_injector(std::make_shared<FaultInjector>(plan));
+
+  const Shape& in_shape = net.node(net.input_id()).output_shape;
+  Tensor image = Tensor::Random(in_shape, rng, 0.0f, 1.0f);
+  const auto run = d.Run(image, /*functional=*/true);
+
+  const Tensor expected = graph::Execute(d.fused_graph(), image, 1);
+  const Tensor got = run.output.Reshaped(expected.shape());
+  const auto gs = got.data();
+  const auto es = expected.data();
+  EXPECT_TRUE(std::equal(gs.begin(), gs.end(), es.begin()));
+  EXPECT_EQ(d.runtime().reprograms(), 1);
+  EXPECT_EQ(d.runtime().xfer_retries(), 2);
+}
+
+TEST(Resilience, ConcurrentDroopAndHangStillRaisesStructuredClf502) {
+  Rng rng(7);
+  graph::Graph net = nets::BuildLeNet5(rng);
+  core::DeployOptions opts = LenetPipelinedOptions();
+  opts.runtime.watchdog_timeout = SimTime::Ms(10.0);
+  auto d = core::Deployment::Compile(net, opts);
+  ASSERT_TRUE(d.ok());
+
+  FaultPlan plan;
+  plan.specs.push_back(ParseFaultSpec("fmax-droop:0.9"));
+  plan.specs.push_back(ParseFaultSpec("hang:k_conv1"));
+  d.runtime().set_fault_injector(std::make_shared<FaultInjector>(plan));
+
+  const Shape& in_shape = net.node(net.input_id()).output_shape;
+  Tensor image = Tensor::Random(in_shape, rng, 0.0f, 1.0f);
+  try {
+    (void)d.Run(image, /*functional=*/true);
+    FAIL() << "expected RuntimeFaultError";
+  } catch (const RuntimeFaultError& e) {
+    EXPECT_EQ(e.code(), "CLF502");
+  }
+}
+
+TEST(Fallback, RecoveredLadderDeploymentSurvivesConcurrentFaults) {
+  // The compile-time ladder and the runtime recovery machinery compose:
+  // a route-failed tiling degrades to a routable recipe, and that
+  // deployment then recovers a multi-kind runtime fault plan bit-exactly.
+  Rng rng(42);
+  graph::Graph net = nets::BuildMobileNetV1(rng);
+  core::DeployOptions opts;
+  opts.mode = core::ExecutionMode::kFolded;
+  opts.recipe = core::FoldedMobileNet("s10sx");
+  opts.recipe.conv1x1 = core::ConvTiling{8, 7, 16, true};  // route-fails
+  opts.board = fpga::Stratix10SX();
+
+  auto result = core::CompileWithFallback(net, opts, {});
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result.recovered());
+  auto& d = *result.deployment;
+
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.specs.push_back(ParseFaultSpec("fmax-droop:0.9"));
+  plan.specs.push_back(ParseFaultSpec("xfer-corrupt:write:0"));
+  d.runtime().set_fault_injector(std::make_shared<FaultInjector>(plan));
+
+  const Shape& in_shape = net.node(net.input_id()).output_shape;
+  Tensor image = Tensor::Random(in_shape, rng, 0.0f, 1.0f);
+  const auto run = d.Run(image, /*functional=*/true);
+
+  const Tensor expected = graph::Execute(d.fused_graph(), image, 1);
+  const Tensor got = run.output.Reshaped(expected.shape());
+  const auto gs = got.data();
+  const auto es = expected.data();
+  EXPECT_TRUE(std::equal(gs.begin(), gs.end(), es.begin()));
+  EXPECT_EQ(d.runtime().xfer_retries(), 1);
+}
+
+// --- RuntimeOptions validation (CLF507) -------------------------------------
+
+TEST(RuntimeOptionsTest, ConstructorRejectsNonPositiveKnobs) {
+  ocl::RuntimeOptions bad;
+  bad.watchdog_timeout = kSimTimeZero;
+  try {
+    ocl::ValidateRuntimeOptions(bad);
+    FAIL() << "expected CLF507";
+  } catch (const RuntimeFaultError& e) {
+    EXPECT_EQ(e.code(), "CLF507");
+    EXPECT_NE(std::string(e.what()).find("watchdog"), std::string::npos);
+  }
+
+  ocl::RuntimeOptions bad2;
+  bad2.retry.max_attempts = 0;
+  EXPECT_THROW(ocl::ValidateRuntimeOptions(bad2), RuntimeFaultError);
+  ocl::RuntimeOptions bad3;
+  bad3.retry.backoff_multiplier = 0.0;
+  EXPECT_THROW(ocl::ValidateRuntimeOptions(bad3), RuntimeFaultError);
+  ocl::RuntimeOptions bad4;
+  bad4.retry.backoff_base = SimTime::Us(-1.0);
+  EXPECT_THROW(ocl::ValidateRuntimeOptions(bad4), RuntimeFaultError);
+  ocl::RuntimeOptions bad5;
+  bad5.retry.reprogram_cost = SimTime::Us(-1.0);
+  EXPECT_THROW(ocl::ValidateRuntimeOptions(bad5), RuntimeFaultError);
+  EXPECT_NO_THROW(ocl::ValidateRuntimeOptions(ocl::RuntimeOptions{}));
+}
+
+TEST(RuntimeOptionsTest, SettersValidateToo) {
+  TestDesign d = MakeDesign(1, fpga::Stratix10SX());
+  Runtime rt(d.bitstream);
+  EXPECT_THROW(rt.set_watchdog_timeout(kSimTimeZero), RuntimeFaultError);
+  resilience::RetryPolicy p;
+  p.max_attempts = -1;
+  EXPECT_THROW(rt.set_retry_policy(p), RuntimeFaultError);
+  // Valid values are accepted and applied.
+  rt.set_watchdog_timeout(SimTime::Ms(1.0));
+  p.max_attempts = 2;
+  rt.set_retry_policy(p);
+}
+
+TEST(RuntimeOptionsTest, DeployOptionsValidateAtCompileTime) {
+  Rng rng(7);
+  graph::Graph net = nets::BuildLeNet5(rng);
+  core::DeployOptions opts = LenetPipelinedOptions();
+  opts.runtime.watchdog_timeout = SimTime::Us(-5.0);
+  try {
+    (void)core::Deployment::Compile(net, opts);
+    FAIL() << "expected CLF507 at compile time";
+  } catch (const RuntimeFaultError& e) {
+    EXPECT_EQ(e.code(), "CLF507");
+  }
+}
+
+TEST(RuntimeOptionsTest, CustomWatchdogShortensHangDetection) {
+  Rng rng(7);
+  graph::Graph net = nets::BuildLeNet5(rng);
+  core::DeployOptions opts = LenetPipelinedOptions();
+  opts.runtime.watchdog_timeout = SimTime::Ms(2.0);
+  auto d = core::Deployment::Compile(net, opts);
+  ASSERT_TRUE(d.ok());
+
+  FaultPlan plan;
+  plan.specs.push_back(ParseFaultSpec("hang:k_conv1"));
+  d.runtime().set_fault_injector(std::make_shared<FaultInjector>(plan));
+  const Shape& in_shape = net.node(net.input_id()).output_shape;
+  Tensor image = Tensor::Random(in_shape, rng, 0.0f, 1.0f);
+  const SimTime before = d.runtime().now();
+  EXPECT_THROW((void)d.Run(image, true), RuntimeFaultError);
+  // Detection cost is bounded by the configured watchdog plus the batch's
+  // own work, far under the 100ms default.
+  EXPECT_LT(d.runtime().now() - before, SimTime::Ms(50.0));
+}
+
 TEST(Fallback, FirstAttemptSuccessIsNotARecovery) {
   Rng rng(7);
   graph::Graph net = nets::BuildLeNet5(rng);

@@ -257,6 +257,56 @@ TEST(FlightRecorderTest, OverflowAtDumpTimeReportsClf703) {
   std::remove(path.c_str());
 }
 
+TEST(SequencedDumpPath, SuffixesEverythingAfterTheFirst) {
+  using telemetry::SequencedDumpPath;
+  EXPECT_EQ(SequencedDumpPath("x_flightrec.json", 0), "x_flightrec.json");
+  EXPECT_EQ(SequencedDumpPath("x_flightrec.json", 1), "x_flightrec.1.json");
+  EXPECT_EQ(SequencedDumpPath("x_flightrec.json", 12),
+            "x_flightrec.12.json");
+  // No extension: the suffix appends.
+  EXPECT_EQ(SequencedDumpPath("dump", 2), "dump.2");
+  // A dot in a directory component is not an extension.
+  EXPECT_EQ(SequencedDumpPath("out.d/dump", 3), "out.d/dump.3");
+  EXPECT_EQ(SequencedDumpPath("out.d/dump.json", 3), "out.d/dump.3.json");
+}
+
+TEST(FlightRecorderTest, RepeatedFaultsNeverOverwriteAPostmortem) {
+  const std::string first =
+      testing::TempDir() + "clflow_flightrec_seq.json";
+  const std::string second =
+      testing::TempDir() + "clflow_flightrec_seq.1.json";
+  std::remove(first.c_str());
+  std::remove(second.c_str());
+
+  core::DeployOptions opts = LenetPipelinedOptions();
+  opts.flightrec_path = first;
+  auto d = CompileLenet(opts);
+
+  // Two hang faults on consecutive batches: each escaping fault dumps a
+  // postmortem, and the second must not clobber the first.
+  resilience::FaultPlan plan;
+  plan.seed = 17;
+  plan.specs.push_back(resilience::ParseFaultSpec("hang:k_conv1:0"));
+  plan.specs.push_back(resilience::ParseFaultSpec("hang:k_conv1:1"));
+  d.runtime().set_fault_injector(
+      std::make_shared<resilience::FaultInjector>(plan));
+
+  const Tensor image = LenetImage();
+  EXPECT_THROW((void)d.Run(image, /*functional=*/false), RuntimeFaultError);
+  d.runtime().AbortBatch();  // clear the poisoned batch state
+  EXPECT_THROW((void)d.Run(image, /*functional=*/false), RuntimeFaultError);
+
+  for (const std::string& path : {first, second}) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    EXPECT_TRUE(obs::json::Parse(buf.str()).has_value()) << path;
+  }
+  std::remove(first.c_str());
+  std::remove(second.c_str());
+}
+
 TEST(FlightRecorderTest, AttachingARecorderNeverChangesSpanNumbering) {
   // RecordFault does not consume span ids and the recorder is a pure
   // mirror, so the profiled event stream (ids included) is identical
