@@ -8,6 +8,7 @@
 // before/after evidence (numbers recorded in EXPERIMENTS.md).
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "codegen/opencl_codegen.hpp"
 #include "ir/op_kernels.hpp"
 
@@ -99,6 +100,43 @@ void BM_EmitProgramPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_EmitProgramPipeline)->Unit(benchmark::kMicrosecond);
 
+/// Writes BENCH_micro_codegen.json: per-benchmark wall times under the
+/// host-dependent `wall.` namespace (archived, never gated) and the
+/// emitted source sizes as `codegen.<bench>.bytes` -- a deterministic
+/// fingerprint of the emitter's output that CI gates tightly (a size
+/// jump means the emitter started repeating itself or dropped code).
+class SnapshotReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit SnapshotReporter(bench::BenchSnapshot* snap) : snap_(snap) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      snap_->Metric("wall." + run.benchmark_name() + ".real_time",
+                    run.GetAdjustedRealTime());
+      for (const auto& [counter_name, counter] : run.counters) {
+        if (counter_name == "bytes") {
+          snap_->Metric("codegen." + run.benchmark_name() + ".bytes",
+                        counter.value);
+        }
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchSnapshot* snap_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench::BenchSnapshot snap("micro_codegen");
+  SnapshotReporter reporter(&snap);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  snap.Write();
+  benchmark::Shutdown();
+  return 0;
+}

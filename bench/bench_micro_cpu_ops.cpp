@@ -2,7 +2,17 @@
 // (google-benchmark). These are the functional oracle's actual throughput
 // on THIS host -- complementary to the calibrated Xeon-8280/GTX-1060
 // models the comparison tables use (see DESIGN.md on the substitution).
+//
+// Besides the absolute BM_* figures (archived, never gated), the bench
+// times each SIMD operator against its exported *Scalar oracle on the
+// same data and records `simd.<op>.speedup` metrics. Those ratios are
+// host-stable enough to gate: CI diffs them against the committed
+// baseline (claim: >= 1.5x on conv and dense). The comparison also
+// asserts bit-exactness -- any SIMD/scalar mismatch exits 1.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
 
 #include "bench_util.hpp"
 #include "common/parallel.hpp"
@@ -122,6 +132,107 @@ class SnapshotReporter : public benchmark::ConsoleReporter {
   bench::BenchSnapshot* snap_;
 };
 
+/// Median wall time of `fn` over `reps` runs (one warmup discarded).
+template <typename Fn>
+double MedianUs(int reps, const Fn& fn) {
+  (void)fn();
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto out = fn();
+    benchmark::DoNotOptimize(out.data().data());
+    const auto t1 = std::chrono::steady_clock::now();
+    times.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+bool BitExact(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     a.data().size() * sizeof(float)) == 0;
+}
+
+/// Times the SIMD entry point against its *Scalar oracle on identical
+/// data; records wall.simd.<op>.{scalar_us,simd_us} (host-dependent,
+/// ignored by CI) and simd.<op>.speedup (gated). Returns false on any
+/// bitwise mismatch.
+bool SimdVsScalar(bench::BenchSnapshot& snap) {
+  constexpr int kReps = 7;
+  Rng rng(bench::kBenchSeed);
+  bool exact = true;
+  std::printf("\n--- SIMD vs scalar (median of %d) ---\n", kReps);
+
+  auto report = [&](const char* op, double scalar_us, double simd_us,
+                    bool ok) {
+    const double speedup = scalar_us / simd_us;
+    std::printf("%-10s scalar %9.0f us  simd %9.0f us  %5.2fx  %s\n", op,
+                scalar_us, simd_us, speedup,
+                ok ? "bit-exact" : "MISMATCH");
+    snap.Metric(std::string("wall.simd.") + op + ".scalar_us", scalar_us);
+    snap.Metric(std::string("wall.simd.") + op + ".simd_us", simd_us);
+    snap.Metric(std::string("simd.") + op + ".speedup", speedup);
+    exact = exact && ok;
+  };
+
+  {
+    Tensor input = Tensor::Random(Shape{1, 32, 56, 56}, rng);
+    Tensor w = Tensor::Random(Shape{32, 32, 3, 3}, rng);
+    Tensor bias = Tensor::Random(Shape{32}, rng);
+    const cpu::Conv2dParams p{.stride = 1, .pad = 1,
+                              .activation = Activation::kRelu};
+    const double scalar_us = MedianUs(
+        kReps, [&] { return cpu::Conv2dScalar(input, w, bias, p, 1); });
+    const double simd_us =
+        MedianUs(kReps, [&] { return cpu::Conv2d(input, w, bias, p, 1); });
+    report("conv3x3", scalar_us, simd_us,
+           BitExact(cpu::Conv2dScalar(input, w, bias, p, 1),
+                    cpu::Conv2d(input, w, bias, p, 1)));
+  }
+  {
+    Tensor input = Tensor::Random(Shape{1, 128, 28, 28}, rng);
+    Tensor w = Tensor::Random(Shape{128, 128, 1, 1}, rng);
+    const cpu::Conv2dParams p{};
+    const double scalar_us = MedianUs(
+        kReps, [&] { return cpu::Conv2dScalar(input, w, Tensor(), p, 1); });
+    const double simd_us = MedianUs(
+        kReps, [&] { return cpu::Conv2d(input, w, Tensor(), p, 1); });
+    report("conv1x1", scalar_us, simd_us,
+           BitExact(cpu::Conv2dScalar(input, w, Tensor(), p, 1),
+                    cpu::Conv2d(input, w, Tensor(), p, 1)));
+  }
+  {
+    Tensor input = Tensor::Random(Shape{1, 128, 28, 28}, rng);
+    Tensor w = Tensor::Random(Shape{128, 1, 3, 3}, rng);
+    const cpu::Conv2dParams p{.stride = 1, .pad = 1};
+    const double scalar_us = MedianUs(kReps, [&] {
+      return cpu::DepthwiseConv2dScalar(input, w, Tensor(), p, 1);
+    });
+    const double simd_us = MedianUs(
+        kReps, [&] { return cpu::DepthwiseConv2d(input, w, Tensor(), p, 1); });
+    report("depthwise", scalar_us, simd_us,
+           BitExact(cpu::DepthwiseConv2dScalar(input, w, Tensor(), p, 1),
+                    cpu::DepthwiseConv2d(input, w, Tensor(), p, 1)));
+  }
+  {
+    Tensor x = Tensor::Random(Shape{1, 1024}, rng);
+    Tensor w = Tensor::Random(Shape{1000, 1024}, rng);
+    Tensor b = Tensor::Random(Shape{1000}, rng);
+    const double scalar_us = MedianUs(kReps, [&] {
+      return cpu::DenseScalar(x, w, b, Activation::kNone, 1);
+    });
+    const double simd_us = MedianUs(
+        kReps, [&] { return cpu::Dense(x, w, b, Activation::kNone, 1); });
+    report("dense", scalar_us, simd_us,
+           BitExact(cpu::DenseScalar(x, w, b, Activation::kNone, 1),
+                    cpu::Dense(x, w, b, Activation::kNone, 1)));
+  }
+  return exact;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -130,7 +241,12 @@ int main(int argc, char** argv) {
   bench::BenchSnapshot snap("micro_cpu_ops");
   SnapshotReporter reporter(&snap);
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  const bool exact = SimdVsScalar(snap);
   snap.Write();
   benchmark::Shutdown();
+  if (!exact) {
+    std::fprintf(stderr, "SIMD/scalar outputs are not bit-identical\n");
+    return 1;
+  }
   return 0;
 }

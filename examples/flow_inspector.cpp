@@ -741,7 +741,7 @@ int main(int argc, char** argv) {
     constexpr int kRequests = 24;
     for (int i = 0; i < kRequests; ++i) {
       const auto r = d.Run(image, /*functional=*/false);
-      slo.ObserveRequest(ocl::SummarizeRequest(rt.events(), r.trace_id),
+      slo.ObserveRequest(ocl::SummarizeRequest(rt.event_pool(), r.trace_id),
                          &d.diagnostics());
     }
     std::printf("\n--- SLO monitor (%d requests) ---\n%s", kRequests,
@@ -756,7 +756,7 @@ int main(int argc, char** argv) {
 
   if (!trace_out.empty()) {
     WriteFile(trace_out,
-              ocl::ExportChromeTrace(d.runtime().events(),
+              ocl::ExportChromeTrace(d.runtime().event_pool(),
                                      d.telemetry().tracer.spans(),
                                      net.name() + "@" + board_key));
   }

@@ -2,9 +2,12 @@
 
 #include <charconv>
 #include <cstdio>
+#include <cstring>
 #include <set>
+#include <unordered_map>
 #include <unordered_set>
 
+#include "common/arena.hpp"
 #include "common/error.hpp"
 
 namespace clflow::codegen {
@@ -153,18 +156,39 @@ class Emitter {
     out_.append(buf, end);
   }
 
-  void AppendFloat(double v) {
+  void AppendFloat(double v) { out_ += FloatLiteral(v); }
+
+  /// Formatted float literal, interned per distinct value per thread: the
+  /// same constants (0.0f activation clamps, pool divisors, quant scales)
+  /// recur across every kernel of a sweep, and snprintf dominates the
+  /// cost of emitting them.
+  static std::string_view FloatLiteral(double v) {
+    struct Memo {
+      common::StringInterner pool{4 * 1024};
+      std::unordered_map<std::uint64_t, std::string_view> by_bits;
+    };
+    thread_local Memo memo;
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    if (auto it = memo.by_bits.find(bits); it != memo.by_bits.end()) {
+      return it->second;
+    }
     // "%.9g" matches ostringstream with precision(9) (default float
     // format), which the golden tests pin down.
-    char buf[40];
-    const int n = std::snprintf(buf, sizeof(buf), "%.9g", v);
-    const std::string_view s(buf, static_cast<std::size_t>(n));
-    out_ += s;
-    if (s.find('.') == std::string_view::npos &&
-        s.find('e') == std::string_view::npos) {
-      out_ += ".0";
+    char buf[44];
+    int n = std::snprintf(buf, sizeof(buf) - 4, "%.9g", v);
+    const std::string_view mantissa(buf, static_cast<std::size_t>(n));
+    if (mantissa.find('.') == std::string_view::npos &&
+        mantissa.find('e') == std::string_view::npos) {
+      buf[n++] = '.';
+      buf[n++] = '0';
     }
-    out_ += 'f';
+    buf[n++] = 'f';
+    const std::string_view lit =
+        memo.pool.Intern(std::string_view(buf, static_cast<std::size_t>(n)))
+            .view;
+    memo.by_bits.emplace(bits, lit);
+    return lit;
   }
 
   /// Global buffers are flat pointers in OpenCL C: multi-dimensional

@@ -149,14 +149,32 @@ CompileCache::DesignKey CompileCache::DesignKeyFromContent(
     const std::string& content_key, bool autorun, const std::string& name,
     const ir::Bindings& bindings, const fpga::AocOptions& aoc,
     const fpga::CostModel& model) {
+  return DesignKeyFromContent(
+      common::InternedString{content_key, common::FnvHash(content_key)},
+      autorun, name, bindings, aoc, model);
+}
+
+CompileCache::DesignKey CompileCache::DesignKeyFromContent(
+    const common::InternedString& content_key, bool autorun,
+    const std::string& name, const ir::Bindings& bindings,
+    const fpga::AocOptions& aoc, const fpga::CostModel& model) {
+  // Seed from the key's precomputed FNV state instead of rehashing its
+  // bytes; the length is mixed separately to keep the prefix-free
+  // property of Fnv::Str.
   Fnv f;
-  f.Str(content_key);
+  f.h = content_key.hash;
+  f.U64(content_key.view.size());
   f.Bool(autorun);
   MixBindings(f, bindings);
   f.Bool(aoc.fp_relaxed);
   f.Bool(aoc.fpc);
   MixCostModel(f, model);
-  return DesignKey{f.h, content_key.size(), name};
+  return DesignKey{f.h, content_key.view.size(), name};
+}
+
+common::InternedString CompileCache::InternKey(std::string_view key) {
+  const std::scoped_lock lock(mu_);
+  return keys_.Intern(key);
 }
 
 std::string CompileCache::ConvKernelKey(const ir::ConvSpec& spec,
@@ -210,7 +228,7 @@ void CompileCache::InsertDesign(const DesignKey& key,
 std::optional<ir::BuiltKernel> CompileCache::LookupKernel(
     const std::string& key) {
   const std::scoped_lock lock(mu_);
-  auto it = kernels_.find(key);
+  auto it = kernels_.find(keys_.Intern(key).view.data());
   if (it == kernels_.end()) {
     ++stats_.lower_misses;
     return std::nullopt;
@@ -222,7 +240,7 @@ std::optional<ir::BuiltKernel> CompileCache::LookupKernel(
 void CompileCache::InsertKernel(const std::string& key,
                                 const ir::BuiltKernel& built) {
   const std::scoped_lock lock(mu_);
-  auto [it, inserted] = kernels_.emplace(key, built);
+  auto [it, inserted] = kernels_.emplace(keys_.Intern(key).view.data(), built);
   if (!inserted) return;
   ++stats_.entries;
   stats_.bytes += KernelBytes(key, built);
@@ -251,7 +269,7 @@ std::string CompileCache::StatsKeyFor(const std::string& content_key,
 std::optional<ir::KernelStats> CompileCache::LookupStats(
     const std::string& key) {
   const std::scoped_lock lock(mu_);
-  auto it = kernel_stats_.find(key);
+  auto it = kernel_stats_.find(keys_.Intern(key).view.data());
   if (it == kernel_stats_.end()) {
     ++stats_.stats_misses;
     return std::nullopt;
@@ -263,7 +281,8 @@ std::optional<ir::KernelStats> CompileCache::LookupStats(
 void CompileCache::InsertStats(const std::string& key,
                                const ir::KernelStats& stats) {
   const std::scoped_lock lock(mu_);
-  auto [it, inserted] = kernel_stats_.emplace(key, stats);
+  auto [it, inserted] =
+      kernel_stats_.emplace(keys_.Intern(key).view.data(), stats);
   if (!inserted) return;
   ++stats_.entries;
   stats_.bytes += StatsBytes(key, stats);

@@ -34,9 +34,12 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 
 #include <map>
 
+#include "common/arena.hpp"
 #include "fpga/synth.hpp"
 #include "ir/analysis.hpp"
 #include "ir/op_kernels.hpp"
@@ -115,6 +118,20 @@ class CompileCache {
       const ir::Bindings& bindings, const fpga::AocOptions& aoc,
       const fpga::CostModel& model);
 
+  /// Same fingerprint, but seeded from an interned content key's
+  /// precomputed FNV hash (InternKey) -- skips rehashing the key bytes,
+  /// which the folded planner otherwise pays once per kernel per
+  /// candidate.
+  [[nodiscard]] static DesignKey DesignKeyFromContent(
+      const common::InternedString& content_key, bool autorun,
+      const std::string& name, const ir::Bindings& bindings,
+      const fpga::AocOptions& aoc, const fpga::CostModel& model);
+
+  /// Interns a content/stats key in the cache's string pool: one stable
+  /// view + FNV hash per distinct key, shared by every candidate of a
+  /// sweep. Thread-safe.
+  [[nodiscard]] common::InternedString InternKey(std::string_view key);
+
   /// Lowering-cache key for a scheduled convolution: every ConvSpec /
   /// ConvSchedule field plus the kernel name.
   [[nodiscard]] static std::string ConvKernelKey(const ir::ConvSpec& spec,
@@ -163,8 +180,14 @@ class CompileCache {
  private:
   mutable std::mutex mu_;
   std::map<DesignKey, fpga::KernelDesign> designs_;
-  std::map<std::string, ir::BuiltKernel> kernels_;
-  std::map<std::string, ir::KernelStats> kernel_stats_;
+  // String-keyed tables are keyed by the *interned* key's stable data
+  // pointer: interning hashes each distinct key once (common::FnvHash),
+  // and the interner's canonical copy makes string equality pointer
+  // equality, so lookups cost one FNV pass + an O(1) pointer probe
+  // instead of O(log n) string compares.
+  common::StringInterner keys_;
+  std::unordered_map<const char*, ir::BuiltKernel> kernels_;
+  std::unordered_map<const char*, ir::KernelStats> kernel_stats_;
   CompileCacheStats stats_;
 };
 

@@ -8,6 +8,7 @@
 #include "analysis/ir_verifier.hpp"
 #include "analysis/perf_lint.hpp"
 #include "codegen/opencl_codegen.hpp"
+#include "common/arena.hpp"
 #include "common/error.hpp"
 #include "core/compile_cache.hpp"
 #include "ir/passes.hpp"
@@ -106,6 +107,12 @@ Deployment Deployment::Compile(const graph::Graph& g,
   // pass applied while lowering -- into this deployment's telemetry.
   obs::ScopedTelemetry scoped(d.telemetry_.get());
   obs::Tracer* tracer = &d.telemetry_->tracer;
+  // Every IR node this compile builds (lowering, schedule passes, analysis
+  // rewrites) is bump-allocated from one arena; nodes that escape into the
+  // CompileCache keep the arena alive through their control blocks, so the
+  // scope can end with the compile.
+  auto ir_arena = std::make_shared<common::Arena>();
+  common::ArenaScope arena_scope(ir_arena);
   {
     obs::ScopedSpan span(tracer, "fusion");
     const auto before = static_cast<std::int64_t>(g.nodes().size());
@@ -161,6 +168,10 @@ Deployment Deployment::Compile(const graph::Graph& g,
     span.Arg("status",
              std::string(fpga::SynthStatusName(d.bitstream_.status)));
   }
+  d.telemetry_->registry.gauge("compile.arena.bytes")
+      .Set(static_cast<double>(ir_arena->bytes_used()));
+  d.telemetry_->registry.gauge("compile.arena.nodes")
+      .Set(static_cast<double>(ir_arena->num_allocations()));
   d.RecordCompileMetrics();
   if (d.ok()) {
     obs::ScopedSpan span(tracer, "prepare_runtime");
@@ -711,8 +722,9 @@ void Deployment::SynthesizeAll() {
             ? CompileCache::DesignKeyFor(kernel, rep[i], options_.recipe.aoc,
                                          options_.cost_model)
             : CompileCache::DesignKeyFromContent(
-                  kernels_[i].content_key, kernel.autorun, kernel.name,
-                  rep[i], options_.recipe.aoc, options_.cost_model);
+                  cache.InternKey(kernels_[i].content_key), kernel.autorun,
+                  kernel.name, rep[i], options_.recipe.aoc,
+                  options_.cost_model);
     if (auto hit = cache.LookupDesign(key)) {
       hit->kernel = &kernel;  // cached copies carry no deployment pointer
       designs.push_back(std::move(*hit));

@@ -1,6 +1,7 @@
 #include "core/dse.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 #include <sstream>
 
@@ -57,10 +58,16 @@ void DseResult::ExportMetrics(obs::Registry& registry) const {
   set("dse.cache.stats.misses", static_cast<double>(cache_stats.stats_misses));
   set("dse.cache.entries", static_cast<double>(cache_stats.entries));
   set("dse.cache.bytes", static_cast<double>(cache_stats.bytes));
+  set("dse.cache.prewarm.compiles", static_cast<double>(prewarm.compiles));
+  set("dse.cache.prewarm.hits", static_cast<double>(prewarm.hits));
+  set("dse.cache.prewarm.misses", static_cast<double>(prewarm.misses));
+  set("dse.cache.prewarm.entries",
+      static_cast<double>(prewarm.entries_after));
   // Wall-clock series: machine-dependent, reported for attribution only
   // (bench gates ignore the wall. prefix).
   set("dse.wall.parallel_us", parallel.wall_us);
   set("dse.wall.thread_wait_us", parallel.imbalance_wait_us);
+  set("dse.wall.prewarm_us", prewarm.wall_us);
 }
 
 FoldedBound BoundFoldedCandidate(const ConvTiling& conv1x1,
@@ -129,6 +136,89 @@ struct FamilyDims {
   return le && lt;
 }
 
+/// Per-family divisibility constraints plus the fixed non-pointwise
+/// tilings the sweep (and the prewarm) use for a fused graph.
+struct SweepFamilies {
+  FamilyDims pw, std3, dw;
+  ConvTiling conv3x3{.c1 = 1, .w2 = 1, .c2 = 1};
+  ConvTiling conv_dw{.c1 = 1, .w2 = 1, .c2 = 1};
+  [[nodiscard]] bool has_pointwise() const { return !pw.ks.empty(); }
+};
+
+SweepFamilies AnalyzeFamilies(const graph::Graph& fused) {
+  SweepFamilies fams;
+  for (const auto& n : fused.nodes()) {
+    if (n.kind == OpKind::kConv2d) {
+      const auto& in = fused.node(n.inputs[0]).output_shape;
+      FamilyDims& fam = n.window == 1 ? fams.pw : fams.std3;
+      fam.c1s.push_back(in.channels());
+      fam.w2s.push_back(n.output_shape.width());
+      fam.ks.push_back(n.filters);
+    } else if (n.kind == OpKind::kDepthwiseConv2d) {
+      fams.dw.w2s.push_back(n.output_shape.width());
+    }
+  }
+  // Non-pointwise families keep the paper's fixed minimal tilings, picked
+  // to satisfy divisibility for this network.
+  for (std::int64_t c1 : {8, 4, 3, 2}) {
+    ConvTiling t{.c1 = c1, .w2 = 1, .c2 = 1};
+    if (fams.std3.Accepts(t)) {
+      fams.conv3x3 = t;
+      break;
+    }
+  }
+  if (fams.dw.Accepts({.c1 = 1, .w2 = 7, .c2 = 1})) fams.conv_dw.w2 = 7;
+  return fams;
+}
+
+DeployOptions CandidateDeployOptions(const DseCandidate& cand,
+                                     const fpga::BoardSpec& board,
+                                     const fpga::CostModel& model,
+                                     std::shared_ptr<CompileCache> cache,
+                                     bool verify) {
+  OptimizationRecipe recipe;
+  recipe.name = "dse-cand";
+  recipe.fuse_and_cache = true;
+  recipe.unroll = true;
+  recipe.parameterized = true;
+  recipe.conv1x1 = cand.conv1x1;
+  recipe.conv3x3 = cand.conv3x3;
+  recipe.conv_dw = cand.conv_dw;
+
+  DeployOptions dep;
+  dep.mode = ExecutionMode::kFolded;
+  dep.recipe = std::move(recipe);
+  dep.board = board;
+  dep.cost_model = model;
+  dep.compile_cache = std::move(cache);
+  dep.analysis.verify = verify;
+  dep.analysis.lint_source = verify;
+  return dep;
+}
+
+/// Compiles `cand` purely for its cache side effects and accounts the
+/// hit/miss deltas. The compiled Deployment is discarded.
+DsePrewarmStats PrewarmCandidate(const graph::Graph& fused,
+                                 const DseCandidate& cand,
+                                 const fpga::BoardSpec& board,
+                                 const fpga::CostModel& model,
+                                 const std::shared_ptr<CompileCache>& cache) {
+  DsePrewarmStats stats;
+  const CompileCacheStats before = cache->stats();
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)Deployment::Compile(
+      fused,
+      CandidateDeployOptions(cand, board, model, cache, /*verify=*/false));
+  const auto t1 = std::chrono::steady_clock::now();
+  stats.wall_us = std::chrono::duration<double, std::micro>(t1 - t0).count();
+  stats.compiles = 1;
+  const CompileCacheStats delta = cache->stats().Since(before);
+  stats.hits = static_cast<std::size_t>(delta.hits());
+  stats.misses = static_cast<std::size_t>(delta.misses());
+  stats.entries_after = static_cast<std::size_t>(cache->stats().entries);
+  return stats;
+}
+
 }  // namespace
 
 DseResult ExploreFoldedTilings(const graph::Graph& g,
@@ -137,36 +227,15 @@ DseResult ExploreFoldedTilings(const graph::Graph& g,
                                const fpga::CostModel& model) {
   const graph::Graph fused = graph::FuseOperators(g);
 
-  FamilyDims pw, std3, dw;
-  for (const auto& n : fused.nodes()) {
-    if (n.kind == OpKind::kConv2d) {
-      const auto& in = fused.node(n.inputs[0]).output_shape;
-      FamilyDims& fam = n.window == 1 ? pw : std3;
-      fam.c1s.push_back(in.channels());
-      fam.w2s.push_back(n.output_shape.width());
-      fam.ks.push_back(n.filters);
-    } else if (n.kind == OpKind::kDepthwiseConv2d) {
-      dw.w2s.push_back(n.output_shape.width());
-    }
-  }
-
-  // Non-pointwise families keep the paper's fixed minimal tilings, picked
-  // to satisfy divisibility for this network.
-  ConvTiling conv3x3{.c1 = 1, .w2 = 1, .c2 = 1};
-  for (std::int64_t c1 : {8, 4, 3, 2}) {
-    ConvTiling t{.c1 = c1, .w2 = 1, .c2 = 1};
-    if (std3.Accepts(t)) {
-      conv3x3 = t;
-      break;
-    }
-  }
-  ConvTiling conv_dw{.c1 = 1, .w2 = 1, .c2 = 1};
-  if (dw.Accepts({.c1 = 1, .w2 = 7, .c2 = 1})) conv_dw.w2 = 7;
+  const SweepFamilies fams = AnalyzeFamilies(fused);
+  const FamilyDims& pw = fams.pw;
+  const ConvTiling conv3x3 = fams.conv3x3;
+  const ConvTiling conv_dw = fams.conv_dw;
 
   // The DSP floors of BoundFoldedCandidate describe the pointwise kernel;
   // on a network without pointwise convs (LeNet) no such kernel is built
   // and the floors are vacuous, so only the control-logic floor applies.
-  const bool has_pointwise = !pw.ks.empty();
+  const bool has_pointwise = fams.has_pointwise();
 
   std::shared_ptr<CompileCache> cache;
   if (options.use_cache) {
@@ -258,6 +327,16 @@ DseResult ExploreFoldedTilings(const graph::Graph& g,
   std::vector<Eval> evals(survivors.size());
   std::vector<ConvTiling> feasible_tilings;
 
+  // Multi-worker sweeps over a cold cache stampede: the whole first batch
+  // misses on the same backbone designs at once and compiles them
+  // redundantly. Seed the cache with one representative candidate first
+  // (serially); the counters and ranking are untouched -- the prewarmed
+  // candidate is still evaluated below, now against a warm cache.
+  if (cache && options.prewarm_shared_cache && jobs > 1 && !order.empty()) {
+    result.prewarm = PrewarmCandidate(fused, survivors[order.front()], board,
+                                      model, cache);
+  }
+
   for (std::size_t start = 0; start < order.size(); start += window) {
     const std::size_t stop = std::min(order.size(), start + window);
     std::vector<std::size_t> batch;
@@ -280,25 +359,10 @@ DseResult ExploreFoldedTilings(const graph::Graph& g,
                   const std::size_t s = batch[static_cast<std::size_t>(bi)];
                   Eval& e = evals[s];
                   e.cand = survivors[s];
-
-                  OptimizationRecipe recipe;
-                  recipe.name = "dse-cand";
-                  recipe.fuse_and_cache = true;
-                  recipe.unroll = true;
-                  recipe.parameterized = true;
-                  recipe.conv1x1 = e.cand.conv1x1;
-                  recipe.conv3x3 = e.cand.conv3x3;
-                  recipe.conv_dw = e.cand.conv_dw;
-
-                  DeployOptions dep;
-                  dep.mode = ExecutionMode::kFolded;
-                  dep.recipe = std::move(recipe);
-                  dep.board = board;
-                  dep.cost_model = model;
-                  dep.compile_cache = cache;
-                  dep.analysis.verify = options.verify_candidates;
-                  dep.analysis.lint_source = options.verify_candidates;
-                  auto d = Deployment::Compile(fused, dep);
+                  auto d = Deployment::Compile(
+                      fused, CandidateDeployOptions(
+                                 e.cand, board, model, cache,
+                                 options.verify_candidates));
                   e.cand.status = d.bitstream().status;
                   e.cand.status_detail = d.bitstream().status_detail;
                   if (e.cand.status == fpga::SynthStatus::kOk) {
@@ -345,6 +409,37 @@ DseResult ExploreFoldedTilings(const graph::Graph& g,
   if (cache) result.cache_stats = cache->stats().Since(cache_base);
   result.ExportMetrics(*obs::Registry::Current());
   return result;
+}
+
+DsePrewarmStats PrewarmFoldedCache(const graph::Graph& g,
+                                   const fpga::BoardSpec& board,
+                                   const DseOptions& options,
+                                   const fpga::CostModel& model) {
+  std::shared_ptr<CompileCache> cache =
+      options.cache ? options.cache : CompileCache::SharedPtr();
+  const graph::Graph fused = graph::FuseOperators(g);
+  const SweepFamilies fams = AnalyzeFamilies(fused);
+
+  // The minimal candidate: every sweep shares its conv3x3/depthwise/pad/
+  // dense backbone, and a fully-folded 1/1/1 pointwise kernel always
+  // satisfies divisibility and bandwidth.
+  DseCandidate cand;
+  cand.conv1x1 = {.c1 = 1, .w2 = 1, .c2 = 1};
+  cand.conv3x3 = fams.conv3x3;
+  cand.conv_dw = fams.conv_dw;
+
+  const DsePrewarmStats stats =
+      PrewarmCandidate(fused, cand, board, model, cache);
+  obs::Registry& reg = *obs::Registry::Current();
+  reg.gauge("dse.cache.prewarm.compiles")
+      .Set(static_cast<double>(stats.compiles));
+  reg.gauge("dse.cache.prewarm.hits").Set(static_cast<double>(stats.hits));
+  reg.gauge("dse.cache.prewarm.misses")
+      .Set(static_cast<double>(stats.misses));
+  reg.gauge("dse.cache.prewarm.entries")
+      .Set(static_cast<double>(stats.entries_after));
+  reg.gauge("dse.wall.prewarm_us").Set(stats.wall_us);
+  return stats;
 }
 
 }  // namespace clflow::core

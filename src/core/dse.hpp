@@ -111,6 +111,15 @@ struct DseOptions {
   bool verify_candidates = false;
   /// Apply BoundFoldedCandidate before compiling (`rejected_bound`).
   bool prune_bound = true;
+  /// When compiling with multiple jobs, first compile one representative
+  /// candidate serially so the backbone kernels every candidate shares
+  /// are cache-resident before the workers start. Without it, the first
+  /// parallel batch stampedes the cold cache: every worker misses on the
+  /// same conv3x3/depthwise/dense designs and compiles them redundantly
+  /// (racing misses are allowed to compute a design twice). Never changes
+  /// the result -- the prewarmed candidate is still evaluated and counted
+  /// exactly like any other; its compile simply hits the warm cache.
+  bool prewarm_shared_cache = true;
   /// Skip candidates whose unroll widths are <= an already-feasible
   /// candidate's in every dimension (and < in at least one), charged as
   /// `rejected_dominated`. Heuristic, off by default: it assumes fps is
@@ -121,6 +130,20 @@ struct DseOptions {
   /// deliberately NOT derived from `jobs` -- so dominance decisions (and
   /// with them the result) do not depend on thread count.
   std::size_t dominance_window = 16;
+};
+
+/// What a cache prewarm pass did: one representative candidate compiled
+/// through the sweep's CompileCache so the board-independent backbone
+/// kernels (conv3x3 / depthwise / pad / dense) are resident before any
+/// worker races to compile them.
+struct DsePrewarmStats {
+  double wall_us = 0.0;
+  std::size_t compiles = 0;  ///< candidate compiles issued by the prewarm
+  std::size_t hits = 0;      ///< cache hits during the prewarm
+  std::size_t misses = 0;    ///< cache misses (entries seeded)
+  std::size_t entries_after = 0;  ///< cache entries once prewarmed
+
+  [[nodiscard]] bool ran() const { return compiles > 0; }
 };
 
 struct DseResult {
@@ -145,6 +168,9 @@ struct DseResult {
   /// counts are NOT part of the jobs-invariance contract (racing misses
   /// may compute a design twice) -- every other field above is.
   CompileCacheStats cache_stats;
+  /// In-sweep prewarm activity (zeros when the sweep ran with one job or
+  /// prewarming was disabled).
+  DsePrewarmStats prewarm;
   /// Wall-clock accounting accumulated over the candidate-compile
   /// ParallelFor batches. Machine-dependent ("wall." semantics -- never
   /// gated); `imbalance_wait_us` is the worker idle time lost to static
@@ -175,5 +201,17 @@ struct DseResult {
                                              const fpga::BoardSpec& board,
                                              const DseOptions& options = {},
                                              const fpga::CostModel& model = {});
+
+/// Seeds the sweep's CompileCache (options.cache, else the process-wide
+/// CompileCache::Shared()) with the backbone kernels of a minimal folded
+/// candidate, without running a sweep. Callers that amortize one shared
+/// cache across sweeps (the fallback ladder, repeated/parallel DSE over
+/// several boards) prewarm once so the first sweep starts from a warm
+/// cache, the same steady state later sweeps enjoy. Writes the
+/// `dse.cache.prewarm.*` gauges into the ambient obs::Registry::Current().
+DsePrewarmStats PrewarmFoldedCache(const graph::Graph& g,
+                                   const fpga::BoardSpec& board,
+                                   const DseOptions& options = {},
+                                   const fpga::CostModel& model = {});
 
 }  // namespace clflow::core

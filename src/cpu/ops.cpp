@@ -2,9 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+
+// Portable 8-wide SIMD via GCC/Clang vector extensions; other compilers
+// fall back to the scalar loops. Lane-per-output vectorization: lane l
+// computes output element base+l, accumulating terms in exactly the order
+// the scalar loop would, so the SIMD results are bit-identical to the
+// *Scalar oracles (adding a 0.0f term for a padded tap is a bitwise no-op
+// because the accumulator can never be -0.0: +0 + -0 == +0).
+#if defined(__GNUC__) || defined(__clang__)
+#define CLFLOW_CPU_SIMD 1
+#else
+#define CLFLOW_CPU_SIMD 0
+#endif
 
 namespace clflow::cpu {
 
@@ -16,27 +29,131 @@ void CheckNchw(const Tensor& t, const char* what) {
   }
 }
 
-}  // namespace
+/// Validated shape parameters shared by the scalar and SIMD conv paths.
+struct Conv2dDims {
+  std::int64_t c1, h1, w1, k, f, h2, w2;
+};
 
-Tensor Conv2d(const Tensor& input, const Tensor& weights, const Tensor& bias,
-              const Conv2dParams& params, int num_threads) {
+Conv2dDims CheckConv2dShapes(const Tensor& input, const Tensor& weights,
+                             const Tensor& bias, const Conv2dParams& params) {
   CheckNchw(input, "conv2d input");
   if (weights.shape().rank() != 4) throw ShapeError("conv2d weights not rank-4");
-  const std::int64_t c1 = input.shape().channels();
-  const std::int64_t h1 = input.shape().height();
-  const std::int64_t w1 = input.shape().width();
-  const std::int64_t k = weights.shape()[0];
-  const std::int64_t f = weights.shape()[2];
-  if (weights.shape()[1] != c1 || weights.shape()[3] != f) {
+  Conv2dDims d;
+  d.c1 = input.shape().channels();
+  d.h1 = input.shape().height();
+  d.w1 = input.shape().width();
+  d.k = weights.shape()[0];
+  d.f = weights.shape()[2];
+  if (weights.shape()[1] != d.c1 || weights.shape()[3] != d.f) {
     throw ShapeError("conv2d weights shape mismatch: weights " +
                      weights.shape().ToString() + " vs input " +
                      input.shape().ToString());
   }
-  if (bias.defined() && bias.size() != k) {
+  if (bias.defined() && bias.size() != d.k) {
     throw ShapeError("conv2d bias size mismatch");
   }
-  const std::int64_t h2 = ConvOutDim(h1, f, params.stride, params.pad);
-  const std::int64_t w2 = ConvOutDim(w1, f, params.stride, params.pad);
+  d.h2 = ConvOutDim(d.h1, d.f, params.stride, params.pad);
+  d.w2 = ConvOutDim(d.w1, d.f, params.stride, params.pad);
+  return d;
+}
+
+struct DepthwiseDims {
+  std::int64_t c, h1, w1, f, h2, w2;
+};
+
+DepthwiseDims CheckDepthwiseShapes(const Tensor& input, const Tensor& weights,
+                                   const Tensor& bias,
+                                   const Conv2dParams& params) {
+  CheckNchw(input, "depthwise conv input");
+  if (weights.shape().rank() != 4 || weights.shape()[1] != 1) {
+    throw ShapeError("depthwise weights must be [C,1,F,F]");
+  }
+  DepthwiseDims d;
+  d.c = input.shape().channels();
+  d.h1 = input.shape().height();
+  d.w1 = input.shape().width();
+  d.f = weights.shape()[2];
+  if (weights.shape()[0] != d.c || weights.shape()[3] != d.f) {
+    throw ShapeError("depthwise weights shape mismatch");
+  }
+  if (bias.defined() && bias.size() != d.c) {
+    throw ShapeError("depthwise bias size mismatch");
+  }
+  d.h2 = ConvOutDim(d.h1, d.f, params.stride, params.pad);
+  d.w2 = ConvOutDim(d.w1, d.f, params.stride, params.pad);
+  return d;
+}
+
+struct DenseDims {
+  std::int64_t c1, c2;
+};
+
+DenseDims CheckDenseShapes(const Tensor& input, const Tensor& weights,
+                           const Tensor& bias) {
+  if (!input.defined() || weights.shape().rank() != 2) {
+    throw ShapeError("dense expects defined input and rank-2 weights");
+  }
+  DenseDims d;
+  d.c2 = weights.shape()[0];
+  d.c1 = weights.shape()[1];
+  if (input.size() != d.c1) {
+    throw ShapeError("dense input size " + std::to_string(input.size()) +
+                     " != weights C1 " + std::to_string(d.c1));
+  }
+  if (bias.defined() && bias.size() != d.c2) {
+    throw ShapeError("dense bias size mismatch");
+  }
+  return d;
+}
+
+#if CLFLOW_CPU_SIMD
+
+typedef float V8f __attribute__((vector_size(32)));
+constexpr std::int64_t kLanes = 8;
+
+inline V8f BroadcastV8(float v) { return V8f{v, v, v, v, v, v, v, v}; }
+
+/// 8 input taps for output columns base..base+7 at filter column fx:
+/// lane l reads ix = (base + l) * stride + fx - pad, or 0.0f when the tap
+/// falls outside the row (a bitwise no-op on the accumulator; see above).
+inline V8f LoadTaps(const float* in_row, std::int64_t w1, std::int64_t base_ix,
+                    std::int64_t stride) {
+  V8f v;
+  if (stride == 1 && base_ix >= 0 && base_ix + kLanes <= w1) {
+    std::memcpy(&v, in_row + base_ix, sizeof(v));
+    return v;
+  }
+  alignas(32) float tmp[kLanes];
+  for (std::int64_t l = 0; l < kLanes; ++l) {
+    const std::int64_t ix = base_ix + l * stride;
+    tmp[l] = (ix >= 0 && ix < w1) ? in_row[ix] : 0.0f;
+  }
+  std::memcpy(&v, tmp, sizeof(v));
+  return v;
+}
+
+/// Bias + activation + store for one 8-lane tile of outputs, applied
+/// per lane with the same scalar ApplyActivation as the oracle.
+inline void StoreLanes(float* dst, std::int64_t n, V8f acc, const float* bias,
+                       Activation act) {
+  alignas(32) float tmp[kLanes];
+  std::memcpy(tmp, &acc, sizeof(tmp));
+  for (std::int64_t l = 0; l < n; ++l) {
+    float v = tmp[l];
+    if (bias != nullptr) v += *bias;
+    dst[l] = ApplyActivation(act, v);
+  }
+}
+
+#endif  // CLFLOW_CPU_SIMD
+
+}  // namespace
+
+Tensor Conv2dScalar(const Tensor& input, const Tensor& weights,
+                    const Tensor& bias, const Conv2dParams& params,
+                    int num_threads) {
+  const auto [c1, h1, w1, k, f, h2, w2] =
+      CheckConv2dShapes(input, weights, bias, params);
 
   Tensor out(Shape{1, k, h2, w2});
   const auto in = input.data();
@@ -72,25 +189,56 @@ Tensor Conv2d(const Tensor& input, const Tensor& weights, const Tensor& bias,
   return out;
 }
 
-Tensor DepthwiseConv2d(const Tensor& input, const Tensor& weights,
-                       const Tensor& bias, const Conv2dParams& params,
-                       int num_threads) {
-  CheckNchw(input, "depthwise conv input");
-  if (weights.shape().rank() != 4 || weights.shape()[1] != 1) {
-    throw ShapeError("depthwise weights must be [C,1,F,F]");
-  }
-  const std::int64_t c = input.shape().channels();
-  const std::int64_t h1 = input.shape().height();
-  const std::int64_t w1 = input.shape().width();
-  const std::int64_t f = weights.shape()[2];
-  if (weights.shape()[0] != c || weights.shape()[3] != f) {
-    throw ShapeError("depthwise weights shape mismatch");
-  }
-  if (bias.defined() && bias.size() != c) {
-    throw ShapeError("depthwise bias size mismatch");
-  }
-  const std::int64_t h2 = ConvOutDim(h1, f, params.stride, params.pad);
-  const std::int64_t w2 = ConvOutDim(w1, f, params.stride, params.pad);
+Tensor Conv2d(const Tensor& input, const Tensor& weights, const Tensor& bias,
+              const Conv2dParams& params, int num_threads) {
+#if !CLFLOW_CPU_SIMD
+  return Conv2dScalar(input, weights, bias, params, num_threads);
+#else
+  const auto [c1, h1, w1, k, f, h2, w2] =
+      CheckConv2dShapes(input, weights, bias, params);
+
+  Tensor out(Shape{1, k, h2, w2});
+  const auto in = input.data();
+  const auto w = weights.data();
+  auto o = out.data();
+  const float* b = bias.defined() ? bias.data().data() : nullptr;
+  const std::int64_t s = params.stride;
+  const std::int64_t p = params.pad;
+  const Activation act = params.activation;
+
+  ParallelFor(0, k, num_threads, [&](std::int64_t oc) {
+    for (std::int64_t oy = 0; oy < h2; ++oy) {
+      // 8 adjacent output columns per tile; the last tile computes a full
+      // vector but stores only the lanes that exist.
+      for (std::int64_t ox = 0; ox < w2; ox += kLanes) {
+        V8f acc = BroadcastV8(0.0f);
+        for (std::int64_t ic = 0; ic < c1; ++ic) {
+          for (std::int64_t fy = 0; fy < f; ++fy) {
+            const std::int64_t iy = oy * s + fy - p;
+            if (iy < 0 || iy >= h1) continue;
+            const float* in_row = in.data() + (ic * h1 + iy) * w1;
+            const float* w_row = w.data() + ((oc * c1 + ic) * f + fy) * f;
+            for (std::int64_t fx = 0; fx < f; ++fx) {
+              const V8f taps = LoadTaps(in_row, w1, ox * s + fx - p, s);
+              acc += taps * BroadcastV8(w_row[fx]);
+            }
+          }
+        }
+        StoreLanes(o.data() + (oc * h2 + oy) * w2 + ox,
+                   std::min<std::int64_t>(kLanes, w2 - ox), acc,
+                   b != nullptr ? b + oc : nullptr, act);
+      }
+    }
+  });
+  return out;
+#endif
+}
+
+Tensor DepthwiseConv2dScalar(const Tensor& input, const Tensor& weights,
+                             const Tensor& bias, const Conv2dParams& params,
+                             int num_threads) {
+  const auto [c, h1, w1, f, h2, w2] =
+      CheckDepthwiseShapes(input, weights, bias, params);
 
   Tensor out(Shape{1, c, h2, w2});
   const auto in = input.data();
@@ -124,20 +272,52 @@ Tensor DepthwiseConv2d(const Tensor& input, const Tensor& weights,
   return out;
 }
 
-Tensor Dense(const Tensor& input, const Tensor& weights, const Tensor& bias,
-             Activation activation, int num_threads) {
-  if (!input.defined() || weights.shape().rank() != 2) {
-    throw ShapeError("dense expects defined input and rank-2 weights");
-  }
-  const std::int64_t c2 = weights.shape()[0];
-  const std::int64_t c1 = weights.shape()[1];
-  if (input.size() != c1) {
-    throw ShapeError("dense input size " + std::to_string(input.size()) +
-                     " != weights C1 " + std::to_string(c1));
-  }
-  if (bias.defined() && bias.size() != c2) {
-    throw ShapeError("dense bias size mismatch");
-  }
+Tensor DepthwiseConv2d(const Tensor& input, const Tensor& weights,
+                       const Tensor& bias, const Conv2dParams& params,
+                       int num_threads) {
+#if !CLFLOW_CPU_SIMD
+  return DepthwiseConv2dScalar(input, weights, bias, params, num_threads);
+#else
+  const auto [c, h1, w1, f, h2, w2] =
+      CheckDepthwiseShapes(input, weights, bias, params);
+
+  Tensor out(Shape{1, c, h2, w2});
+  const auto in = input.data();
+  const auto w = weights.data();
+  auto o = out.data();
+  const float* b = bias.defined() ? bias.data().data() : nullptr;
+  const std::int64_t s = params.stride;
+  const std::int64_t p = params.pad;
+  const Activation act = params.activation;
+
+  ParallelFor(0, c, num_threads, [&](std::int64_t ch) {
+    for (std::int64_t oy = 0; oy < h2; ++oy) {
+      for (std::int64_t ox = 0; ox < w2; ox += kLanes) {
+        V8f acc = BroadcastV8(0.0f);
+        for (std::int64_t fy = 0; fy < f; ++fy) {
+          const std::int64_t iy = oy * s + fy - p;
+          if (iy < 0 || iy >= h1) continue;
+          const float* in_row = in.data() + (ch * h1 + iy) * w1;
+          const float* w_row = w.data() + (ch * f + fy) * f;
+          for (std::int64_t fx = 0; fx < f; ++fx) {
+            const V8f taps = LoadTaps(in_row, w1, ox * s + fx - p, s);
+            acc += taps * BroadcastV8(w_row[fx]);
+          }
+        }
+        StoreLanes(o.data() + (ch * h2 + oy) * w2 + ox,
+                   std::min<std::int64_t>(kLanes, w2 - ox), acc,
+                   b != nullptr ? b + ch : nullptr, act);
+      }
+    }
+  });
+  return out;
+#endif
+}
+
+Tensor DenseScalar(const Tensor& input, const Tensor& weights,
+                   const Tensor& bias, Activation activation,
+                   int num_threads) {
+  const auto [c1, c2] = CheckDenseShapes(input, weights, bias);
 
   Tensor out(Shape{1, c2});
   const auto in = input.data();
@@ -153,6 +333,65 @@ Tensor Dense(const Tensor& input, const Tensor& weights, const Tensor& bias,
     o[static_cast<std::size_t>(j)] = ApplyActivation(activation, acc);
   });
   return out;
+}
+
+Tensor Dense(const Tensor& input, const Tensor& weights, const Tensor& bias,
+             Activation activation, int num_threads) {
+#if !CLFLOW_CPU_SIMD
+  return DenseScalar(input, weights, bias, activation, num_threads);
+#else
+  const auto [c1, c2] = CheckDenseShapes(input, weights, bias);
+
+  Tensor out(Shape{1, c2});
+  const auto in = input.data();
+  const auto w = weights.data();
+  auto o = out.data();
+  const float* b = bias.defined() ? bias.data().data() : nullptr;
+
+  // Lane-per-output-neuron: 8 weight rows walk forward together, sharing
+  // one broadcast of in[i] per step. This also breaks the scalar
+  // version's single add-latency chain: one vector chain now carries 8
+  // outputs.
+  const std::int64_t blocks = (c2 + kLanes - 1) / kLanes;
+  ParallelFor(0, blocks, num_threads, [&](std::int64_t blk) {
+    const std::int64_t j0 = blk * kLanes;
+    const std::int64_t n = std::min<std::int64_t>(kLanes, c2 - j0);
+    if (n == kLanes) {
+      const float* r0 = w.data() + (j0 + 0) * c1;
+      const float* r1 = w.data() + (j0 + 1) * c1;
+      const float* r2 = w.data() + (j0 + 2) * c1;
+      const float* r3 = w.data() + (j0 + 3) * c1;
+      const float* r4 = w.data() + (j0 + 4) * c1;
+      const float* r5 = w.data() + (j0 + 5) * c1;
+      const float* r6 = w.data() + (j0 + 6) * c1;
+      const float* r7 = w.data() + (j0 + 7) * c1;
+      V8f acc = BroadcastV8(0.0f);
+      for (std::int64_t i = 0; i < c1; ++i) {
+        const V8f wv = {r0[i], r1[i], r2[i], r3[i],
+                        r4[i], r5[i], r6[i], r7[i]};
+        acc += BroadcastV8(in[static_cast<std::size_t>(i)]) * wv;
+      }
+      alignas(32) float tmp[kLanes];
+      std::memcpy(tmp, &acc, sizeof(tmp));
+      for (std::int64_t l = 0; l < kLanes; ++l) {
+        float v = tmp[l];
+        if (b != nullptr) v += b[j0 + l];
+        o[static_cast<std::size_t>(j0 + l)] = ApplyActivation(activation, v);
+      }
+    } else {
+      for (std::int64_t j = j0; j < j0 + n; ++j) {
+        const float* w_row = w.data() + j * c1;
+        float acc = 0.0f;
+        for (std::int64_t i = 0; i < c1; ++i) {
+          acc += in[static_cast<std::size_t>(i)] * w_row[i];
+        }
+        if (b != nullptr) acc += b[j];
+        o[static_cast<std::size_t>(j)] = ApplyActivation(activation, acc);
+      }
+    }
+  });
+  return out;
+#endif
 }
 
 namespace {

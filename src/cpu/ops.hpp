@@ -24,21 +24,40 @@ struct Conv2dParams {
 
 /// Standard convolution. input [1,C1,H,W] (x) weights [K,C1,F,F] -> [1,K,H2,W2].
 /// bias may be undefined (no bias). Throws ShapeError on mismatch.
+///
+/// Conv2d/DepthwiseConv2d/Dense run an 8-wide SIMD path (portable
+/// GCC/Clang vector extensions) when available: one vector lane per
+/// output element, each lane accumulating in exactly the scalar loop's
+/// order, so results are bit-identical to the *Scalar variants. The
+/// *Scalar variants keep the plain loops as the oracle the SIMD path is
+/// tested (and benchmarked) against.
 [[nodiscard]] Tensor Conv2d(const Tensor& input, const Tensor& weights,
                             const Tensor& bias, const Conv2dParams& params,
                             int num_threads = 1);
+[[nodiscard]] Tensor Conv2dScalar(const Tensor& input, const Tensor& weights,
+                                  const Tensor& bias,
+                                  const Conv2dParams& params,
+                                  int num_threads = 1);
 
 /// Depthwise convolution. weights [C,1,F,F]; one filter per input channel.
 [[nodiscard]] Tensor DepthwiseConv2d(const Tensor& input,
                                      const Tensor& weights, const Tensor& bias,
                                      const Conv2dParams& params,
                                      int num_threads = 1);
+[[nodiscard]] Tensor DepthwiseConv2dScalar(const Tensor& input,
+                                           const Tensor& weights,
+                                           const Tensor& bias,
+                                           const Conv2dParams& params,
+                                           int num_threads = 1);
 
 /// Fully-connected layer. input [1,C1] (or any shape with C1 elements,
 /// flattened) (x) weights [C2,C1] + bias [C2] -> [1,C2].
 [[nodiscard]] Tensor Dense(const Tensor& input, const Tensor& weights,
                            const Tensor& bias, Activation activation,
                            int num_threads = 1);
+[[nodiscard]] Tensor DenseScalar(const Tensor& input, const Tensor& weights,
+                                 const Tensor& bias, Activation activation,
+                                 int num_threads = 1);
 
 struct PoolParams {
   std::int64_t window = 2;

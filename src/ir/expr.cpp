@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/arena.hpp"
 #include "common/error.hpp"
 
 namespace clflow::ir {
@@ -50,7 +51,7 @@ std::string_view BinOpName(BinOp op) {
 }
 
 VarPtr MakeVar(std::string name, VarKind kind) {
-  auto v = std::make_shared<VarNode>();
+  auto v = common::MakeArenaShared<VarNode>();
   v->name = std::move(name);
   v->kind = kind;
   return v;
@@ -58,7 +59,7 @@ VarPtr MakeVar(std::string name, VarKind kind) {
 
 BufferPtr MakeBuffer(std::string name, std::vector<Expr> shape, MemScope scope,
                      bool is_arg, ScalarType dtype) {
-  auto b = std::make_shared<BufferNode>();
+  auto b = common::MakeArenaShared<BufferNode>();
   b->name = std::move(name);
   b->shape = std::move(shape);
   b->scope = scope;
@@ -68,7 +69,7 @@ BufferPtr MakeBuffer(std::string name, std::vector<Expr> shape, MemScope scope,
 }
 
 Expr IntImm(std::int64_t v) {
-  auto e = std::make_shared<ExprNode>();
+  auto e = common::MakeArenaShared<ExprNode>();
   e->kind = ExprKind::kIntImm;
   e->dtype = ScalarType::kInt32;
   e->int_value = v;
@@ -76,7 +77,7 @@ Expr IntImm(std::int64_t v) {
 }
 
 Expr FloatImm(double v) {
-  auto e = std::make_shared<ExprNode>();
+  auto e = common::MakeArenaShared<ExprNode>();
   e->kind = ExprKind::kFloatImm;
   e->dtype = ScalarType::kFloat32;
   e->float_value = v;
@@ -85,7 +86,7 @@ Expr FloatImm(double v) {
 
 Expr VarRef(const VarPtr& var) {
   CLFLOW_CHECK(var != nullptr);
-  auto e = std::make_shared<ExprNode>();
+  auto e = common::MakeArenaShared<ExprNode>();
   e->kind = ExprKind::kVar;
   e->dtype = ScalarType::kInt32;
   e->var = var;
@@ -94,7 +95,7 @@ Expr VarRef(const VarPtr& var) {
 
 Expr Binary(BinOp op, Expr a, Expr b) {
   CLFLOW_CHECK(a && b);
-  auto e = std::make_shared<ExprNode>();
+  auto e = common::MakeArenaShared<ExprNode>();
   e->kind = ExprKind::kBinary;
   e->op = op;
   const bool is_cmp = op == BinOp::kLt || op == BinOp::kGe ||
@@ -113,7 +114,7 @@ Expr Load(BufferPtr buffer, std::vector<Expr> indices) {
   CLFLOW_CHECK(buffer != nullptr);
   CLFLOW_CHECK_MSG(indices.size() == buffer->shape.size(),
                    "load arity mismatch for buffer " + buffer->name);
-  auto e = std::make_shared<ExprNode>();
+  auto e = common::MakeArenaShared<ExprNode>();
   e->kind = ExprKind::kLoad;
   e->dtype = buffer->dtype;
   e->buffer = std::move(buffer);
@@ -123,7 +124,7 @@ Expr Load(BufferPtr buffer, std::vector<Expr> indices) {
 
 Expr CallIntrinsic(std::string callee, std::vector<Expr> args,
                    ScalarType dtype) {
-  auto e = std::make_shared<ExprNode>();
+  auto e = common::MakeArenaShared<ExprNode>();
   e->kind = ExprKind::kCall;
   e->dtype = dtype;
   e->callee = std::move(callee);
@@ -133,7 +134,7 @@ Expr CallIntrinsic(std::string callee, std::vector<Expr> args,
 
 Expr Select(Expr cond, Expr then_value, Expr else_value) {
   CLFLOW_CHECK(cond && then_value && else_value);
-  auto e = std::make_shared<ExprNode>();
+  auto e = common::MakeArenaShared<ExprNode>();
   e->kind = ExprKind::kSelect;
   e->dtype = then_value->dtype;
   e->a = std::move(cond);
@@ -153,7 +154,7 @@ Expr Max(Expr a, Expr b) { return Binary(BinOp::kMax, std::move(a), std::move(b)
 Expr ReadChannel(BufferPtr channel) {
   CLFLOW_CHECK_MSG(channel->scope == MemScope::kChannel,
                    "ReadChannel on non-channel buffer");
-  auto e = std::make_shared<ExprNode>();
+  auto e = common::MakeArenaShared<ExprNode>();
   e->kind = ExprKind::kCall;
   e->dtype = channel->dtype;
   e->callee = "read_channel";
@@ -216,7 +217,7 @@ namespace {
 
 template <typename Fn>
 Expr MapChildren(const Expr& e, Fn&& fn) {
-  auto copy = std::make_shared<ExprNode>(*e);
+  auto copy = common::MakeArenaShared<ExprNode>(*e);
   if (copy->a) copy->a = fn(copy->a);
   if (copy->b) copy->b = fn(copy->b);
   if (copy->c) copy->c = fn(copy->c);

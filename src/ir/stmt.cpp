@@ -4,13 +4,14 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "common/arena.hpp"
 #include "common/error.hpp"
 
 namespace clflow::ir {
 
 Stmt For(VarPtr var, Expr min, Expr extent, Stmt body, ForAnnotation ann) {
   CLFLOW_CHECK(var && min && extent && body);
-  auto s = std::make_shared<StmtNode>();
+  auto s = common::MakeArenaShared<StmtNode>();
   s->kind = StmtKind::kFor;
   s->var = std::move(var);
   s->min = std::move(min);
@@ -24,7 +25,7 @@ Stmt Store(BufferPtr buffer, std::vector<Expr> indices, Expr value) {
   CLFLOW_CHECK(buffer && value);
   CLFLOW_CHECK_MSG(indices.size() == buffer->shape.size(),
                    "store arity mismatch for buffer " + buffer->name);
-  auto s = std::make_shared<StmtNode>();
+  auto s = common::MakeArenaShared<StmtNode>();
   s->kind = StmtKind::kStore;
   s->buffer = std::move(buffer);
   s->indices = std::move(indices);
@@ -33,7 +34,7 @@ Stmt Store(BufferPtr buffer, std::vector<Expr> indices, Expr value) {
 }
 
 Stmt Block(std::vector<Stmt> stmts) {
-  auto s = std::make_shared<StmtNode>();
+  auto s = common::MakeArenaShared<StmtNode>();
   s->kind = StmtKind::kBlock;
   s->stmts = std::move(stmts);
   return s;
@@ -41,7 +42,7 @@ Stmt Block(std::vector<Stmt> stmts) {
 
 Stmt If(Expr cond, Stmt then_body, Stmt else_body) {
   CLFLOW_CHECK(cond && then_body);
-  auto s = std::make_shared<StmtNode>();
+  auto s = common::MakeArenaShared<StmtNode>();
   s->kind = StmtKind::kIf;
   s->cond = std::move(cond);
   s->then_body = std::move(then_body);
@@ -53,7 +54,7 @@ Stmt WriteChannel(BufferPtr channel, Expr value) {
   CLFLOW_CHECK(channel && value);
   CLFLOW_CHECK_MSG(channel->scope == MemScope::kChannel,
                    "WriteChannel target is not a channel");
-  auto s = std::make_shared<StmtNode>();
+  auto s = common::MakeArenaShared<StmtNode>();
   s->kind = StmtKind::kWriteChannel;
   s->buffer = std::move(channel);
   s->value = std::move(value);
@@ -201,7 +202,7 @@ void VisitExprs(const Stmt& stmt, const std::function<void(const Expr&)>& fn) {
 Stmt SubstituteStmt(const Stmt& stmt, const VarPtr& var,
                     const Expr& replacement) {
   if (!stmt) return stmt;
-  auto copy = std::make_shared<StmtNode>(*stmt);
+  auto copy = common::MakeArenaShared<StmtNode>(*stmt);
   switch (stmt->kind) {
     case StmtKind::kFor:
       CLFLOW_CHECK_MSG(stmt->var != var,

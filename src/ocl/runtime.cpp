@@ -102,23 +102,24 @@ int Runtime::CreateQueue() {
 
 int Runtime::num_queues() const { return static_cast<int>(queues_.size()); }
 
-void Runtime::RecordEvent(ProfiledEvent ev) {
-  ev.trace_id = trace_ctx_.trace_id;
-  ev.parent_span_id = trace_ctx_.parent_span_id;
-  ev.span_id = ++next_span_id_;
+void Runtime::RecordEvent(std::string_view label, CommandKind kind,
+                          int queue, SimTime queued, SimTime start,
+                          SimTime end, SimTime stall, std::int64_t bytes) {
+  const std::uint64_t span_id = ++next_span_id_;
   if (flightrec_ != nullptr) {
     telemetry::FlightEvent f;
     f.kind = "command";
-    f.label = ev.label;
-    f.trace_id = ev.trace_id;
-    f.span_id = ev.span_id;
-    f.parent_span_id = ev.parent_span_id;
-    f.t_us = ev.start.us();
-    f.dur_us = ev.duration().us();
-    f.queue = ev.queue;
+    f.label = std::string(label);
+    f.trace_id = trace_ctx_.trace_id;
+    f.span_id = span_id;
+    f.parent_span_id = trace_ctx_.parent_span_id;
+    f.t_us = start.us();
+    f.dur_us = (end - start).us();
+    f.queue = queue;
     flightrec_->Record(std::move(f));
   }
-  events_.push_back(std::move(ev));
+  events_.Record(label, kind, queue, queued, start, end, stall, bytes,
+                 trace_ctx_.trace_id, span_id, trace_ctx_.parent_span_id);
 }
 
 void Runtime::RecordFault(const RuntimeFaultError& fault) {
@@ -155,7 +156,8 @@ std::string Runtime::QueueSnapshot() const {
 // detects the mismatch and re-issues the DMA -- so an exhausted retry
 // budget leaves observable corruption behind the thrown fault.
 void Runtime::EnqueueTransfer(int queue, bool is_write,
-                              std::int64_t num_floats, std::string label,
+                              std::int64_t num_floats,
+                              const std::string& label,
                               const std::function<void()>& copy,
                               std::span<float> dest) {
   CLFLOW_CHECK(queue >= 0 && queue < num_queues());
@@ -183,8 +185,8 @@ void Runtime::EnqueueTransfer(int queue, bool is_write,
 
     if (fault.action == resilience::TransferFault::Action::kNone) {
       copy();
-      RecordEvent({std::move(label), kind, queue, host_time_, start, end,
-                   kSimTimeZero, bytes});
+      RecordEvent(label, kind, queue, host_time_, start, end, kSimTimeZero,
+                  bytes);
       // Reads block the host by nature (the host consumes the data);
       // writes only do so under the event profiler.
       if (!is_write || profiling_) host_time_ = end;
@@ -201,9 +203,9 @@ void Runtime::EnqueueTransfer(int queue, bool is_write,
         dest[i] = FlipBits(dest[i], fault.mask);
       }
     }
-    RecordEvent({label + (corrupt ? " [corrupt#" : " [fail#") +
-                     std::to_string(attempt) + "]",
-                 kind, queue, host_time_, start, end, kSimTimeZero, bytes});
+    RecordEvent(label + (corrupt ? " [corrupt#" : " [fail#") +
+                    std::to_string(attempt) + "]",
+                kind, queue, host_time_, start, end, kSimTimeZero, bytes);
     ++xfer_retries_;
     if (attempt + 1 >= retry_policy_.max_attempts) {
       RuntimeFaultError fault(
@@ -308,9 +310,9 @@ void Runtime::RecordKernel(const KernelLaunch& launch, int queue,
     host_time_ += retry_policy_.reprogram_cost;
     clock_ = std::max(clock_, host_time_);
     ++reprograms_;
-    RecordEvent({"reprogram [" + launch.name + "]", CommandKind::kKernel,
-                 autorun ? -1 : queue, start, start, host_time_, kSimTimeZero,
-                 0});
+    RecordEvent("reprogram [" + launch.name + "]", CommandKind::kKernel,
+                autorun ? -1 : queue, start, start, host_time_, kSimTimeZero,
+                0);
   }
   if (fault.corrupt_times >= retry_policy_.max_attempts) {
     RuntimeFaultError err(
@@ -357,9 +359,9 @@ void Runtime::RecordKernel(const KernelLaunch& launch, int queue,
       hung_channels_[chan] = launch.name;
     }
     if (hung_kernel_.empty()) hung_kernel_ = launch.name;
-    RecordEvent({launch.name + " [hung]", CommandKind::kKernel,
-                 autorun ? -1 : queue, autorun ? ready : host_time_, ready,
-                 end, stall, 0});
+    RecordEvent(launch.name + " [hung]", CommandKind::kKernel,
+                autorun ? -1 : queue, autorun ? ready : host_time_, ready,
+                end, stall, 0);
     clock_ = std::max(clock_, end);
     return;
   }
@@ -404,11 +406,11 @@ void Runtime::RecordKernel(const KernelLaunch& launch, int queue,
   ++usage.invocations;
   for (int e = 0; e < executions; ++e) {
     const SimTime s = ready + exec * e;
-    RecordEvent({e == 0 ? launch.name
-                        : launch.name + " [rerun#" + std::to_string(e) + "]",
-                 CommandKind::kKernel, autorun ? -1 : queue,
-                 autorun ? ready : host_time_, s, s + exec,
-                 e == 0 ? stall : kSimTimeZero, 0});
+    RecordEvent(e == 0 ? launch.name
+                       : launch.name + " [rerun#" + std::to_string(e) + "]",
+                CommandKind::kKernel, autorun ? -1 : queue,
+                autorun ? ready : host_time_, s, s + exec,
+                e == 0 ? stall : kSimTimeZero, 0);
   }
   if (profiling_ && !autorun) host_time_ = end;
 }

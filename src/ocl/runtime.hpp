@@ -33,6 +33,7 @@
 #include "fpga/synth.hpp"
 #include "ir/analysis.hpp"
 #include "obs/metrics.hpp"
+#include "ocl/event_pool.hpp"
 #include "resilience/fault.hpp"
 #include "telemetry/context.hpp"
 
@@ -62,30 +63,8 @@ class Buffer {
 };
 using BufferPtr = std::shared_ptr<Buffer>;
 
-enum class CommandKind { kWriteBuffer, kReadBuffer, kKernel };
-
-/// Completed-command record, mirroring OpenCL event profiling info.
-struct ProfiledEvent {
-  std::string label;
-  CommandKind kind = CommandKind::kKernel;
-  int queue = 0;
-  SimTime queued, start, end;
-  /// Time this command spent blocked waiting for channel data (kernels
-  /// only): start minus the moment it was otherwise ready to run.
-  SimTime stall;
-  /// Payload size for transfer commands; 0 for kernels.
-  std::int64_t bytes = 0;
-  /// Request-scoped causal identity, stamped by the runtime at record
-  /// time: which Deployment::Run this command served (0 outside any
-  /// request), this command's own span id (monotonic enqueue order on the
-  /// single host thread, hence deterministic), and the request span it
-  /// descends from. ExportChromeTrace turns these into flow arrows.
-  std::uint64_t trace_id = 0;
-  std::uint64_t span_id = 0;
-  std::uint64_t parent_span_id = 0;
-
-  [[nodiscard]] SimTime duration() const { return end - start; }
-};
+// CommandKind and ProfiledEvent moved to ocl/event_pool.hpp; the include
+// above keeps them visible to every existing user of this header.
 
 /// A kernel launch: timing comes from the synthesized design + per-launch
 /// dynamic stats; functionality from an optional functor over buffer views.
@@ -222,10 +201,18 @@ class Runtime {
   void AbortBatch();
 
   [[nodiscard]] SimTime now() const { return clock_; }
-  [[nodiscard]] const std::vector<ProfiledEvent>& events() const {
-    return events_;
+  /// The live event stream as an indexable SoA pool (record order). The
+  /// trace/prof/slo readers consume this directly.
+  [[nodiscard]] const EventPool& event_pool() const { return events_; }
+  /// AoS materialization of the live events -- convenience for tests and
+  /// one-shot consumers; each call copies. Hot readers use event_pool().
+  [[nodiscard]] std::vector<ProfiledEvent> events() const {
+    return events_.Snapshot();
   }
-  void ClearEvents() { events_.clear(); }
+  /// Recycles every live event's slot (ids are never reused; column
+  /// capacity and the interned label pool are retained, so steady-state
+  /// serving loops allocate nothing here).
+  void ClearEvents() { events_.Clear(); }
 
   // --- Observability accessors (accumulated across batches; persist
   // --- through ClearEvents) ---
@@ -275,13 +262,16 @@ class Runtime {
   SimTime KernelReady(const KernelLaunch& launch, SimTime base);
   void RecordKernel(const KernelLaunch& launch, int queue, bool autorun);
   void EnqueueTransfer(int queue, bool is_write, std::int64_t num_floats,
-                       std::string label,
+                       const std::string& label,
                        const std::function<void()>& copy,
                        std::span<float> dest);
   /// The single event sink: stamps the current trace context and the next
-  /// span id onto `ev`, mirrors it into the flight recorder, and appends
-  /// it to events_. Every push site goes through here.
-  void RecordEvent(ProfiledEvent ev);
+  /// span id, mirrors the event into the flight recorder, and records it
+  /// into the pool. Every record site goes through here. The label is
+  /// interned by the pool; callers pass views of whatever they have.
+  void RecordEvent(std::string_view label, CommandKind kind, int queue,
+                   SimTime queued, SimTime start, SimTime end, SimTime stall,
+                   std::int64_t bytes);
   /// Mirrors a fault into the flight recorder just before it is thrown.
   void RecordFault(const RuntimeFaultError& fault);
 
@@ -300,7 +290,7 @@ class Runtime {
   std::unordered_map<std::string, SimTime> channel_ready_;
   /// Channels written so far in this batch (deadlock detection).
   std::unordered_map<std::string, int> channel_writers_;
-  std::vector<ProfiledEvent> events_;
+  EventPool events_;
   /// Cumulative blocked-on-channel time, per channel.
   std::map<std::string, SimTime> channel_stall_;
   std::map<std::string, KernelUsage> kernel_usage_;

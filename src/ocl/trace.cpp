@@ -30,8 +30,12 @@ void EmitProcessName(std::ostringstream& os, int pid,
      << ",\"args\":{\"name\":\"" << JsonEscape(name) << "\"}}";
 }
 
-void EmitRuntimeEvents(std::ostringstream& os,
-                       const std::vector<ProfiledEvent>& events, int pid) {
+// The emitters template over the event range so both representations --
+// std::vector<ProfiledEvent> (AoS snapshots, tests) and the runtime's
+// EventPool (SoA views) -- serialize through one code path.
+template <typename Events>
+void EmitRuntimeEvents(std::ostringstream& os, const Events& events,
+                       int pid) {
   for (const auto& ev : events) {
     // Autorun kernels (queue -1) land on tid 0; queue q on tid q+1.
     const int tid = ev.queue + 1;
@@ -39,13 +43,13 @@ void EmitRuntimeEvents(std::ostringstream& os,
     // start - stall but blocked on its input channels); render it as its
     // own slice so stalls are visible instead of hiding in args.
     if (ev.stall.us() > 0) {
-      os << ",{\"name\":\"" << JsonEscape(ev.label)
+      os << ",{\"name\":\"" << JsonEscape(std::string(ev.label))
          << " [stall]\",\"cat\":\"stall\",\"ph\":\"X\",\"pid\":" << pid
          << ",\"tid\":" << tid << ",\"ts\":" << (ev.start - ev.stall).us()
          << ",\"dur\":" << ev.stall.us()
          << ",\"args\":{\"channel_wait_us\":" << ev.stall.us() << "}}";
     }
-    os << ",{\"name\":\"" << JsonEscape(ev.label) << "\",\"cat\":\""
+    os << ",{\"name\":\"" << JsonEscape(std::string(ev.label)) << "\",\"cat\":\""
        << KindName(ev.kind) << "\",\"ph\":\"X\",\"pid\":" << pid
        << ",\"tid\":" << tid << ",\"ts\":" << ev.start.us()
        << ",\"dur\":" << ev.duration().us()
@@ -61,16 +65,24 @@ void EmitRuntimeEvents(std::ostringstream& os,
 /// the middle, "f" binding-to-enclosing at the last), so Perfetto renders
 /// the request's path across queues. Events are already in span order
 /// (the recorder numbers them on the single host thread).
-void EmitFlowEvents(std::ostringstream& os,
-                    const std::vector<ProfiledEvent>& events, int pid) {
-  std::map<std::uint64_t, std::vector<const ProfiledEvent*>> requests;
+template <typename Events>
+void EmitFlowEvents(std::ostringstream& os, const Events& events, int pid) {
+  // Pool iteration yields Views by value, so group (queue, start) copies
+  // rather than pointers into the range.
+  struct FlowPoint {
+    int queue;
+    SimTime start;
+  };
+  std::map<std::uint64_t, std::vector<FlowPoint>> requests;
   for (const auto& ev : events) {
-    if (ev.trace_id != 0) requests[ev.trace_id].push_back(&ev);
+    if (ev.trace_id != 0) {
+      requests[ev.trace_id].push_back({ev.queue, ev.start});
+    }
   }
   for (const auto& [trace_id, evs] : requests) {
     if (evs.size() < 2) continue;
     for (std::size_t i = 0; i < evs.size(); ++i) {
-      const ProfiledEvent& ev = *evs[i];
+      const FlowPoint& ev = evs[i];
       const int tid = ev.queue + 1;
       const char* ph = i == 0 ? "s" : (i + 1 == evs.size() ? "f" : "t");
       os << ",{\"name\":\"request\",\"cat\":\"request\",\"ph\":\"" << ph
@@ -86,8 +98,9 @@ void EmitFlowEvents(std::ostringstream& os,
 /// how many transfer bytes are in flight at each instant. Deltas at equal
 /// timestamps merge into one sample, so zero-duration events contribute
 /// nothing (correctly).
-void EmitCounterTracks(std::ostringstream& os,
-                       const std::vector<ProfiledEvent>& events, int pid) {
+template <typename Events>
+void EmitCounterTracks(std::ostringstream& os, const Events& events,
+                       int pid) {
   std::map<double, double> occupancy;    // ts -> delta concurrent commands
   std::map<double, double> outstanding;  // ts -> delta in-flight bytes
   for (const auto& ev : events) {
@@ -128,10 +141,9 @@ void EmitCompileSpans(std::ostringstream& os,
   }
 }
 
-}  // namespace
-
-std::string ExportChromeTrace(const std::vector<ProfiledEvent>& events,
-                              const std::string& process_name) {
+template <typename Events>
+std::string ExportChromeTraceImpl(const Events& events,
+                                  const std::string& process_name) {
   std::ostringstream os;
   os << "{\"traceEvents\":[";
   EmitProcessName(os, 1, process_name);
@@ -142,9 +154,10 @@ std::string ExportChromeTrace(const std::vector<ProfiledEvent>& events,
   return os.str();
 }
 
-std::string ExportChromeTrace(const std::vector<ProfiledEvent>& events,
-                              const std::vector<obs::SpanRecord>& compile_spans,
-                              const std::string& process_name) {
+template <typename Events>
+std::string ExportChromeTraceImpl(
+    const Events& events, const std::vector<obs::SpanRecord>& compile_spans,
+    const std::string& process_name) {
   std::ostringstream os;
   os << "{\"traceEvents\":[";
   EmitProcessName(os, 1, process_name + " compile (wall clock)");
@@ -158,8 +171,9 @@ std::string ExportChromeTrace(const std::vector<ProfiledEvent>& events,
   return os.str();
 }
 
-telemetry::RequestSummary SummarizeRequest(
-    const std::vector<ProfiledEvent>& events, std::uint64_t trace_id) {
+template <typename Events>
+telemetry::RequestSummary SummarizeRequestImpl(const Events& events,
+                                               std::uint64_t trace_id) {
   telemetry::RequestSummary req;
   req.trace_id = trace_id;
   SimTime first_queued, last_end;
@@ -184,6 +198,40 @@ telemetry::RequestSummary SummarizeRequest(
   req.max_stall_us = worst_stall.us();
   if (any) req.latency_us = (last_end - first_queued).us();
   return req;
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const std::vector<ProfiledEvent>& events,
+                              const std::string& process_name) {
+  return ExportChromeTraceImpl(events, process_name);
+}
+
+std::string ExportChromeTrace(const EventPool& events,
+                              const std::string& process_name) {
+  return ExportChromeTraceImpl(events, process_name);
+}
+
+std::string ExportChromeTrace(const std::vector<ProfiledEvent>& events,
+                              const std::vector<obs::SpanRecord>& compile_spans,
+                              const std::string& process_name) {
+  return ExportChromeTraceImpl(events, compile_spans, process_name);
+}
+
+std::string ExportChromeTrace(const EventPool& events,
+                              const std::vector<obs::SpanRecord>& compile_spans,
+                              const std::string& process_name) {
+  return ExportChromeTraceImpl(events, compile_spans, process_name);
+}
+
+telemetry::RequestSummary SummarizeRequest(
+    const std::vector<ProfiledEvent>& events, std::uint64_t trace_id) {
+  return SummarizeRequestImpl(events, trace_id);
+}
+
+telemetry::RequestSummary SummarizeRequest(const EventPool& events,
+                                           std::uint64_t trace_id) {
+  return SummarizeRequestImpl(events, trace_id);
 }
 
 }  // namespace clflow::ocl

@@ -32,6 +32,11 @@ namespace clflow::ocl {
     const std::vector<ProfiledEvent>& events,
     const std::string& process_name = "clflow");
 
+/// Pool overload: iterates the runtime's SoA event pool directly, without
+/// materializing an AoS snapshot first.
+[[nodiscard]] std::string ExportChromeTrace(
+    const EventPool& events, const std::string& process_name = "clflow");
+
 /// Same, plus compile-phase spans as an extra process ("compile, wall
 /// clock"). Span nesting renders via duration containment on one track.
 ///
@@ -46,6 +51,10 @@ namespace clflow::ocl {
     const std::vector<obs::SpanRecord>& compile_spans,
     const std::string& process_name = "clflow");
 
+[[nodiscard]] std::string ExportChromeTrace(
+    const EventPool& events, const std::vector<obs::SpanRecord>& compile_spans,
+    const std::string& process_name = "clflow");
+
 /// Folds one request's events (those whose trace_id matches) into the
 /// summary the SLO monitor consumes: latency spans first-enqueue to
 /// last-completion, stall/queue-wait attribution, and the queue carrying
@@ -54,5 +63,8 @@ namespace clflow::ocl {
 /// never depends on the runtime layer.
 [[nodiscard]] telemetry::RequestSummary SummarizeRequest(
     const std::vector<ProfiledEvent>& events, std::uint64_t trace_id);
+
+[[nodiscard]] telemetry::RequestSummary SummarizeRequest(
+    const EventPool& events, std::uint64_t trace_id);
 
 }  // namespace clflow::ocl

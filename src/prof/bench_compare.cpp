@@ -265,6 +265,21 @@ int RunBenchDiff(const std::vector<std::string>& args, std::ostream& out) {
   if (diff.regressed) {
     out << "FAIL: " << regressions
         << " metric(s) regressed beyond tolerance\n";
+    // One line per failure with the full old/new/tolerance triple, so the
+    // culprit survives in truncated CI logs that drop the table above.
+    for (const auto& d : diff.deltas) {
+      if (d.status == MetricStatus::kRegressed) {
+        out << "  " << MetricStatusName(d.status) << " " << d.key
+            << ": baseline " << Table::Num(d.baseline, 4) << ", current "
+            << Table::Num(d.current, 4) << " ("
+            << (d.rel_change >= 0 ? "+" : "") << Table::Pct(d.rel_change, 1)
+            << "), tolerance " << Table::Pct(d.tolerance, 0) << "\n";
+      } else if (d.status == MetricStatus::kMissing) {
+        out << "  " << MetricStatusName(d.status) << " " << d.key
+            << ": baseline " << Table::Num(d.baseline, 4)
+            << ", absent from current snapshot\n";
+      }
+    }
     return 1;
   }
   out << "OK: no regressions\n";

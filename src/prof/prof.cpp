@@ -36,8 +36,8 @@ Bottleneck Classify(double compute, double memory, double stall, double fmax,
 /// A faulty/recovery slice ("[rerun#1]", "[hung]", "reprogram [k]") rather
 /// than a first execution; these occupy queues but are not attributable to
 /// a planned invocation.
-bool IsFaultSlice(const std::string& label) {
-  return label.find(" [") != std::string::npos ||
+bool IsFaultSlice(std::string_view label) {
+  return label.find(" [") != std::string_view::npos ||
          label.rfind("reprogram", 0) == 0;
 }
 
@@ -54,12 +54,17 @@ std::string_view BottleneckName(Bottleneck b) {
   return "?";
 }
 
-Profile AttributeEvents(const core::Deployment& d,
-                        const std::vector<ocl::ProfiledEvent>& events,
-                        double makespan_us,
-                        const std::vector<double>& queue_busy_us,
-                        const std::vector<double>& queue_idle_us,
-                        const ProfileOptions& opts) {
+namespace {
+
+// Templated over the event range so the runtime's SoA EventPool (Views
+// with string_view labels) and AoS std::vector<ProfiledEvent> snapshots
+// both attribute through one implementation.
+template <typename Events>
+Profile AttributeEventsImpl(const core::Deployment& d, const Events& events,
+                            double makespan_us,
+                            const std::vector<double>& queue_busy_us,
+                            const std::vector<double>& queue_idle_us,
+                            const ProfileOptions& opts) {
   (void)opts;
   if (!d.ok()) {
     throw Error("cannot profile a deployment that did not synthesize: " +
@@ -85,17 +90,18 @@ Profile AttributeEvents(const core::Deployment& d,
   std::map<std::string, KernelProfile> by_kernel;
   std::size_t clean_ordinal = 0;
   for (const auto& ev : events) {
-    const bool fault = IsFaultSlice(ev.label);
+    const std::string label(ev.label);
+    const bool fault = IsFaultSlice(label);
     const char* kind = ev.kind == ocl::CommandKind::kWriteBuffer ? "write"
                        : ev.kind == ocl::CommandKind::kReadBuffer
                            ? "read"
                            : (fault ? "fault" : "kernel");
     if (ev.stall.us() > 0) {
-      p.timeline.push_back({ev.label + " [stall]", "stall", ev.queue,
+      p.timeline.push_back({label + " [stall]", "stall", ev.queue,
                             (ev.start - ev.stall).us(), ev.stall.us()});
     }
     p.timeline.push_back(
-        {ev.label, kind, ev.queue, ev.start.us(), ev.duration().us()});
+        {label, kind, ev.queue, ev.start.us(), ev.duration().us()});
 
     if (ev.kind == ocl::CommandKind::kWriteBuffer) {
       p.write_us += ev.duration().us();
@@ -120,7 +126,7 @@ Profile AttributeEvents(const core::Deployment& d,
     const core::PlannedInvocation& inv = invocations[inv_idx];
     const core::PlannedKernel& pk =
         kernels[static_cast<std::size_t>(inv.kernel_index)];
-    if (pk.built.kernel.name != ev.label) {
+    if (pk.built.kernel.name != label) {
       ++p.unmatched_events;
       continue;
     }
@@ -137,7 +143,7 @@ Profile AttributeEvents(const core::Deployment& d,
         (board.ext_bw_gbps * 1e3);
 
     EventAttribution a;
-    a.kernel = ev.label;
+    a.kernel = label;
     a.queue = ev.queue;
     a.invocation = inv_idx;
     a.start_us = ev.start.us();
@@ -156,9 +162,9 @@ Profile AttributeEvents(const core::Deployment& d,
         std::max(p.conservation_error_us,
                  std::abs(a.compute_us + a.memory_us + a.fmax_us - t));
 
-    KernelProfile& kp = by_kernel[ev.label];
+    KernelProfile& kp = by_kernel[label];
     if (kp.launches == 0) {
-      kp.name = ev.label;
+      kp.name = label;
       kp.op_class = pk.op_class;
       kp.tiling = pk.tiling_desc;
     }
@@ -206,6 +212,27 @@ Profile AttributeEvents(const core::Deployment& d,
   return p;
 }
 
+}  // namespace
+
+Profile AttributeEvents(const core::Deployment& d,
+                        const std::vector<ocl::ProfiledEvent>& events,
+                        double makespan_us,
+                        const std::vector<double>& queue_busy_us,
+                        const std::vector<double>& queue_idle_us,
+                        const ProfileOptions& opts) {
+  return AttributeEventsImpl(d, events, makespan_us, queue_busy_us,
+                             queue_idle_us, opts);
+}
+
+Profile AttributeEvents(const core::Deployment& d,
+                        const ocl::EventPool& events, double makespan_us,
+                        const std::vector<double>& queue_busy_us,
+                        const std::vector<double>& queue_idle_us,
+                        const ProfileOptions& opts) {
+  return AttributeEventsImpl(d, events, makespan_us, queue_busy_us,
+                             queue_idle_us, opts);
+}
+
 Profile BuildProfile(core::Deployment& d, const Tensor& input,
                      const ProfileOptions& opts) {
   ocl::Runtime& rt = d.runtime();
@@ -223,7 +250,9 @@ Profile BuildProfile(core::Deployment& d, const Tensor& input,
     busy.push_back((u.busy - before[static_cast<std::size_t>(q)].busy).us());
     idle.push_back((u.idle - before[static_cast<std::size_t>(q)].idle).us());
   }
-  return AttributeEvents(d, rt.events(), r.latency.us(), busy, idle, opts);
+  // Attribute straight off the SoA pool -- no AoS snapshot materialized.
+  return AttributeEvents(d, rt.event_pool(), r.latency.us(), busy, idle,
+                         opts);
 }
 
 void EmitDiagnostics(const Profile& p, analysis::DiagnosticEngine& diags,

@@ -154,6 +154,13 @@ struct ProfileOptions {
     double makespan_us, const std::vector<double>& queue_busy_us,
     const std::vector<double>& queue_idle_us, const ProfileOptions& opts = {});
 
+/// Pool overload: attributes the runtime's SoA event pool in place,
+/// without materializing an AoS snapshot first.
+[[nodiscard]] Profile AttributeEvents(
+    const core::Deployment& d, const ocl::EventPool& events,
+    double makespan_us, const std::vector<double>& queue_busy_us,
+    const std::vector<double>& queue_idle_us, const ProfileOptions& opts = {});
+
 /// Reports the profile's CLF6xx findings into `diags`: CLF601 per
 /// drifting kernel, CLF602 on a broken conservation/matching invariant,
 /// CLF603 when overhead dominates the makespan.

@@ -1,8 +1,14 @@
-// Tests for the common substrate: tables, parallel-for, errors.
+// Tests for the common substrate: tables, parallel-for, errors, arenas.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
+#include "common/arena.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/table.hpp"
@@ -110,6 +116,118 @@ TEST(ParallelStats, SkewedChunksShowImbalanceWait) {
 }
 
 TEST(HardwareThreads, AtLeastOne) { EXPECT_GE(HardwareThreads(), 1); }
+
+TEST(Arena, BumpAllocatesAlignedWithinOneBlock) {
+  common::Arena arena(1024);
+  void* a = arena.Allocate(3, 1);
+  void* b = arena.Allocate(8, 8);
+  EXPECT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  // 3 bytes, then padding to the next 8-byte boundary, then 8 bytes.
+  EXPECT_EQ(arena.bytes_used(), 11u);
+  EXPECT_EQ(arena.num_allocations(), 2u);
+  EXPECT_EQ(arena.num_blocks(), 1u);
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedBlock) {
+  common::Arena arena(64);
+  void* big = arena.Allocate(1000, 8);
+  EXPECT_NE(big, nullptr);
+  EXPECT_GE(arena.bytes_reserved(), 1000u);
+  // The big block is current; a small follow-up that does not fit its
+  // remainder opens another block rather than scribbling out of bounds.
+  for (int i = 0; i < 100; ++i) (void)arena.Allocate(64, 8);
+  EXPECT_GE(arena.num_blocks(), 2u);
+}
+
+TEST(Arena, ResetKeepsFirstBlockDropsRest) {
+  common::Arena arena(256);
+  for (int i = 0; i < 50; ++i) (void)arena.Allocate(64, 8);
+  ASSERT_GT(arena.num_blocks(), 1u);
+  arena.Reset();
+  EXPECT_EQ(arena.num_blocks(), 1u);
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.num_allocations(), 0u);
+  // The retained block is reusable after the rewind.
+  void* p = arena.Allocate(16, 8);
+  EXPECT_NE(p, nullptr);
+  EXPECT_EQ(arena.bytes_used(), 16u);
+}
+
+TEST(ArenaScope, MakeArenaSharedUsesScopedArenaAndOutlivesIt) {
+  std::shared_ptr<int> survivor;
+  auto arena = std::make_shared<common::Arena>();
+  {
+    common::ArenaScope scope(arena);
+    ASSERT_NE(common::ArenaScope::Current(), nullptr);
+    survivor = common::MakeArenaShared<int>(42);
+    EXPECT_GT(arena->bytes_used(), 0u);
+  }
+  // Scope gone, arena reference dropped below: the allocate_shared
+  // control block's allocator copy must keep the storage alive.
+  std::weak_ptr<common::Arena> watch = arena;
+  arena.reset();
+  EXPECT_FALSE(watch.expired());
+  EXPECT_EQ(*survivor, 42);
+  survivor.reset();
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(ArenaScope, NestsAndFallsBackToHeapOutside) {
+  EXPECT_EQ(common::ArenaScope::Current(), nullptr);
+  auto outer = std::make_shared<common::Arena>();
+  auto inner = std::make_shared<common::Arena>();
+  {
+    common::ArenaScope a(outer);
+    EXPECT_EQ(common::ArenaScope::Current()->get(), outer.get());
+    {
+      common::ArenaScope b(inner);
+      EXPECT_EQ(common::ArenaScope::Current()->get(), inner.get());
+    }
+    EXPECT_EQ(common::ArenaScope::Current()->get(), outer.get());
+  }
+  EXPECT_EQ(common::ArenaScope::Current(), nullptr);
+  // Outside any scope MakeArenaShared is plain make_shared.
+  auto p = common::MakeArenaShared<int>(7);
+  EXPECT_EQ(*p, 7);
+  EXPECT_EQ(outer->bytes_used(), 0u);
+}
+
+TEST(StringInterner, DeduplicatesAndPrecomputesHash) {
+  common::StringInterner pool;
+  const std::string a = "k_conv_c32f64k3s1p1_b1_a1_node4";
+  const std::string b = a;  // distinct buffer, equal bytes
+  const auto ia = pool.Intern(a);
+  const auto ib = pool.Intern(b);
+  EXPECT_EQ(ia.view.data(), ib.view.data());  // one stable copy
+  EXPECT_NE(ia.view.data(), a.data());        // owned by the pool
+  EXPECT_EQ(ia.hash, common::FnvHash(a));
+  EXPECT_EQ(ib.hash, ia.hash);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.payload_bytes(), a.size());
+
+  const auto ic = pool.Intern("something else");
+  EXPECT_NE(ic.view.data(), ia.view.data());
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(StringInterner, ViewsStableAcrossGrowth) {
+  common::StringInterner pool(64);  // tiny blocks force arena growth
+  std::vector<std::string_view> views;
+  std::vector<std::string> originals;
+  for (int i = 0; i < 200; ++i) {
+    originals.push_back("label_with_some_length_" + std::to_string(i));
+  }
+  views.reserve(originals.size());
+  for (const auto& s : originals) views.push_back(pool.Intern(s).view);
+  for (std::size_t i = 0; i < originals.size(); ++i) {
+    EXPECT_EQ(views[i], originals[i]);
+    // Re-interning never moves the copy.
+    EXPECT_EQ(pool.Intern(originals[i]).view.data(), views[i].data());
+  }
+  EXPECT_EQ(pool.size(), originals.size());
+}
 
 TEST(Check, ThrowsWithLocation) {
   try {

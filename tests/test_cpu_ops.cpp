@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -248,6 +250,102 @@ TEST(FoldBatchNorm, EquivalentToExplicitBn) {
             (raw.at4(0, c, h, x) - mean.at(c)) * scale + beta.at(c);
   }
   EXPECT_LT(Tensor::MaxRelDiff(fused, expect, 1e-3f), 1e-3f);
+}
+
+// ---- SIMD vs scalar bit-exactness -------------------------------------
+//
+// The vectorized Conv2d/DepthwiseConv2d/Dense entry points promise
+// *bitwise* identical results to the exported *Scalar oracles: each SIMD
+// lane accumulates one output in the same floating-point order as the
+// scalar loop. The sweep crosses shapes chosen so output widths hit
+// full 8-lane tiles, partial tails (<8), and single-lane edges, with
+// every stride/pad/activation combination the runtime uses.
+
+void ExpectBitwiseEqual(const Tensor& simd, const Tensor& scalar,
+                        const std::string& what) {
+  ASSERT_EQ(simd.shape(), scalar.shape()) << what;
+  const auto a = simd.data();
+  const auto b = scalar.data();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const bool same =
+        std::memcmp(&a[i], &b[i], sizeof(float)) == 0;
+    ASSERT_TRUE(same) << what << ": element " << i << " simd=" << a[i]
+                      << " scalar=" << b[i];
+  }
+}
+
+TEST(SimdBitExact, Conv2dSweep) {
+  Rng rng(91);
+  for (const int w1 : {5, 8, 9, 16, 23}) {  // tails of 0..7 lanes
+    for (const int stride : {1, 2}) {
+      for (const int pad : {0, 1}) {
+        for (const auto act : {Activation::kNone, Activation::kRelu,
+                               Activation::kRelu6}) {
+          if (w1 + 2 * pad < 3) continue;
+          auto input = Tensor::Random(Shape{1, 3, w1, w1}, rng, -2.0f, 2.0f);
+          auto w = Tensor::Random(Shape{4, 3, 3, 3}, rng, -1.0f, 1.0f);
+          auto bias = Tensor::Random(Shape{4}, rng);
+          const Conv2dParams p{.stride = stride, .pad = pad,
+                               .activation = act};
+          ExpectBitwiseEqual(
+              Conv2d(input, w, bias, p), Conv2dScalar(input, w, bias, p),
+              "conv w1=" + std::to_string(w1) + " s=" +
+                  std::to_string(stride) + " p=" + std::to_string(pad));
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdBitExact, Conv2d1x1AndNoBias) {
+  Rng rng(92);
+  auto input = Tensor::Random(Shape{1, 8, 10, 10}, rng, -2.0f, 2.0f);
+  auto w = Tensor::Random(Shape{16, 8, 1, 1}, rng, -1.0f, 1.0f);
+  ExpectBitwiseEqual(Conv2d(input, w, Tensor(), {}),
+                     Conv2dScalar(input, w, Tensor(), {}), "conv1x1");
+}
+
+TEST(SimdBitExact, DepthwiseSweep) {
+  Rng rng(93);
+  for (const int w1 : {7, 8, 15}) {
+    for (const int stride : {1, 2}) {
+      auto input = Tensor::Random(Shape{1, 6, w1, w1}, rng, -2.0f, 2.0f);
+      auto w = Tensor::Random(Shape{6, 1, 3, 3}, rng, -1.0f, 1.0f);
+      auto bias = Tensor::Random(Shape{6}, rng);
+      const Conv2dParams p{.stride = stride, .pad = 1,
+                           .activation = Activation::kRelu};
+      ExpectBitwiseEqual(
+          DepthwiseConv2d(input, w, bias, p),
+          DepthwiseConv2dScalar(input, w, bias, p),
+          "dw w1=" + std::to_string(w1) + " s=" + std::to_string(stride));
+    }
+  }
+}
+
+TEST(SimdBitExact, DenseSweep) {
+  Rng rng(94);
+  for (const int c2 : {1, 7, 8, 9, 64, 1000}) {  // tail blocks of every size
+    auto x = Tensor::Random(Shape{1, 96}, rng, -2.0f, 2.0f);
+    auto w = Tensor::Random(Shape{c2, 96}, rng, -1.0f, 1.0f);
+    auto b = Tensor::Random(Shape{c2}, rng);
+    for (const auto act : {Activation::kNone, Activation::kRelu}) {
+      ExpectBitwiseEqual(Dense(x, w, b, act), DenseScalar(x, w, b, act),
+                         "dense c2=" + std::to_string(c2));
+    }
+    // No-bias path.
+    ExpectBitwiseEqual(Dense(x, w, Tensor(), Activation::kNone),
+                       DenseScalar(x, w, Tensor(), Activation::kNone),
+                       "dense nobias c2=" + std::to_string(c2));
+  }
+}
+
+TEST(SimdBitExact, ThreadCountDoesNotChangeSimdResult) {
+  Rng rng(95);
+  auto input = Tensor::Random(Shape{1, 8, 23, 23}, rng, -2.0f, 2.0f);
+  auto w = Tensor::Random(Shape{8, 8, 3, 3}, rng, -1.0f, 1.0f);
+  const Conv2dParams p{.stride = 1, .pad = 1};
+  ExpectBitwiseEqual(Conv2d(input, w, Tensor(), p, 4),
+                     Conv2d(input, w, Tensor(), p, 1), "conv threads");
 }
 
 }  // namespace

@@ -102,6 +102,33 @@ TEST(Ha, FailoverReissuesBatchBitExactly) {
   EXPECT_EQ(rs.health(1), BoardHealth::kHealthy);
 }
 
+TEST(Ha, EventIdsStayUniqueAcrossFailoverReplays) {
+  Rng rng(7);
+  graph::Graph net = nets::BuildLeNet5(rng);
+  ReplicaSet rs(net, LenetOptions(), {.replicas = 2});
+  rs.set_fault_injector(0, Plan({"hang:k_conv1:0", "hang:k_conv1:2"}));
+
+  Tensor image = Tensor::Random(net.node(net.input_id()).output_shape, rng,
+                                0.0f, 1.0f);
+  // Three requests: two fault on board 0 (abort + failover to board 1),
+  // one serves on board 0 cleanly in between.
+  for (int i = 0; i < 3; ++i) (void)rs.Run(image, /*functional=*/true);
+
+  for (int b = 0; b < rs.num_replicas(); ++b) {
+    const auto& pool = rs.replica(b).runtime().event_pool();
+    // Aborted batches recycle slots, but every recorded event -- kept or
+    // abandoned -- got its own id: ids are strictly increasing in record
+    // order and the total covers live plus discarded events.
+    std::uint64_t prev = 0;
+    for (const auto view : pool) {
+      EXPECT_GT(view.id, prev);
+      prev = view.id;
+    }
+    EXPECT_GE(pool.total_recorded(), pool.size());
+    EXPECT_LE(prev, pool.total_recorded());
+  }
+}
+
 TEST(Ha, CircuitBreakerQuarantinesAndHalfOpenProbeRecovers) {
   Rng rng(7);
   graph::Graph net = nets::BuildLeNet5(rng);

@@ -257,7 +257,8 @@ TEST(Trace, MergedCompileRuntimeTraceIsValidJson) {
 }
 
 TEST(Trace, EmptyEventListIsValidJson) {
-  const std::string trace = ocl::ExportChromeTrace({}, "empty@board");
+  const std::string trace = ocl::ExportChromeTrace(
+      std::vector<ocl::ProfiledEvent>{}, "empty@board");
   const auto parsed = json::Parse(trace);
   ASSERT_TRUE(parsed.has_value()) << trace;
   // Only the process_name metadata event; no counters for no events.

@@ -2,7 +2,10 @@
 // autorun, concurrent execution, profiling, and the functional layer.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "analysis/dataflow_checker.hpp"
 #include "common/error.hpp"
@@ -381,6 +384,136 @@ TEST(Runtime, ClearEventsKeepsCumulativeUsage) {
   EXPECT_EQ(rt.events().size(), 1u);
   EXPECT_GT(rt.queue_usage(0).busy, usage_before.busy);
   EXPECT_EQ(rt.kernel_usage().at("k0").invocations, 2);
+}
+
+TEST(EventPool, IdsAreStableAndNeverReused) {
+  EventPool pool;
+  const auto rec = [&pool](std::string_view label) {
+    return pool.Record(label, CommandKind::kKernel, 0, SimTime(), SimTime(),
+                       SimTime(), SimTime(), 0, 0, 0, 0);
+  };
+  const auto id1 = rec("alpha");
+  const auto id2 = rec("beta");
+  const auto id3 = rec("alpha");
+  EXPECT_EQ(id1, 1u);
+  EXPECT_EQ(id2, 2u);
+  EXPECT_EQ(id3, 3u);
+  ASSERT_TRUE(pool.Find(id2).has_value());
+  EXPECT_EQ(pool.Find(id2)->label, "beta");
+
+  pool.Clear();
+  EXPECT_TRUE(pool.empty());
+  // Cleared ids are gone for good...
+  EXPECT_FALSE(pool.Find(id1).has_value());
+  EXPECT_FALSE(pool.Find(id3).has_value());
+  // ...and never handed out again, even though slots are recycled.
+  const auto id4 = rec("gamma");
+  EXPECT_EQ(id4, 4u);
+  EXPECT_EQ(pool.total_recorded(), 4u);
+  ASSERT_TRUE(pool.Find(id4).has_value());
+  EXPECT_EQ(pool.Find(id4)->label, "gamma");
+}
+
+TEST(EventPool, ClearRecyclesSlotsAndInternerDedupes) {
+  EventPool pool;
+  const std::string label = "k_conv_c32f64k3s1p1_b1_a1_node4";
+  for (int batch = 0; batch < 10; ++batch) {
+    for (int i = 0; i < 8; ++i) {
+      pool.Record(label, CommandKind::kKernel, i, SimTime(), SimTime(),
+                  SimTime(), SimTime(), 0, 0, 0, 0);
+    }
+    EXPECT_EQ(pool.size(), 8u);
+    pool.Clear();
+  }
+  // Steady state: the first batch's 8 slots serve every later batch, and
+  // one interned copy serves all 80 records.
+  EXPECT_EQ(pool.slots(), 8u);
+  EXPECT_EQ(pool.free_slots(), 8u);
+  EXPECT_EQ(pool.distinct_labels(), 1u);
+  EXPECT_EQ(pool.total_recorded(), 80u);
+}
+
+TEST(EventPool, ViewsAndSnapshotAgreeInRecordOrder) {
+  EventPool pool;
+  for (int i = 0; i < 5; ++i) {
+    pool.Record("ev" + std::to_string(i), CommandKind::kWriteBuffer, i,
+                SimTime::Us(i), SimTime::Us(i + 1), SimTime::Us(i + 2),
+                SimTime(), 100 + i, 7, static_cast<std::uint64_t>(i), 3);
+  }
+  const auto snap = pool.Snapshot();
+  ASSERT_EQ(snap.size(), 5u);
+  std::size_t i = 0;
+  for (const auto view : pool) {
+    EXPECT_EQ(view.label, snap[i].label);
+    EXPECT_EQ(view.queue, snap[i].queue);
+    EXPECT_EQ(view.start.ps(), snap[i].start.ps());
+    EXPECT_EQ(view.bytes, snap[i].bytes);
+    EXPECT_EQ(view.trace_id, snap[i].trace_id);
+    EXPECT_EQ(view.span_id, snap[i].span_id);
+    EXPECT_EQ(view.parent_span_id, snap[i].parent_span_id);
+    ++i;
+  }
+  EXPECT_EQ(snap[3].label, "ev3");
+  EXPECT_EQ(snap[3].queue, 3);
+}
+
+TEST(EventPool, LabelMemoVerifiesContentNotCallerPointer) {
+  EventPool pool;
+  // One caller buffer, mutated in place between records: same pointer,
+  // same length, different bytes. The memo must never serve the stale
+  // interned view for the new content.
+  std::string buf = "kernel_label_variant_A";
+  pool.Record(buf, CommandKind::kKernel, 0, SimTime(), SimTime(), SimTime(),
+              SimTime(), 0, 0, 0, 0);
+  buf.back() = 'B';
+  pool.Record(buf, CommandKind::kKernel, 0, SimTime(), SimTime(), SimTime(),
+              SimTime(), 0, 0, 0, 0);
+  ASSERT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool[0].label, "kernel_label_variant_A");
+  EXPECT_EQ(pool[1].label, "kernel_label_variant_B");
+  EXPECT_EQ(pool.distinct_labels(), 2u);
+
+  // Labels engineered into one memo set (equal length, equal first and
+  // last byte) cycled many times: dedup and contents must hold however
+  // the two-way memo evicts.
+  const std::vector<std::string> colliders = {"xAAAAAz", "xBBBBBz",
+                                              "xCCCCCz"};
+  pool.Clear();
+  for (int round = 0; round < 50; ++round) {
+    for (const auto& s : colliders) {
+      pool.Record(s, CommandKind::kKernel, 0, SimTime(), SimTime(),
+                  SimTime(), SimTime(), 0, 0, 0, 0);
+    }
+  }
+  EXPECT_EQ(pool.distinct_labels(), 5u);  // 2 from above + 3 colliders
+  std::size_t i = 0;
+  for (const auto view : pool) {
+    EXPECT_EQ(view.label, colliders[i % colliders.size()]);
+    ++i;
+  }
+}
+
+TEST(Runtime, EventIdsKeepIncreasingAcrossClearEvents) {
+  TestDesign d = MakeDesign(1, fpga::Stratix10SX());
+  Runtime rt(d.bitstream);
+  rt.EnqueueKernel(0, {.name = "k0", .stats = FixedCycles(1000),
+                       .functional = {}, .reads_channels = {},
+                       .writes_channels = {}});
+  rt.Finish();
+  const std::uint64_t first_batch = rt.event_pool().total_recorded();
+  ASSERT_GT(first_batch, 0u);
+  rt.ClearEvents();
+
+  rt.EnqueueKernel(0, {.name = "k0", .stats = FixedCycles(1000),
+                       .functional = {}, .reads_channels = {},
+                       .writes_channels = {}});
+  rt.Finish();
+  const auto& pool = rt.event_pool();
+  EXPECT_EQ(pool.size(), 1u);
+  // The second batch reuses the first batch's slots but mints fresh ids.
+  EXPECT_EQ(pool.slots(), pool.size());
+  EXPECT_GT(pool[0].id, first_batch);
+  EXPECT_EQ(pool.total_recorded(), 2 * first_batch);
 }
 
 TEST(Runtime, BackToBackAutorunBatches) {
