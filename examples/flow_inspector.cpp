@@ -68,6 +68,17 @@
 // an ha::ReplicaSet of N boards instead of a single deployment: any
 // --inject-fault plan lands on board 0, the dispatcher fails the batch
 // over, and the per-board health table plus the ha.* gauges are printed.
+// With --observatory a deterministic open-loop load generator
+// (serve::RunLoadCampaign) drives the compiled deployment -- or a replica
+// set when --replicas N is also given, with any --inject-fault plan armed
+// on board 0 -- under a pinned-seed Poisson trace and a bursty trace
+// (--obs-requests N, --obs-seed N). It writes the self-contained
+// observatory dashboards (<base>_observatory[_bursty].html), the combined
+// machine-readable report (<base>_observatory.json), and a Chrome-trace
+// counter file (<base>_observatory_trace.json), then prints per-campaign
+// summaries and a final `observatory-digest:` line the CI smoke diffs
+// across runs.
+//
 // With --chaos a deterministic ha::ChaosCampaign sweeps seeded fault
 // plans (--chaos-scenarios N, --chaos-seed N) across fresh replica sets
 // and asserts the four recovery invariants per scenario; the summary
@@ -86,7 +97,8 @@
 //                               [--dse] [--dse-jobs N] [--dse-dominance]
 //                               [--replicas N] [--chaos]
 //                               [--chaos-scenarios N] [--chaos-seed N]
-//                               [--chaos-report]
+//                               [--chaos-report] [--observatory]
+//                               [--obs-requests N] [--obs-seed N]
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -113,6 +125,8 @@
 #include "prof/prof.hpp"
 #include "prof/report.hpp"
 #include "resilience/fault.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/observatory.hpp"
 #include "srclint/inject.hpp"
 #include "srclint/srclint.hpp"
 
@@ -167,6 +181,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> fault_specs;
   std::uint64_t fault_seed = 17;
   int replicas = 0;
+  bool observatory = false;
+  int obs_requests = 240;
+  std::uint64_t obs_seed = 2021;
   bool chaos = false;
   bool chaos_report = false;
   int chaos_scenarios = 200;
@@ -215,6 +232,22 @@ int main(int argc, char** argv) {
         return 1;
       }
       replicas = std::stoi(argv[++i]);
+    } else if (arg == "--observatory") {
+      observatory = true;
+    } else if (arg == "--obs-requests") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--obs-requests requires an integer argument\n");
+        return 1;
+      }
+      observatory = true;
+      obs_requests = std::stoi(argv[++i]);
+    } else if (arg == "--obs-seed") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--obs-seed requires an integer argument\n");
+        return 1;
+      }
+      observatory = true;
+      obs_seed = std::stoull(argv[++i]);
     } else if (arg == "--chaos") {
       chaos = true;
     } else if (arg == "--chaos-report") {
@@ -508,6 +541,77 @@ int main(int argc, char** argv) {
 
   const Shape& in_shape = net.node(net.input_id()).output_shape;
   Tensor image = Tensor::Random(in_shape, rng, 0.0f, 1.0f);
+
+  if (observatory) {
+    // Pinned-seed load campaigns: a Poisson trace (steady state) and a
+    // bursty one (queueing under overload) through the same target. Each
+    // campaign gets a fresh target so health state never leaks between
+    // them -- that is what makes the digests reproducible.
+    std::optional<resilience::FaultPlan> plan;
+    if (!fault_specs.empty()) {
+      plan.emplace();
+      plan->seed = fault_seed;
+      try {
+        for (const auto& spec : fault_specs) {
+          plan->specs.push_back(resilience::ParseFaultSpec(spec));
+        }
+      } catch (const Error& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+      }
+    }
+    auto campaign = [&](serve::TraceShape shape) {
+      serve::LoadgenOptions lo;
+      lo.seed = obs_seed;
+      lo.requests = obs_requests;
+      lo.shape = shape;
+      if (replicas > 0) {
+        ha::HaOptions haopts;
+        haopts.replicas = replicas;
+        ha::ReplicaSet rs(net, opts, haopts);
+        if (plan) {
+          rs.set_fault_injector(
+              0, std::make_shared<resilience::FaultInjector>(*plan));
+        }
+        return serve::RunLoadCampaign(rs, image, lo);
+      }
+      return serve::RunLoadCampaign(d, image, lo);
+    };
+    const std::string target_note =
+        replicas > 0 ? ", " + std::to_string(replicas) + " replica(s)" : "";
+    std::printf("\n--- observatory: %d request(s)/campaign, seed %llu%s "
+                "---\n",
+                obs_requests, static_cast<unsigned long long>(obs_seed),
+                target_note.c_str());
+    const serve::LoadgenReport poisson =
+        campaign(serve::TraceShape::kPoisson);
+    const serve::LoadgenReport bursty = campaign(serve::TraceShape::kBursty);
+    const serve::Observatory obs_p =
+        serve::BuildObservatory(poisson, net.name() + " @ " + board_key);
+    const serve::Observatory obs_b =
+        serve::BuildObservatory(bursty, net.name() + " @ " + board_key);
+    Table summary({"Campaign", "p50 us", "p99 us", "Goodput", "Achieved rps",
+                   "Peak occ", "Failovers", "Errors"});
+    for (const serve::Observatory* o : {&obs_p, &obs_b}) {
+      summary.AddRow({o->shape, Table::Num(o->p50_us, 1),
+                      Table::Num(o->p99_us, 1), Table::Pct(o->goodput),
+                      Table::Num(o->achieved_rps, 1),
+                      Table::Pct(o->peak_occupancy),
+                      std::to_string(o->failovers),
+                      std::to_string(o->errors)});
+    }
+    summary.Print();
+    WriteFile(base + "_observatory.html", obs_p.ToHtml());
+    WriteFile(base + "_observatory_bursty.html", obs_b.ToHtml());
+    WriteFile(base + "_observatory.json", "{\"poisson\":" + obs_p.ToJson() +
+                                              ",\"bursty\":" +
+                                              obs_b.ToJson() + "}");
+    WriteFile(base + "_observatory_trace.json", obs_p.ToChromeTrace());
+    std::printf("observatory-digest: poisson %016llx bursty %016llx\n",
+                static_cast<unsigned long long>(obs_p.digest),
+                static_cast<unsigned long long>(obs_b.digest));
+    return 0;
+  }
 
   if (chaos) {
     ha::ChaosOptions copts;

@@ -996,6 +996,10 @@ RunResult Deployment::Run(const Tensor& input, bool functional) {
                           "read_output");
     if (!functional) result.output = Tensor();
     result.latency = runtime_->Finish();
+    // Per-request latency feeds the deployment's log-bucketed histogram:
+    // a serving loop can call Run unboundedly without growing telemetry.
+    telemetry_->registry.histogram("run.latency_us")
+        .Observe(result.latency.us());
   } catch (const RuntimeFaultError& e) {
     // Surface the fault through the same diagnostics channel as the
     // compile-time checks before rethrowing, so tooling that renders

@@ -83,7 +83,7 @@ std::string CheckGaugeConservation(const ReplicaSet& rs) {
   }
   double dispatched = 0.0, board_completed = 0.0, faults = 0.0;
   for (int b = 0; b < rs.num_replicas(); ++b) {
-    const obs::Labels l = {{"board", std::to_string(b)}};
+    const obs::Labels l = {{"board", rs.BoardLabel(b)}};
     const double d = reg.gauge("ha.board.dispatched", l).value();
     const double c = reg.gauge("ha.board.completed", l).value();
     const double f = reg.gauge("ha.board.faults", l).value();

@@ -72,6 +72,12 @@ ReplicaSet::ReplicaSet(const graph::Graph& g,
   quarantine_dumps_.resize(replicas_.size(), 0);
 }
 
+std::string ReplicaSet::BoardLabel(int board) const {
+  if (board < 0) return "fallback";
+  return replicas_[static_cast<std::size_t>(board)].options().board.key +
+         std::to_string(board);
+}
+
 void ReplicaSet::set_fault_injector(
     int board, std::shared_ptr<resilience::FaultInjector> injector) {
   replica(board).runtime().set_fault_injector(std::move(injector));
@@ -124,16 +130,21 @@ void ReplicaSet::OnSuccess(int board, bool clean) {
       st.health = BoardHealth::kHealthy;
     }
   }
-  if (st.health != before) {
-    obs::ScopedSpan span(&telemetry_->tracer, "ha:transition", "ha");
-    span.Arg("board", static_cast<std::int64_t>(board));
-    span.Arg("from", std::string(BoardHealthName(before)));
-    span.Arg("to", std::string(BoardHealthName(st.health)));
-  }
+  NoteTransition(board, before, st.health);
+}
+
+void ReplicaSet::NoteTransition(int board, BoardHealth from, BoardHealth to) {
+  if (from == to) return;
+  transitions_.push_back({batches_requested_, board, from, to});
+  obs::ScopedSpan span(&telemetry_->tracer, "ha:transition", "ha");
+  span.Arg("board", static_cast<std::int64_t>(board));
+  span.Arg("from", std::string(BoardHealthName(from)));
+  span.Arg("to", std::string(BoardHealthName(to)));
 }
 
 void ReplicaSet::OnFault(int board, const RuntimeFaultError& err) {
   BoardState& st = boards_[static_cast<std::size_t>(board)];
+  const BoardHealth before = st.health;
   st.consecutive_ok = 0;
   ++st.consecutive_faults;
   const bool probe_failed = st.health == BoardHealth::kRecovering;
@@ -170,14 +181,18 @@ void ReplicaSet::OnFault(int board, const RuntimeFaultError& err) {
       dep.flight_recorder().DumpToFile(path);
     }
   }
+  NoteTransition(board, before, st.health);
 }
 
 void ReplicaSet::TickCooldowns() {
-  for (BoardState& st : boards_) {
+  for (std::size_t b = 0; b < boards_.size(); ++b) {
+    BoardState& st = boards_[b];
     if (st.health != BoardHealth::kQuarantined) continue;
     if (--st.cooldown_left <= 0) {
       st.cooldown_left = 0;
       st.health = BoardHealth::kRecovering;
+      NoteTransition(static_cast<int>(b), BoardHealth::kQuarantined,
+                     BoardHealth::kRecovering);
     }
   }
 }
@@ -352,7 +367,10 @@ void ReplicaSet::ExportMetrics(obs::Registry& registry,
       .Set(max_detection_.us());
   for (int b = 0; b < num_replicas(); ++b) {
     const BoardState& st = boards_[static_cast<std::size_t>(b)];
-    const obs::Labels l = with({{"board", std::to_string(b)}});
+    // The board label is a dimension ("which board"), not part of the
+    // metric name: ha_board_state{board="s10sx0"} in the Prometheus
+    // export, never ha_board_s10sx0_state.
+    const obs::Labels l = with({{"board", BoardLabel(b)}});
     registry.gauge("ha.board.state", l)
         .Set(static_cast<double>(static_cast<int>(st.health)));
     registry.gauge("ha.board.dispatched", l)

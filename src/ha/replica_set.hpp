@@ -91,6 +91,16 @@ struct FailedAttempt {
   SimTime cost;        ///< simulated time the failed attempt burned
 };
 
+/// One health-state edge of one board, in dispatch order. The serving
+/// observatory turns these into a per-board step series (the batch
+/// sequence maps onto the load generator's completion clock).
+struct HealthTransition {
+  std::int64_t batch = 0;  ///< batches_requested() when the edge fired
+  int board = -1;
+  BoardHealth from = BoardHealth::kHealthy;
+  BoardHealth to = BoardHealth::kHealthy;
+};
+
 struct HaRunResult {
   Tensor output;
   SimTime latency;  ///< simulated latency of the successful attempt
@@ -128,6 +138,17 @@ class ReplicaSet {
     return boards_[static_cast<std::size_t>(board)].health;
   }
   [[nodiscard]] const HaOptions& options() const { return ha_; }
+
+  /// Stable metric label for one board: its FPGA key plus replica index
+  /// ("s10sx0"), or "fallback" for board -1. This is the `board` label
+  /// value on every ha.board.* series.
+  [[nodiscard]] std::string BoardLabel(int board) const;
+
+  /// Every health-state edge so far, in dispatch order.
+  [[nodiscard]] const std::vector<HealthTransition>& health_transitions()
+      const {
+    return transitions_;
+  }
 
   /// Attaches a deterministic fault source to one board's runtime.
   void set_fault_injector(
@@ -191,6 +212,7 @@ class ReplicaSet {
   void OnSuccess(int board, bool clean);
   void OnFault(int board, const RuntimeFaultError& err);
   void TickCooldowns();
+  void NoteTransition(int board, BoardHealth from, BoardHealth to);
   core::Deployment& EnsureFallback();
 
   HaOptions ha_;
@@ -203,6 +225,7 @@ class ReplicaSet {
   };
   std::vector<RecoveryBaseline> baselines_;
   std::vector<std::uint64_t> quarantine_dumps_;  ///< per-board dump seq
+  std::vector<HealthTransition> transitions_;
   int cursor_ = 0;  ///< round-robin position
   std::int64_t batches_requested_ = 0;
   std::int64_t batches_completed_ = 0;

@@ -41,12 +41,36 @@ double Gauge::value() const {
 
 void Histogram::Observe(double value) {
   std::lock_guard lock(mu_);
-  samples_.push_back(value);
-  if (window_ > 0 && samples_.size() > window_) samples_.pop_front();
+  if (retain_samples_) {
+    samples_.push_back(value);
+    if (window_ > 0 && samples_.size() > window_) samples_.pop_front();
+  } else {
+    buckets_.Observe(value);
+  }
+}
+
+void Histogram::set_retain_samples(bool retain) {
+  std::lock_guard lock(mu_);
+  if (retain == retain_samples_) return;
+  retain_samples_ = retain;
+  if (retain) {
+    buckets_.Clear();
+  } else {
+    samples_.clear();
+  }
+}
+
+bool Histogram::retain_samples() const {
+  std::lock_guard lock(mu_);
+  return retain_samples_;
 }
 
 void Histogram::set_window(std::size_t n) {
   std::lock_guard lock(mu_);
+  if (!retain_samples_) {
+    retain_samples_ = true;
+    buckets_.Clear();
+  }
   window_ = n;
   if (window_ > 0) {
     while (samples_.size() > window_) samples_.pop_front();
@@ -61,6 +85,48 @@ std::size_t Histogram::window() const {
 std::vector<double> Histogram::window_samples() const {
   std::lock_guard lock(mu_);
   return {samples_.begin(), samples_.end()};
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  std::vector<double> other_samples;
+  LogHistogram other_buckets;
+  bool other_retained = false;
+  {
+    std::lock_guard lock(other.mu_);
+    other_retained = other.retain_samples_;
+    if (other_retained) {
+      other_samples.assign(other.samples_.begin(), other.samples_.end());
+    } else {
+      other_buckets = other.buckets_;
+    }
+  }
+  std::lock_guard lock(mu_);
+  if (retain_samples_) {
+    // Retained targets only absorb retained sources (a bucketed source
+    // has no samples to replay); mixed merges go the other way.
+    for (double v : other_samples) {
+      samples_.push_back(v);
+      if (window_ > 0 && samples_.size() > window_) samples_.pop_front();
+    }
+  } else if (other_retained) {
+    for (double v : other_samples) buckets_.Observe(v);
+  } else {
+    buckets_.MergeFrom(other_buckets);
+  }
+}
+
+std::uint64_t Histogram::Digest() const {
+  std::lock_guard lock(mu_);
+  if (!retain_samples_) return buckets_.Digest();
+  std::uint64_t h = detail::kFnvOffset;
+  detail::FnvMix(h, static_cast<std::uint64_t>(samples_.size()));
+  for (double v : samples_) detail::FnvMix(h, detail::DoubleBits(v));
+  return h;
+}
+
+LogHistogram Histogram::log_buckets() const {
+  std::lock_guard lock(mu_);
+  return buckets_;
 }
 
 namespace {
@@ -80,6 +146,17 @@ Histogram::Snapshot Histogram::snapshot() const {
   std::vector<double> sorted;
   {
     std::lock_guard lock(mu_);
+    if (!retain_samples_) {
+      Snapshot s;
+      s.count = buckets_.count();
+      s.sum = buckets_.sum();
+      s.min = buckets_.min();
+      s.max = buckets_.max();
+      s.p50 = buckets_.Quantile(0.50);
+      s.p95 = buckets_.Quantile(0.95);
+      s.p99 = buckets_.Quantile(0.99);
+      return s;
+    }
     sorted.assign(samples_.begin(), samples_.end());
   }
   std::sort(sorted.begin(), sorted.end());
@@ -131,6 +208,29 @@ Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
 
 Histogram& Registry::histogram(const std::string& name, const Labels& labels) {
   return Intern(histograms_, name, labels);
+}
+
+TimeSeries& Registry::series(const std::string& name, const Labels& labels,
+                             TimeSeries::Kind kind, const WindowSpec& spec) {
+  std::lock_guard lock(mu_);
+  const std::string key = SeriesKey(name, labels);
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    it = series_
+             .emplace(key, Entry<TimeSeries>{
+                               name, labels,
+                               std::make_unique<TimeSeries>(kind, spec)})
+             .first;
+  }
+  return *it->second.metric;
+}
+
+std::vector<std::pair<std::string, Labels>> Registry::SeriesKeys() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, Labels>> out;
+  out.reserve(series_.size());
+  for (const auto& [key, e] : series_) out.emplace_back(e.name, e.labels);
+  return out;
 }
 
 namespace {
@@ -193,6 +293,28 @@ std::string Registry::ToJson() const {
        << ",\"p95\":" << JsonNum(s.p95) << ",\"p99\":" << JsonNum(s.p99)
        << "}";
   }
+  os << "],\"series\":[";
+  first = true;
+  for (const auto& [key, e] : series_) {
+    if (!first) os << ",";
+    first = false;
+    const TimeSeries& ts = *e.metric;
+    os << "{\"name\":\"" << JsonEscape(e.name) << "\",\"labels\":"
+       << LabelsJson(e.labels) << ",\"kind\":\""
+       << TimeSeriesKindName(ts.kind())
+       << "\",\"resolution_us\":" << JsonNum(ts.spec().resolution.us())
+       << ",\"total\":" << JsonNum(ts.Total())
+       << ",\"dropped\":" << ts.dropped_late() << ",\"windows\":[";
+    bool wfirst = true;
+    for (const TimeSeries::Window& w : ts.Windows()) {
+      if (!wfirst) os << ",";
+      wfirst = false;
+      os << "{\"index\":" << w.index << ",\"start_us\":"
+         << JsonNum(w.start_us) << ",\"value\":" << JsonNum(w.value)
+         << ",\"count\":" << w.count << "}";
+    }
+    os << "]}";
+  }
   os << "]}";
   return os.str();
 }
@@ -220,6 +342,19 @@ std::string Registry::ToCsv() const {
     os << prefix << "p50," << JsonNum(s.p50) << "\n";
     os << prefix << "p95," << JsonNum(s.p95) << "\n";
     os << prefix << "p99," << JsonNum(s.p99) << "\n";
+  }
+  for (const auto& [key, e] : series_) {
+    const TimeSeries& ts = *e.metric;
+    const std::string prefix =
+        std::string("series,") + e.name + "," + LabelsCsv(e.labels) + ",";
+    os << prefix << "total," << JsonNum(ts.Total()) << "\n";
+    os << prefix << "windows,"
+       << (ts.has_data() ? ts.last_index() - ts.base_index() + 1 : 0)
+       << "\n";
+    os << prefix << "rate_per_s,"
+       << JsonNum(ts.RateOver(ts.spec().resolution *
+                              static_cast<std::int64_t>(ts.spec().windows)))
+       << "\n";
   }
   return os.str();
 }
@@ -319,6 +454,37 @@ std::string Registry::ToPrometheus() const {
        << "\n";
     os << name << "_count" << PromLabels(e.labels) << " " << s.count << "\n";
   }
+  // Time series: counters expose the windowed total plus the rate over
+  // the retained span; gauge series expose their latest value. Per-window
+  // detail stays in the JSON export (unbounded label cardinality does not
+  // belong in a Prometheus scrape).
+  for (const auto& [key, e] : series_) {
+    const TimeSeries& ts = *e.metric;
+    const std::string name = PromName(e.name);
+    if (ts.kind() == TimeSeries::Kind::kCounter) {
+      type_header(name + "_total", "counter");
+      os << name << "_total" << PromLabels(e.labels) << " "
+         << JsonNum(ts.Total()) << "\n";
+    } else {
+      type_header(name, "gauge");
+      os << name << PromLabels(e.labels) << " "
+         << JsonNum(ts.ValueAt(ts.spec().resolution * ts.last_index()))
+         << "\n";
+    }
+  }
+  // Rates in a second pass so each `# TYPE` header still appears exactly
+  // once per metric name even when same-named counter series alternate
+  // with their rate gauges.
+  for (const auto& [key, e] : series_) {
+    const TimeSeries& ts = *e.metric;
+    if (ts.kind() != TimeSeries::Kind::kCounter) continue;
+    const std::string name = PromName(e.name) + "_rate_per_s";
+    type_header(name, "gauge");
+    os << name << PromLabels(e.labels) << " "
+       << JsonNum(ts.RateOver(ts.spec().resolution *
+                              static_cast<std::int64_t>(ts.spec().windows)))
+       << "\n";
+  }
   return os.str();
 }
 
@@ -340,6 +506,14 @@ Table Registry::SummaryTable() const {
                   Table::Num(s.p50, 2), Table::Num(s.p95, 2),
                   Table::Num(s.p99, 2), Table::Num(s.max, 2)});
   }
+  for (const auto& [key, e] : series_) {
+    const TimeSeries& ts = *e.metric;
+    const bool counter = ts.kind() == TimeSeries::Kind::kCounter;
+    const double value =
+        counter ? ts.Total()
+                : ts.ValueAt(ts.spec().resolution * ts.last_index());
+    table.AddRow({key, "series", Table::Num(value, 2), "", "", "", ""});
+  }
   return table;
 }
 
@@ -348,11 +522,13 @@ void Registry::Clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  series_.clear();
 }
 
 bool Registry::empty() const {
   std::lock_guard lock(mu_);
-  return counters_.empty() && gauges_.empty() && histograms_.empty();
+  return counters_.empty() && gauges_.empty() && histograms_.empty() &&
+         series_.empty();
 }
 
 Registry& Registry::Default() {

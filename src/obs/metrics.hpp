@@ -1,19 +1,24 @@
 // Label-aware metrics registry (the "obs" half of the paper's evaluation
 // chapter: per-op profiles, stall/occupancy attribution, area totals).
 //
-// Three instrument kinds, all identified by a name plus an ordered label
+// Four instrument kinds, all identified by a name plus an ordered label
 // set (so `ocl.queue.busy_us{queue=1}` and `{queue=2}` are distinct
 // series):
 //
-//   * Counter   - monotone accumulation (pass applications, bytes moved);
-//   * Gauge     - last-write-wins level (area totals, fmax, occupancy);
-//   * Histogram - full-sample distribution with p50/p95/p99/max (span
-//                 durations, per-kernel cycle counts).
+//   * Counter    - monotone accumulation (pass applications, bytes moved);
+//   * Gauge      - last-write-wins level (area totals, fmax, occupancy);
+//   * Histogram  - value distribution with p50/p95/p99/max. Log-bucketed
+//                  by default (bounded memory, quantiles within 1% --
+//                  see obs/timeseries.hpp); full-sample retention is an
+//                  explicit opt-in for exact-quantile consumers;
+//   * TimeSeries - windowed counters/gauges on the simulated clock
+//                  (request rates, utilization timelines).
 //
 // A Registry owns its instruments and exports them as JSON (machine
-// consumption: bench snapshots), CSV (spreadsheets), and an aligned text
-// table (humans, via common/table). Instrument references returned by
-// counter()/gauge()/histogram() stay valid for the registry's lifetime.
+// consumption: bench snapshots), CSV (spreadsheets), Prometheus text, and
+// an aligned text table (humans, via common/table). Instrument references
+// returned by counter()/gauge()/histogram()/series() stay valid for the
+// registry's lifetime.
 //
 // Code that cannot be plumbed a registry (the IR passes, deep inside
 // kernel builders) records through Registry::Current(), a thread-local
@@ -29,6 +34,8 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "obs/timeseries.hpp"
 
 namespace clflow {
 class Table;
@@ -71,23 +78,50 @@ class Histogram {
   void Observe(double value);
   [[nodiscard]] Snapshot snapshot() const;
 
+  /// Default storage is log-bucketed (obs::LogHistogram): count/sum/min/
+  /// max are exact, quantiles are within 1% relative error, and memory is
+  /// bounded regardless of how many values a serving loop observes.
+  /// Opting in to sample retention keeps every observation (or the most
+  /// recent `window`) for exact nearest-rank quantiles -- the mode tests
+  /// and the SLO monitor's bounded request window use. Switching modes
+  /// discards data recorded under the previous mode, so callers pick a
+  /// mode before observing.
+  void set_retain_samples(bool retain);
+  [[nodiscard]] bool retain_samples() const;
+
   /// Makes this a sliding-window histogram keeping only the most recent
-  /// `n` observations (0 restores the unbounded default). Shrinking the
-  /// window immediately evicts the oldest samples, so a rotated window
-  /// never carries stale samples into its statistics; an empty or
-  /// single-sample window reports consistent zeros / the lone sample for
-  /// every percentile in JSON, CSV, and the summary table alike.
+  /// `n` observations (implies sample retention; memory is bounded by n).
+  /// Shrinking the window immediately evicts the oldest samples, so a
+  /// rotated window never carries stale samples into its statistics; an
+  /// empty or single-sample window reports consistent zeros / the lone
+  /// sample for every percentile in JSON, CSV, and the summary table
+  /// alike. `n` = 0 keeps sample retention without a bound.
   void set_window(std::size_t n);
   [[nodiscard]] std::size_t window() const;
 
-  /// Copy of the currently retained samples, oldest first (all samples
-  /// when unbounded).
+  /// Copy of the currently retained samples, oldest first (empty in the
+  /// default log-bucketed mode).
   [[nodiscard]] std::vector<double> window_samples() const;
+
+  /// Merges another histogram recorded in the same mode (bucketed adds
+  /// bucket counts; retained appends samples, then trims to the window).
+  /// Deterministic when shards merge in a fixed order.
+  void MergeFrom(const Histogram& other);
+
+  /// Integer-state FNV digest (bucket counts, or sample bit patterns in
+  /// retained mode) for determinism tests.
+  [[nodiscard]] std::uint64_t Digest() const;
+
+  /// The underlying buckets (meaningful in the default bucketed mode);
+  /// exposed for quantile-drift gates in tests.
+  [[nodiscard]] LogHistogram log_buckets() const;
 
  private:
   mutable std::mutex mu_;
+  bool retain_samples_ = false;
+  LogHistogram buckets_;
   std::deque<double> samples_;
-  std::size_t window_ = 0;  ///< 0 = unbounded
+  std::size_t window_ = 0;  ///< 0 = unbounded (retained mode only)
 };
 
 class Registry {
@@ -103,19 +137,38 @@ class Registry {
   [[nodiscard]] Histogram& histogram(const std::string& name,
                                      const Labels& labels = {});
 
+  /// Windowed time series. The first call for a (name, labels) pair fixes
+  /// its kind and window spec; later calls return the same instance and
+  /// ignore the arguments.
+  [[nodiscard]] TimeSeries& series(const std::string& name,
+                                   const Labels& labels = {},
+                                   TimeSeries::Kind kind =
+                                       TimeSeries::Kind::kCounter,
+                                   const WindowSpec& spec = {});
+
+  /// (name, labels) of every registered time series, in series-key order
+  /// -- for exporters that group same-named series across labels (e.g.
+  /// the observatory's per-board health steps).
+  [[nodiscard]] std::vector<std::pair<std::string, Labels>> SeriesKeys()
+      const;
+
   /// {"counters":[{name,labels,value}...],"gauges":[...],
-  ///  "histograms":[{name,labels,count,sum,min,max,p50,p95,p99}...]}
+  ///  "histograms":[{name,labels,count,sum,min,max,p50,p95,p99}...],
+  ///  "series":[{name,labels,kind,resolution_us,total,dropped,
+  ///             windows:[{index,start_us,value,count}...]}...]}
   [[nodiscard]] std::string ToJson() const;
 
   /// kind,name,labels,stat,value rows (histograms expand to one row per
-  /// statistic).
+  /// statistic; series contribute total/rate_per_s/windows rows).
   [[nodiscard]] std::string ToCsv() const;
 
   /// Prometheus text exposition format (version 0.0.4): one `# TYPE`
   /// header per metric name, counters/gauges as single samples, histograms
-  /// as summaries (quantile series plus _sum/_count). Dots in metric names
-  /// become underscores (Prometheus identifier rules); label values are
-  /// escaped per the format.
+  /// as summaries (quantile series plus _sum/_count), time series as a
+  /// `_total` counter plus a `_rate_per_s` gauge over the retained
+  /// windows (gauge series export their latest value). Dots in metric
+  /// names become underscores (Prometheus identifier rules); label values
+  /// are escaped per the format.
   [[nodiscard]] std::string ToPrometheus() const;
 
   /// Human-readable summary, one instrument per row.
@@ -148,6 +201,7 @@ class Registry {
   std::map<std::string, Entry<Counter>> counters_;
   std::map<std::string, Entry<Gauge>> gauges_;
   std::map<std::string, Entry<Histogram>> histograms_;
+  std::map<std::string, Entry<TimeSeries>> series_;
 };
 
 /// "name{k=v,...}" -- the series key used by the registry and the CSV /

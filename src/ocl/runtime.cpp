@@ -120,6 +120,7 @@ void Runtime::RecordEvent(std::string_view label, CommandKind kind,
   }
   events_.Record(label, kind, queue, queued, start, end, stall, bytes,
                  trace_ctx_.trace_id, span_id, trace_ctx_.parent_span_id);
+  event_duration_us_.Observe((end - start).us());
 }
 
 void Runtime::RecordFault(const RuntimeFaultError& fault) {
@@ -533,6 +534,17 @@ void Runtime::ExportMetrics(obs::Registry& registry,
     registry.gauge("ocl.kernel.total_us", l).Set(usage.total.us());
     registry.gauge("ocl.kernel.invocations", l)
         .Set(static_cast<double>(usage.invocations));
+  }
+  // Event-duration quantiles come from the runtime-owned log-bucketed
+  // histogram; exporting them as gauges (not MergeFrom into a registry
+  // histogram) keeps repeated exports idempotent.
+  if (const obs::Histogram::Snapshot ev = event_duration_us_.snapshot();
+      ev.count > 0) {
+    registry.gauge("ocl.event.duration_p50_us", base_labels).Set(ev.p50);
+    registry.gauge("ocl.event.duration_p99_us", base_labels).Set(ev.p99);
+    registry.gauge("ocl.event.duration_max_us", base_labels).Set(ev.max);
+    registry.gauge("ocl.event.count", base_labels)
+        .Set(static_cast<double>(ev.count));
   }
   registry.gauge("ocl.resilience.xfer_retries", base_labels)
       .Set(static_cast<double>(xfer_retries_));

@@ -246,6 +246,12 @@ class Runtime {
     return kernel_usage_;
   }
 
+  /// Distribution of per-event durations (kernels and transfers alike)
+  /// over everything recorded so far, in microseconds.
+  [[nodiscard]] const obs::Histogram& event_durations() const {
+    return event_duration_us_;
+  }
+
   /// Writes the accumulated runtime metrics (queue occupancy/idle, channel
   /// stalls, transfer volume/bandwidth, per-kernel time) into `registry`,
   /// merging `base_labels` into every series so several runtimes can share
@@ -294,6 +300,10 @@ class Runtime {
   /// Cumulative blocked-on-channel time, per channel.
   std::map<std::string, SimTime> channel_stall_;
   std::map<std::string, KernelUsage> kernel_usage_;
+  /// Per-event duration distribution (log-bucketed: the event stream is
+  /// unbounded, so the hot path must not retain samples). Exported by
+  /// ExportMetrics as idempotent duration-quantile gauges.
+  obs::Histogram event_duration_us_;
   std::int64_t bytes_h2d_ = 0, bytes_d2h_ = 0;
   SimTime xfer_h2d_time_, xfer_d2h_time_;
   // Resilience state.

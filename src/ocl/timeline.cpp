@@ -1,0 +1,114 @@
+#include "ocl/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "ocl/event_pool.hpp"
+
+namespace clflow::ocl {
+
+namespace {
+
+/// Spreads the interval [from, to) over the windows it overlaps,
+/// recording the overlap in microseconds at each window's start.
+void Distribute(obs::TimeSeries& series, SimTime from, SimTime to) {
+  if (to <= from) return;
+  const std::int64_t res_ps = series.spec().resolution.ps();
+  const std::int64_t first = series.WindowOf(from);
+  const std::int64_t last = series.WindowOf(to - SimTime::Ps(1));
+  for (std::int64_t w = first; w <= last; ++w) {
+    const SimTime window_start = SimTime::Ps(w * res_ps);
+    const SimTime window_end = SimTime::Ps((w + 1) * res_ps);
+    const SimTime overlap =
+        std::min(to, window_end) - std::max(from, window_start);
+    series.Record(window_start, overlap.us());
+  }
+}
+
+}  // namespace
+
+double QueueTimeline::PeakOccupancy() const {
+  double peak = 0.0;
+  const double res_us = busy_us.spec().resolution.us();
+  for (const obs::TimeSeries::Window& w : busy_us.Windows()) {
+    peak = std::max(peak, w.value / res_us);
+  }
+  return peak;
+}
+
+double UtilizationTimelines::PeakOccupancy() const {
+  double peak = 0.0;
+  for (const QueueTimeline& q : queues) {
+    peak = std::max(peak, q.PeakOccupancy());
+  }
+  return peak;
+}
+
+void UtilizationTimelines::ExportInto(obs::Registry& registry,
+                                      const obs::Labels& base_labels) const {
+  for (const QueueTimeline& q : queues) {
+    obs::Labels labels = base_labels;
+    labels["queue"] = std::to_string(q.queue);
+    registry
+        .series("ocl.queue.busy_us", labels, obs::TimeSeries::Kind::kCounter,
+                spec)
+        .MergeFrom(q.busy_us);
+    registry
+        .series("ocl.queue.stall_us", labels,
+                obs::TimeSeries::Kind::kCounter, spec)
+        .MergeFrom(q.stall_us);
+  }
+}
+
+std::uint64_t UtilizationTimelines::Digest() const {
+  std::uint64_t h = obs::detail::kFnvOffset;
+  for (const QueueTimeline& q : queues) {
+    obs::detail::FnvMix(h, static_cast<std::uint64_t>(q.queue));
+    obs::detail::FnvMix(h, q.busy_us.Digest());
+    obs::detail::FnvMix(h, q.stall_us.Digest());
+  }
+  return h;
+}
+
+obs::WindowSpec FitWindowSpec(const EventPool& pool, std::size_t windows) {
+  SimTime span = kSimTimeZero;
+  for (const EventPool::View e : pool) {
+    span = std::max(span, e.end);
+  }
+  obs::WindowSpec spec;
+  spec.windows = std::max<std::size_t>(windows, 1);
+  const std::int64_t per_window =
+      (span.ps() + static_cast<std::int64_t>(spec.windows) - 1) /
+      static_cast<std::int64_t>(spec.windows);
+  spec.resolution =
+      std::max(SimTime::Ps(per_window), SimTime::Us(1.0));
+  return spec;
+}
+
+UtilizationTimelines BuildUtilizationTimelines(const EventPool& pool,
+                                               const obs::WindowSpec& spec) {
+  UtilizationTimelines out;
+  out.spec = spec;
+  std::map<int, QueueTimeline> by_queue;
+  for (const EventPool::View e : pool) {
+    auto it = by_queue.find(e.queue);
+    if (it == by_queue.end()) {
+      QueueTimeline tl;
+      tl.queue = e.queue;
+      tl.busy_us = obs::TimeSeries(obs::TimeSeries::Kind::kCounter, spec);
+      tl.stall_us = obs::TimeSeries(obs::TimeSeries::Kind::kCounter, spec);
+      it = by_queue.emplace(e.queue, std::move(tl)).first;
+    }
+    Distribute(it->second.busy_us, e.start, e.end);
+    if (e.stall > kSimTimeZero) {
+      Distribute(it->second.stall_us, e.start - e.stall, e.start);
+    }
+  }
+  out.queues.reserve(by_queue.size());
+  for (auto& [queue, tl] : by_queue) {
+    out.queues.push_back(std::move(tl));
+  }
+  return out;
+}
+
+}  // namespace clflow::ocl

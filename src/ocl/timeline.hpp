@@ -1,0 +1,60 @@
+// Utilization timelines: windowed busy/stall occupancy per command queue,
+// derived from the EventPool's completed-command records (obs v2).
+//
+// The runtime's QueueUsage totals answer "how busy was queue q overall";
+// the serving observatory needs "when was it busy": occupancy per window
+// so a latency spike lines up with the queue that saturated. Each event
+// contributes its busy interval [start, end) and its channel-stall
+// interval [start - stall, start) to every window it overlaps,
+// proportionally to the overlap -- so window sums are exact in
+// picoseconds and occupancy = busy_us / resolution_us is in [0, 1] for a
+// queue that never overlaps its own commands.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+
+namespace clflow::ocl {
+
+class EventPool;
+
+struct QueueTimeline {
+  int queue = 0;
+  obs::TimeSeries busy_us;   ///< counter: busy microseconds per window
+  obs::TimeSeries stall_us;  ///< counter: channel-stall microseconds
+
+  /// Largest busy occupancy (busy / resolution) over the retained
+  /// windows.
+  [[nodiscard]] double PeakOccupancy() const;
+};
+
+struct UtilizationTimelines {
+  obs::WindowSpec spec;
+  std::vector<QueueTimeline> queues;  ///< ascending queue id
+
+  /// Peak busy occupancy across every queue.
+  [[nodiscard]] double PeakOccupancy() const;
+
+  /// Records the timelines into `registry` as
+  /// `ocl.queue.busy_us{queue=q}` / `ocl.queue.stall_us{queue=q}`
+  /// windowed series (base labels merged in).
+  void ExportInto(obs::Registry& registry,
+                  const obs::Labels& base_labels = {}) const;
+
+  /// Combined FNV digest over the per-queue series.
+  [[nodiscard]] std::uint64_t Digest() const;
+};
+
+/// Picks a resolution so the pool's whole [0, max end) span fits in at
+/// most `windows` ring slots (at least 1 us per window).
+[[nodiscard]] obs::WindowSpec FitWindowSpec(const EventPool& pool,
+                                            std::size_t windows = 256);
+
+/// Builds per-queue busy/stall timelines from the pool's live events.
+[[nodiscard]] UtilizationTimelines BuildUtilizationTimelines(
+    const EventPool& pool, const obs::WindowSpec& spec);
+
+}  // namespace clflow::ocl

@@ -1,0 +1,68 @@
+// The serving observatory: a self-contained dashboard over one load
+// campaign (obs v2, tentpole d).
+//
+// BuildObservatory turns a LoadgenReport into renderable timelines --
+// per-window p50/p99 latency, offered/achieved/good throughput, server
+// occupancy and queue depth, and per-board health steps -- and renders
+// them three ways:
+//
+//   * ToHtml():  one self-contained page, inline SVG, no external assets
+//                (same contract as prof::ToHtml);
+//   * ToJson():  the same data for machines (the CI smoke diffs it);
+//   * ToChromeTrace(): counter tracks ("ph":"C") loadable in
+//                chrome://tracing / Perfetto next to the runtime's event
+//                trace.
+//
+// Everything derives from the report's digest-stable request records, so
+// two same-seed campaigns render byte-identical dashboards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/loadgen.hpp"
+
+namespace clflow::serve {
+
+/// One plotted line: y over simulated time (x in us).
+struct ObsSeries {
+  std::string name;
+  std::vector<double> x_us;
+  std::vector<double> y;
+};
+
+struct ObsChart {
+  std::string title;
+  std::string unit;          ///< y-axis unit label
+  bool step = false;         ///< render as step series (health states)
+  std::vector<ObsSeries> series;
+};
+
+struct Observatory {
+  std::string title;
+  std::string target;
+  std::string shape;
+  std::uint64_t seed = 0;
+  std::int64_t requests = 0;
+  double resolution_us = 0.0;
+  double objective_us = 0.0;
+  double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0, max_us = 0.0;
+  double offered_rps = 0.0, achieved_rps = 0.0;
+  double goodput = 0.0, peak_occupancy = 0.0;
+  double mean_queue_delay_us = 0.0;
+  std::int64_t violations = 0, errors = 0, failovers = 0;
+  std::uint64_t digest = 0;
+
+  std::vector<ObsChart> charts;
+
+  [[nodiscard]] std::string ToJson() const;
+  [[nodiscard]] std::string ToHtml() const;
+  [[nodiscard]] std::string ToChromeTrace() const;
+};
+
+/// Derives the dashboard's timelines from a campaign report.
+[[nodiscard]] Observatory BuildObservatory(const LoadgenReport& report,
+                                           const std::string& title);
+
+}  // namespace clflow::serve

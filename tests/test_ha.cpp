@@ -273,8 +273,9 @@ TEST(Ha, AccountingBalancesAndGaugesAgree) {
                    static_cast<double>(rs.attempts()));
   double gauge_dispatched = 0.0;
   for (int b = 0; b < rs.num_replicas(); ++b) {
+    // Boards export under their BoardLabel ("s10sx0"), not a bare index.
     gauge_dispatched +=
-        reg.gauge("ha.board.dispatched", {{"board", std::to_string(b)}})
+        reg.gauge("ha.board.dispatched", {{"board", rs.BoardLabel(b)}})
             .value();
   }
   EXPECT_DOUBLE_EQ(gauge_dispatched, static_cast<double>(rs.attempts()));

@@ -4,6 +4,7 @@
 // compile+runtime Chrome trace).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,7 @@ TEST(Metrics, GaugeLastWriteWins) {
 TEST(Metrics, HistogramPercentilesNearestRank) {
   Registry reg;
   Histogram& h = reg.histogram("lat");
+  h.set_retain_samples(true);  // exact quantiles need the samples
   for (int i = 1; i <= 100; ++i) h.Observe(i);
   const auto snap = h.snapshot();
   EXPECT_EQ(snap.count, 100);
@@ -156,6 +158,7 @@ TEST(Json, RegistryToJsonParses) {
   Registry reg;
   reg.counter("ir.pass.applied", {{"pass", "SplitLoop"}}).Add(4);
   reg.gauge("synth.fmax_mhz").Set(241.0);
+  reg.histogram("synth.kernel.aluts").set_retain_samples(true);
   for (int i = 0; i < 10; ++i) {
     reg.histogram("synth.kernel.aluts").Observe(1000.0 * i);
   }
@@ -359,6 +362,7 @@ TEST(Metrics, HistogramSlidingWindowEvictsOldest) {
 
 TEST(Metrics, HistogramShrinkingWindowEvictsImmediately) {
   Histogram h;
+  h.set_retain_samples(true);  // windows are a retained-mode feature
   for (int i = 1; i <= 10; ++i) h.Observe(i);
   h.set_window(2);
   const auto snap = h.snapshot();
@@ -409,6 +413,7 @@ TEST(Metrics, ToPrometheusExposesAllMetricKinds) {
   reg.counter("compile.cache.hits").Add(3);
   reg.gauge("telemetry.slo.burn_rate", {{"board", "s10mx"}}).Set(1.5);
   Histogram& h = reg.histogram("telemetry.slo.latency_us");
+  h.set_retain_samples(true);  // the assertions below are exact quantiles
   for (int i = 1; i <= 100; ++i) h.Observe(i);
 
   const std::string text = reg.ToPrometheus();
@@ -447,6 +452,116 @@ TEST(Metrics, ToPrometheusDeduplicatesTypeHeadersAcrossLabelSets) {
   EXPECT_EQ(headers, 1u);
   EXPECT_NE(text.find("queue_busy{queue=\"0\"} 1"), std::string::npos);
   EXPECT_NE(text.find("queue_busy{queue=\"1\"} 2"), std::string::npos);
+}
+
+TEST(Metrics, BucketedHistogramQuantilesWithinOnePercent) {
+  // The default (log-bucketed) registry histogram must track exact
+  // nearest-rank quantiles to within 1% relative error -- the obs v2
+  // drift gate that lets serving paths drop sample retention.
+  Registry reg;
+  Histogram& bucketed = reg.histogram("bucketed");
+  Histogram exact;
+  exact.set_retain_samples(true);
+  Rng rng(2021);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = std::exp(rng.NextDouble() * 8.0);
+    bucketed.Observe(v);
+    exact.Observe(v);
+  }
+  const auto b = bucketed.snapshot();
+  const auto e = exact.snapshot();
+  EXPECT_EQ(b.count, e.count);
+  // Sums agree to rounding (the two modes accumulate in different
+  // orders); min/max are exact in both.
+  EXPECT_NEAR(b.sum, e.sum, std::abs(e.sum) * 1e-12);
+  EXPECT_DOUBLE_EQ(b.min, e.min);
+  EXPECT_DOUBLE_EQ(b.max, e.max);
+  EXPECT_LT(std::abs(b.p50 - e.p50) / e.p50, 0.01);
+  EXPECT_LT(std::abs(b.p95 - e.p95) / e.p95, 0.01);
+  EXPECT_LT(std::abs(b.p99 - e.p99) / e.p99, 0.01);
+}
+
+TEST(Metrics, HistogramMergeAndDigestAreShardOrderDeterministic) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) {
+    (i % 2 == 0 ? a : b).Observe(i + 1);
+  }
+  // Shard-order merge must digest like the serial stream that observed
+  // a's samples then b's (bucket counts are order-free integers).
+  Histogram ordered;
+  for (int i = 0; i < 100; i += 2) ordered.Observe(i + 1);
+  for (int i = 1; i < 100; i += 2) ordered.Observe(i + 1);
+  Histogram merged;
+  merged.MergeFrom(a);
+  merged.MergeFrom(b);
+  EXPECT_EQ(merged.Digest(), ordered.Digest());
+  EXPECT_EQ(merged.snapshot().count, 100);
+}
+
+TEST(Metrics, ToPrometheusEscapesLabelValues) {
+  Registry reg;
+  reg.gauge("esc", {{"path", "a\\b"}, {"msg", "say \"hi\"\nbye"}}).Set(1.0);
+  const std::string text = reg.ToPrometheus();
+  EXPECT_NE(text.find("msg=\"say \\\"hi\\\"\\nbye\""), std::string::npos);
+  EXPECT_NE(text.find("path=\"a\\\\b\""), std::string::npos);
+  // The raw newline must never appear inside a sample line.
+  EXPECT_EQ(text.find("say \"hi\"\n"), std::string::npos);
+}
+
+TEST(Metrics, ToPrometheusExportsSeriesWithProperLabels) {
+  // Dimensions ride in labels (ha_board_state{board="s10sx0"}), never in
+  // the metric name; counter series get a _total plus a windowed
+  // _rate_per_s, gauge series export their latest value.
+  Registry reg;
+  const WindowSpec ws{SimTime::Ms(1.0), 8};
+  TimeSeries& reqs =
+      reg.series("serve.arrivals", {}, TimeSeries::Kind::kCounter, ws);
+  for (int i = 0; i < 10; ++i) {
+    reqs.Record(SimTime::Us(100.0 * i + 50.0));
+  }
+  reg.series("ha.board.state", {{"board", "s10sx0"}},
+             TimeSeries::Kind::kGauge, ws)
+      .Record(SimTime::Ms(0.5), 2.0);
+  reg.series("ha.board.state", {{"board", "s10sx1"}},
+             TimeSeries::Kind::kGauge, ws)
+      .Record(SimTime::Ms(0.5), 0.0);
+
+  const std::string text = reg.ToPrometheus();
+  EXPECT_NE(text.find("# TYPE serve_arrivals_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_arrivals_total 10"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE serve_arrivals_rate_per_s gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ha_board_state gauge"), std::string::npos);
+  EXPECT_NE(text.find("ha_board_state{board=\"s10sx0\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("ha_board_state{board=\"s10sx1\"} 0"),
+            std::string::npos);
+  // One TYPE header even with two labeled board series.
+  std::size_t headers = 0;
+  for (std::size_t pos = 0;
+       (pos = text.find("# TYPE ha_board_state gauge", pos)) !=
+       std::string::npos;
+       ++pos) {
+    ++headers;
+  }
+  EXPECT_EQ(headers, 1u);
+}
+
+TEST(Metrics, RegistrySeriesFixesKindAndSpecOnFirstUse) {
+  Registry reg;
+  const WindowSpec ws{SimTime::Us(100.0), 4};
+  TimeSeries& s =
+      reg.series("s", {}, TimeSeries::Kind::kGauge, ws);
+  // A later call with different arguments returns the same instance.
+  TimeSeries& again = reg.series("s", {}, TimeSeries::Kind::kCounter,
+                                 WindowSpec{SimTime::Ms(5.0), 99});
+  EXPECT_EQ(&s, &again);
+  EXPECT_EQ(again.kind(), TimeSeries::Kind::kGauge);
+  EXPECT_EQ(again.spec().windows, 4u);
+  const auto keys = reg.SeriesKeys();
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0].first, "s");
 }
 
 // ------------------------------------- flow-id determinism vs DSE jobs
